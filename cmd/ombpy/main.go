@@ -1,0 +1,113 @@
+// Command ombpy runs a single micro-benchmark in the style of the OSU
+// benchmark executables (osu_latency, osu_bw, osu_allreduce, ...), on the
+// simulated cluster of your choice, in OMB (C), OMB-Py (direct buffer) or
+// OMB-Py pickle mode.
+//
+// Examples:
+//
+//	ombpy -bench latency -mode py -buffer numpy -cluster frontera -ppn 2
+//	ombpy -bench allreduce -mode py -ranks 16 -ppn 1
+//	ombpy -bench latency -mode py -buffer cupy -cluster bridges2 -gpu
+//	ombpy -bench bw -mode pickle
+//	ombpy -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/pybuf"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "latency", "benchmark name (see -list)")
+		cluster = flag.String("cluster", "frontera", "cluster model: "+strings.Join(topology.Names(), ", "))
+		impl    = flag.String("impl", "mvapich2", "MPI implementation: mvapich2, intelmpi")
+		mode    = flag.String("mode", "py", "mode: c (OMB baseline), py (OMB-Py), pickle")
+		buffer  = flag.String("buffer", "numpy", "buffer library: bytearray, numpy, cupy, pycuda, numba")
+		gpu     = flag.Bool("gpu", false, "bind ranks to GPUs and use device buffers")
+		ranks   = flag.Int("ranks", 2, "number of MPI ranks")
+		ppn     = flag.Int("ppn", 1, "processes per node")
+		minSize = flag.Int("min", 1, "smallest message size in bytes")
+		maxSize = flag.Int("max", 1<<20, "largest message size in bytes")
+		iters   = flag.Int("iters", 100, "timed iterations per size")
+		warmup  = flag.Int("warmup", 10, "warm-up iterations per size")
+		window  = flag.Int("window", 64, "window size for bandwidth tests")
+		timing  = flag.Bool("timing-only", false, "skip payloads (huge-scale runs)")
+		asJSON  = flag.Bool("json", false, "emit the report as JSON")
+		plot    = flag.Bool("plot", false, "render the series as an ASCII chart")
+		list    = flag.Bool("list", false, "list available benchmarks")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("point-to-point:        latency bw bibw multi_lat")
+		fmt.Println("blocking collectives:  allgather allreduce alltoall barrier bcast")
+		fmt.Println("                       gather reduce_scatter reduce scatter")
+		fmt.Println("vector collectives:    allgatherv alltoallv gatherv scatterv")
+		return
+	}
+
+	b, err := core.ParseBenchmark(*bench)
+	check(err)
+	m, err := core.ParseMode(*mode)
+	check(err)
+	lib, err := pybuf.ParseLibrary(*buffer)
+	check(err)
+	mpiImpl, err := netmodel.ParseImpl(*impl)
+	check(err)
+
+	rep, err := core.Run(core.Options{
+		Benchmark:  b,
+		Cluster:    *cluster,
+		Impl:       mpiImpl,
+		Mode:       m,
+		Buffer:     lib,
+		UseGPU:     *gpu,
+		Ranks:      *ranks,
+		PPN:        *ppn,
+		MinSize:    *minSize,
+		MaxSize:    *maxSize,
+		Iters:      *iters,
+		Warmup:     *warmup,
+		Window:     *window,
+		TimingOnly: *timing,
+	})
+	check(err)
+
+	switch {
+	case *asJSON:
+		out, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		fmt.Println(string(out))
+	default:
+		fmt.Print(rep.Text())
+	}
+	if *plot {
+		metric := "latency(us)"
+		if b == core.Bandwidth || b == core.BiBandwidth {
+			metric = "bandwidth(MB/s)"
+		}
+		ch := stats.Chart{
+			Metric: metric,
+			Series: []*stats.Series{&rep.Series},
+			LogY:   metric == "latency(us)",
+		}
+		fmt.Print(ch.Render())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ombpy:", err)
+		os.Exit(1)
+	}
+}

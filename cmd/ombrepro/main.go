@@ -1,0 +1,100 @@
+// Command ombrepro regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	ombrepro -experiment fig2        # one experiment
+//	ombrepro -all                    # everything except the 896-rank runs
+//	ombrepro -all -heavy             # everything
+//	ombrepro -list                   # enumerate experiment ids
+//
+// Each experiment prints the series its figure plots plus a
+// paper-vs-measured line for every statistic the paper quotes in prose.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		id    = flag.String("experiment", "", "experiment id (fig1..fig34, table1..table3)")
+		all   = flag.Bool("all", false, "run every experiment")
+		heavy = flag.Bool("heavy", false, "include the 896-rank full-subscription experiments")
+		list  = flag.Bool("list", false, "list experiment ids")
+		plot  = flag.Bool("plot", false, "render each experiment's series as an ASCII chart")
+	)
+	flag.Parse()
+	plotCharts = *plot
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			tag := ""
+			if e.Heavy {
+				tag = " [heavy]"
+			}
+			fmt.Printf("%-8s %s%s\n", e.ID, e.Title, tag)
+		}
+	case *id != "":
+		e, err := experiments.ByID(*id)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runOne(e); err != nil {
+			fatal(err)
+		}
+	case *all:
+		failed := 0
+		for _, e := range experiments.All() {
+			if e.Heavy && !*heavy {
+				fmt.Printf("=== %s: %s === (skipped; pass -heavy)\n\n", e.ID, e.Title)
+				continue
+			}
+			if err := runOne(e); err != nil {
+				fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.ID, err)
+				failed++
+			}
+		}
+		if failed > 0 {
+			fatal(fmt.Errorf("%d experiments failed", failed))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// plotCharts mirrors the -plot flag.
+var plotCharts bool
+
+func runOne(e experiments.Experiment) error {
+	start := time.Now()
+	res, err := e.Run()
+	if err != nil {
+		return err
+	}
+	res.Title = e.Title
+	fmt.Print(res.Render())
+	if plotCharts && len(res.Table.Series) > 0 {
+		ch := stats.Chart{
+			Metric: res.Table.Metric,
+			Series: res.Table.Series,
+			LogY:   strings.Contains(res.Table.Metric, "latency"),
+		}
+		fmt.Print(ch.Render())
+	}
+	fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ombrepro:", err)
+	os.Exit(1)
+}

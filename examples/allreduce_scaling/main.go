@@ -1,0 +1,71 @@
+// Allreduce scaling study: the workload class the paper's introduction
+// motivates (distributed ML gradient aggregation). It sweeps node counts
+// and processes-per-node on the Frontera model and reports the Allreduce
+// latency of native MPI vs mpi4py, including the full-subscription regime
+// of the paper's Figures 14-15 where the binding layer's THREAD_MULTIPLE
+// initialisation hurts most. Run with:
+//
+//	go run ./examples/allreduce_scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/pybuf"
+	"repro/internal/stats"
+)
+
+func main() {
+	const size = 64 * 1024 // a typical gradient-bucket size in bytes
+
+	type config struct {
+		nodes, ppn int
+		timingOnly bool
+	}
+	configs := []config{
+		{2, 1, false},
+		{4, 1, false},
+		{8, 1, false},
+		{16, 1, false},
+		{16, 8, false},
+		{16, 56, true}, // full subscription: 896 ranks, timing-only
+	}
+
+	fmt.Println("Allreduce latency at 64 KiB on the Frontera model")
+	fmt.Printf("%-8s %-6s %-8s %14s %14s %10s\n",
+		"nodes", "ppn", "ranks", "OMB(us)", "OMB-Py(us)", "ratio")
+	for _, cfg := range configs {
+		ranks := cfg.nodes * cfg.ppn
+		run := func(mode core.Mode) float64 {
+			rep, err := core.Run(core.Options{
+				Benchmark:  core.Allreduce,
+				Cluster:    "frontera",
+				Mode:       mode,
+				Buffer:     pybuf.NumPy,
+				Ranks:      ranks,
+				PPN:        cfg.ppn,
+				MinSize:    size,
+				MaxSize:    size,
+				Iters:      10,
+				Warmup:     2,
+				TimingOnly: cfg.timingOnly,
+			})
+			if err != nil {
+				log.Fatalf("%d ranks (%v): %v", ranks, mode, err)
+			}
+			row, ok := rep.Series.Get(size)
+			if !ok {
+				log.Fatalf("%d ranks: no row for %s", ranks, stats.HumanBytes(size))
+			}
+			return row.AvgUs
+		}
+		c := run(core.ModeC)
+		py := run(core.ModePy)
+		fmt.Printf("%-8d %-6d %-8d %14.2f %14.2f %10.2f\n",
+			cfg.nodes, cfg.ppn, ranks, c, py, py/c)
+	}
+	fmt.Println("\nNote the jump at 56 ppn: mpi4py initialises MPI with THREAD_MULTIPLE,")
+	fmt.Println("which oversubscribes cores under full subscription (paper Figs. 14-15).")
+}

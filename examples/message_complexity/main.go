@@ -1,0 +1,98 @@
+// Message-complexity study: attaches the runtime's event tracer to several
+// collectives and compares the recorded message counts and byte volumes
+// against the textbook complexity of the algorithm each size selects --
+// the kind of analysis a benchmark-suite user does when deciding which
+// collective (or which message size regime) a workload should use.
+// Run with:
+//
+//	go run ./examples/message_complexity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func main() {
+	const ranks, ppn = 16, 4
+
+	type study struct {
+		name   string
+		bytes  int
+		theory string
+		run    func(c *mpi.Comm, n int) error
+	}
+	studies := []study{
+		{"barrier", 0, "p*ceil(log2 p) zero-byte msgs (dissemination)",
+			func(c *mpi.Comm, n int) error { return c.Barrier() }},
+		{"bcast 1KiB", 1024, "p-1 msgs (binomial tree)",
+			func(c *mpi.Comm, n int) error { return c.BcastN(nil, n, 0) }},
+		{"allreduce 1KiB", 1024, "p*log2 p msgs (recursive doubling)",
+			func(c *mpi.Comm, n int) error { return c.AllreduceN(nil, nil, n, mpi.Float64, mpi.OpSum) }},
+		{"allreduce 256KiB", 256 * 1024, "reduce-scatter + allgather (Rabenseifner)",
+			func(c *mpi.Comm, n int) error { return c.AllreduceN(nil, nil, n, mpi.Float64, mpi.OpSum) }},
+		{"allgather 1KiB", 1024, "p*log2 p msgs (recursive doubling)",
+			func(c *mpi.Comm, n int) error { return c.AllgatherN(nil, n, nil) }},
+		{"allgather 64KiB", 64 * 1024, "p*(p-1) msgs (ring)",
+			func(c *mpi.Comm, n int) error { return c.AllgatherN(nil, n, nil) }},
+		{"alltoall 256B", 256, "packed log-round exchange (Bruck)",
+			func(c *mpi.Comm, n int) error { return c.AlltoallN(nil, n, nil) }},
+		{"alltoall 8KiB", 8 * 1024, "p*(p-1) msgs (pairwise)",
+			func(c *mpi.Comm, n int) error { return c.AlltoallN(nil, n, nil) }},
+	}
+
+	fmt.Printf("Collective message complexity on %d ranks (%d ppn, Frontera model)\n\n", ranks, ppn)
+	fmt.Printf("%-18s %8s %12s %10s %12s  %s\n",
+		"collective", "msgs", "bytes", "eager", "makespan", "algorithm")
+	for _, st := range studies {
+		place, err := topology.NewPlacement(&topology.Frontera, ranks, ppn, topology.Block, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace := mpi.NewTrace()
+		world, err := mpi.NewWorld(mpi.Config{
+			Placement: place,
+			Model:     netmodel.MustNew(&topology.Frontera, netmodel.MVAPICH2),
+			CarryData: false, // timing-only: we study message counts
+			Trace:     trace,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := world.Run(func(p *mpi.Proc) error {
+			return st.run(p.CommWorld(), st.bytes)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		s := trace.Summarize()
+		fmt.Printf("%-18s %8d %12d %10d %12v  %s\n",
+			st.name, s.Messages, s.Bytes, s.EagerMsgs, s.Makespan, st.theory)
+	}
+
+	fmt.Println("\nPer-link breakdown of the 64KiB ring allgather:")
+	place, _ := topology.NewPlacement(&topology.Frontera, ranks, ppn, topology.Block, false)
+	trace := mpi.NewTrace()
+	world, err := mpi.NewWorld(mpi.Config{
+		Placement: place,
+		Model:     netmodel.MustNew(&topology.Frontera, netmodel.MVAPICH2),
+		CarryData: false,
+		Trace:     trace,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := world.Run(func(p *mpi.Proc) error {
+		return p.CommWorld().AllgatherN(nil, 64*1024, nil)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trace.Summarize())
+	fmt.Printf("\n(ring neighbours are mostly intra-node at %d ppn: %s of traffic stays on-node)\n",
+		ppn, stats.HumanBytes(int(trace.Summarize().BytesByLink[topology.LinkSameSocket]+
+			trace.Summarize().BytesByLink[topology.LinkSameNode])))
+}

@@ -1,0 +1,52 @@
+// Quickstart: measure the ping-pong latency of the simulated MPI runtime on
+// Frontera, once as the C baseline (OMB) and once through the mpi4py
+// binding layer (OMB-Py), and print the per-size overhead -- the experiment
+// behind the paper's Figure 2. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/pybuf"
+	"repro/internal/stats"
+)
+
+func main() {
+	base := core.Options{
+		Benchmark: core.Latency,
+		Cluster:   "frontera",
+		Ranks:     2,
+		PPN:       2, // both ranks on one node: intra-node latency
+		MinSize:   1,
+		MaxSize:   8 * 1024,
+	}
+
+	cOpts := base
+	cOpts.Mode = core.ModeC
+	omb, err := core.Run(cOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pyOpts := base
+	pyOpts.Mode = core.ModePy
+	pyOpts.Buffer = pybuf.NumPy
+	ombpy, err := core.Run(pyOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Intra-node CPU latency on the Frontera model (cf. paper Fig. 2)")
+	fmt.Printf("%-10s %12s %12s %12s\n", "size", "OMB(us)", "OMB-Py(us)", "overhead")
+	for _, r := range ombpy.Series.Rows {
+		b, _ := omb.Series.Get(r.Size)
+		fmt.Printf("%-10s %12.2f %12.2f %12.2f\n",
+			stats.HumanBytes(r.Size), b.AvgUs, r.AvgUs, r.AvgUs-b.AvgUs)
+	}
+	fmt.Printf("\naverage OMB-Py overhead: %.2f us (paper reports 0.44 us)\n",
+		stats.AvgOverheadUs(&ombpy.Series, &omb.Series))
+}

@@ -1,0 +1,249 @@
+// Package collective computes the communication schedules used by the MPI
+// runtime's collective operations: binomial trees, recursive doubling and
+// halving, ring passes and Bruck's algorithm. The functions here are pure --
+// they map (rank, size, root) to peer lists -- so every schedule is unit
+// tested independently of the message-passing machinery, and the runtime's
+// collectives are thin loops over these schedules.
+package collective
+
+import "fmt"
+
+// Pof2Floor returns the largest power of two not exceeding p (p >= 1).
+func Pof2Floor(p int) int {
+	if p < 1 {
+		panic(fmt.Sprintf("collective: Pof2Floor(%d)", p))
+	}
+	v := 1
+	for v*2 <= p {
+		v *= 2
+	}
+	return v
+}
+
+// IsPof2 reports whether p is a power of two.
+func IsPof2(p int) bool { return p >= 1 && p&(p-1) == 0 }
+
+// Log2Ceil returns ceil(log2(p)) for p >= 1.
+func Log2Ceil(p int) int {
+	n, v := 0, 1
+	for v < p {
+		v *= 2
+		n++
+	}
+	return n
+}
+
+// relRank translates an absolute rank into the tree rooted at root.
+func relRank(rank, root, size int) int { return (rank - root + size) % size }
+
+// absRank translates a tree-relative rank back to an absolute rank.
+func absRank(rel, root, size int) int { return (rel + root) % size }
+
+// BinomialParent returns the parent of rank in the binomial tree rooted at
+// root, or -1 for the root itself.
+func BinomialParent(rank, root, size int) int {
+	rel := relRank(rank, root, size)
+	if rel == 0 {
+		return -1
+	}
+	// Clear the lowest set bit to find the parent.
+	return absRank(rel&(rel-1), root, size)
+}
+
+// BinomialChildren returns the children of rank in the binomial tree rooted
+// at root, in the order a binomial broadcast sends to them (largest subtree
+// first).
+func BinomialChildren(rank, root, size int) []int {
+	rel := relRank(rank, root, size)
+	// Walk the mask up to rel's lowest set bit (or past size for the root);
+	// the children of rel are rel+m for every mask m below that point, in
+	// descending order (largest subtree first), while rel+m stays in range.
+	mask := 1
+	for mask < size && rel&mask == 0 {
+		mask <<= 1
+	}
+	var children []int
+	for m := mask >> 1; m > 0; m >>= 1 {
+		if child := rel + m; child < size {
+			children = append(children, absRank(child, root, size))
+		}
+	}
+	return children
+}
+
+// DisseminationPeers returns the (sendTo, recvFrom) peer pairs of the
+// dissemination barrier for rank in a communicator of the given size:
+// round k sends to rank+2^k and receives from rank-2^k (mod size).
+func DisseminationPeers(rank, size int) (sendTo, recvFrom []int) {
+	for k := 1; k < size; k *= 2 {
+		sendTo = append(sendTo, (rank+k)%size)
+		recvFrom = append(recvFrom, (rank-k+size)%size)
+	}
+	return sendTo, recvFrom
+}
+
+// RecursiveDoublingPeers returns the exchange partner per round for a
+// power-of-two communicator: round k's partner is rank XOR 2^k.
+// It panics if size is not a power of two; callers fold remainders first.
+func RecursiveDoublingPeers(rank, size int) []int {
+	if !IsPof2(size) {
+		panic(fmt.Sprintf("collective: RecursiveDoublingPeers size %d not a power of two", size))
+	}
+	var peers []int
+	for mask := 1; mask < size; mask *= 2 {
+		peers = append(peers, rank^mask)
+	}
+	return peers
+}
+
+// Pof2Fold describes how a non-power-of-two communicator folds onto its
+// largest power-of-two subset before a recursive-doubling phase, following
+// the classic MPICH scheme: with r = size - pof2, the first 2r ranks pair
+// up (even sends to odd) and odd ranks of those pairs plus ranks >= 2r form
+// the power-of-two group.
+type Pof2Fold struct {
+	Pof2 int
+	// Role of this rank: one of FoldSender, FoldReceiver, FoldInside.
+	Role FoldRole
+	// Partner is the pair partner for senders/receivers, -1 otherwise.
+	Partner int
+	// NewRank is the rank within the power-of-two group, -1 for senders.
+	NewRank int
+}
+
+// FoldRole classifies a rank's part in the fold.
+type FoldRole int
+
+// Fold roles.
+const (
+	// FoldSender hands its data to Partner and sits out the main phase.
+	FoldSender FoldRole = iota
+	// FoldReceiver absorbs Partner's data and participates.
+	FoldReceiver
+	// FoldInside participates directly (no pairing needed).
+	FoldInside
+)
+
+// NewPof2Fold computes the fold for rank in a communicator of size ranks.
+func NewPof2Fold(rank, size int) Pof2Fold {
+	pof2 := Pof2Floor(size)
+	r := size - pof2
+	switch {
+	case rank < 2*r && rank%2 == 0:
+		return Pof2Fold{Pof2: pof2, Role: FoldSender, Partner: rank + 1, NewRank: -1}
+	case rank < 2*r:
+		return Pof2Fold{Pof2: pof2, Role: FoldReceiver, Partner: rank - 1, NewRank: rank / 2}
+	default:
+		return Pof2Fold{Pof2: pof2, Role: FoldInside, Partner: -1, NewRank: rank - r}
+	}
+}
+
+// OldRank inverts the fold: the absolute rank holding power-of-two rank nr.
+func (f Pof2Fold) OldRank(nr, size int) int {
+	r := size - f.Pof2
+	if nr < r {
+		return nr*2 + 1
+	}
+	return nr + r
+}
+
+// RingNeighbors returns the (sendTo, recvFrom) neighbours of the increasing
+// ring: rank sends to rank+1 and receives from rank-1 (mod size).
+func RingNeighbors(rank, size int) (sendTo, recvFrom int) {
+	return (rank + 1) % size, (rank - 1 + size) % size
+}
+
+// BruckStep describes one round of Bruck's allgather/alltoall: the rank
+// sends to sendTo, receives from recvFrom, moving blockCount blocks.
+type BruckStep struct {
+	SendTo, RecvFrom int
+	BlockCount       int
+}
+
+// BruckSchedule returns the rounds of Bruck's algorithm for a communicator
+// of the given size: ceil(log2(size)) rounds, round k exchanging
+// min(2^k, size-2^k) blocks with peers at distance 2^k.
+func BruckSchedule(rank, size int) []BruckStep {
+	var steps []BruckStep
+	for k := 1; k < size; k *= 2 {
+		cnt := k
+		if size-k < cnt {
+			cnt = size - k
+		}
+		steps = append(steps, BruckStep{
+			SendTo:     (rank - k + size) % size,
+			RecvFrom:   (rank + k) % size,
+			BlockCount: cnt,
+		})
+	}
+	return steps
+}
+
+// PairwisePeer returns the peer of rank in round k (1 <= k < size) of the
+// pairwise alltoall exchange. For even communicator sizes this is the
+// XOR-based perfectly balanced schedule; for odd sizes the shifted schedule.
+func PairwisePeer(rank, size, k int) int {
+	if size%2 == 0 {
+		return rank ^ k
+	}
+	return (k - rank + size) % size
+}
+
+// RecursiveHalvingStep describes one round of recursive-halving
+// reduce-scatter on a power-of-two group: exchange with Peer, keep the
+// half [KeepLo, KeepHi) of the current window.
+type RecursiveHalvingStep struct {
+	Peer           int
+	KeepLo, KeepHi int // block indices of the window kept after the round
+	SendLo, SendHi int // block indices sent to the peer
+}
+
+// RecursiveHalvingSchedule computes reduce-scatter rounds for newRank in a
+// power-of-two group of size pof2 over pof2 equal blocks.
+func RecursiveHalvingSchedule(newRank, pof2 int) []RecursiveHalvingStep {
+	if !IsPof2(pof2) {
+		panic(fmt.Sprintf("collective: RecursiveHalvingSchedule size %d not a power of two", pof2))
+	}
+	var steps []RecursiveHalvingStep
+	lo, hi := 0, pof2
+	for mask := pof2 / 2; mask > 0; mask /= 2 {
+		peer := newRank ^ mask
+		mid := (lo + hi) / 2
+		var s RecursiveHalvingStep
+		if newRank&mask == 0 { // keep the lower half
+			s = RecursiveHalvingStep{Peer: peer, KeepLo: lo, KeepHi: mid, SendLo: mid, SendHi: hi}
+			hi = mid
+		} else {
+			s = RecursiveHalvingStep{Peer: peer, KeepLo: mid, KeepHi: hi, SendLo: lo, SendHi: mid}
+			lo = mid
+		}
+		steps = append(steps, s)
+	}
+	return steps
+}
+
+// RecursiveDoublingAllgatherStep describes one round of the allgather phase
+// that mirrors recursive halving: exchange the accumulated window with Peer.
+type RecursiveDoublingAllgatherStep struct {
+	Peer           int
+	HaveLo, HaveHi int // window owned before the round
+	GetLo, GetHi   int // window received from the peer
+}
+
+// RecursiveDoublingAllgatherSchedule computes the allgather rounds that undo
+// RecursiveHalvingSchedule, growing the owned window back to all blocks.
+func RecursiveDoublingAllgatherSchedule(newRank, pof2 int) []RecursiveDoublingAllgatherStep {
+	halving := RecursiveHalvingSchedule(newRank, pof2)
+	steps := make([]RecursiveDoublingAllgatherStep, 0, len(halving))
+	// Replay the halving in reverse: at the end of halving the rank owns
+	// exactly one block window; each reversed round doubles it.
+	for i := len(halving) - 1; i >= 0; i-- {
+		h := halving[i]
+		steps = append(steps, RecursiveDoublingAllgatherStep{
+			Peer:   h.Peer,
+			HaveLo: h.KeepLo, HaveHi: h.KeepHi,
+			GetLo: h.SendLo, GetHi: h.SendHi,
+		})
+	}
+	return steps
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/mpi"
+	"repro/internal/mpi4py"
+	"repro/internal/pybuf"
+)
+
+// ops adapts one rank's benchmark body to the mode under test: ModeC calls
+// the native runtime with raw slices (that is what OMB's C code does),
+// ModePy goes through the binding layer with library buffers, ModePickle
+// through the object-serialization API. Timing-only runs use the
+// size-carrying nil-payload paths of each layer.
+type ops struct {
+	opts Options
+	c    *mpi.Comm
+	py   *mpi4py.Comm
+	gpu  *device.GPU
+
+	n          int // current message size in bytes
+	sraw, rraw []byte
+	sbuf, rbuf pybuf.Buffer
+}
+
+// newOps prepares the adapter for one rank.
+func newOps(opts Options, raw *mpi.Comm) (*ops, error) {
+	o := &ops{opts: opts, c: raw}
+	if opts.UseGPU {
+		gpuIdx := raw.Proc().World().Placement().GPU(raw.WorldRank(raw.Rank()))
+		o.gpu = device.NewGPU(gpuIdx, 0)
+	}
+	if opts.Mode != ModeC {
+		var wrapOpts []mpi4py.Option
+		if opts.Profiler != nil {
+			wrapOpts = append(wrapOpts, mpi4py.WithProfiler(opts.Profiler))
+		}
+		if o.gpu != nil {
+			wrapOpts = append(wrapOpts, mpi4py.WithRegistry(device.NewRegistry([]*device.GPU{o.gpu})))
+		}
+		py, err := mpi4py.Wrap(raw, wrapOpts...)
+		if err != nil {
+			return nil, err
+		}
+		o.py = py
+	}
+	return o, nil
+}
+
+// spec returns the timing-only descriptor of the current size.
+func (o *ops) spec() mpi4py.Spec { return mpi4py.Spec{Lib: o.opts.Buffer, N: o.n} }
+
+// setup allocates (or sizes) the buffers for one message size. sendFactor
+// and recvFactor scale the buffers for rooted/unrooted collectives that
+// move p blocks (scatter sends p*n, gather receives p*n, and so on).
+func (o *ops) setup(size, sendFactor, recvFactor int) error {
+	o.teardown()
+	o.n = size
+	if o.opts.TimingOnly {
+		return nil
+	}
+	if o.opts.Mode == ModeC {
+		o.sraw = make([]byte, size*sendFactor)
+		o.rraw = make([]byte, size*recvFactor)
+		for i := range o.sraw {
+			o.sraw[i] = byte(i)
+		}
+		return nil
+	}
+	count := size / o.opts.DType.Size()
+	sb, err := pybuf.New(o.opts.Buffer, o.gpu, o.opts.DType, count*sendFactor)
+	if err != nil {
+		return err
+	}
+	rb, err := pybuf.New(o.opts.Buffer, o.gpu, o.opts.DType, count*recvFactor)
+	if err != nil {
+		return err
+	}
+	pybuf.FillPattern(sb, 1)
+	o.sbuf, o.rbuf = sb, rb
+	return nil
+}
+
+// buffersFor returns the (sendFactor, recvFactor) of a benchmark on p ranks.
+func buffersFor(b Benchmark, p int) (int, int) {
+	switch b {
+	case Gather, Gatherv, Allgather, Allgatherv:
+		return 1, p
+	case Scatter, Scatterv, ReduceScatter:
+		return p, 1
+	case Alltoall, Alltoallv:
+		return p, p
+	default:
+		return 1, 1
+	}
+}
+
+// teardown frees GPU allocations between sizes.
+func (o *ops) teardown() {
+	for _, b := range []pybuf.Buffer{o.sbuf, o.rbuf} {
+		if db, ok := b.(pybuf.DeviceBuffer); ok {
+			_ = db.Free()
+		}
+	}
+	o.sbuf, o.rbuf = nil, nil
+	o.sraw, o.rraw = nil, nil
+}
+
+func (o *ops) send(dst, tag int) error {
+	switch o.opts.Mode {
+	case ModeC:
+		if o.opts.TimingOnly {
+			return o.c.SendN(nil, o.n, dst, tag)
+		}
+		return o.c.Send(o.sraw, dst, tag)
+	case ModePy:
+		if o.opts.TimingOnly {
+			return o.py.SendSpec(o.spec(), dst, tag)
+		}
+		return o.py.Send(o.sbuf, dst, tag)
+	default: // ModePickle
+		if o.opts.TimingOnly {
+			return o.py.SendObjectSpec(o.spec(), dst, tag)
+		}
+		return o.py.SendObject(o.sbuf, dst, tag)
+	}
+}
+
+func (o *ops) recv(src, tag int) error {
+	switch o.opts.Mode {
+	case ModeC:
+		if o.opts.TimingOnly {
+			_, err := o.c.RecvN(nil, o.n, src, tag)
+			return err
+		}
+		_, err := o.c.Recv(o.rraw[:o.n], src, tag)
+		return err
+	case ModePy:
+		if o.opts.TimingOnly {
+			_, err := o.py.RecvSpec(o.spec(), src, tag)
+			return err
+		}
+		_, err := o.py.Recv(o.rbuf, src, tag)
+		return err
+	default: // ModePickle
+		if o.opts.TimingOnly {
+			_, err := o.py.RecvObjectSpec(o.spec(), src, tag)
+			return err
+		}
+		buf, _, err := o.py.RecvObject(src, tag, o.gpu)
+		if err != nil {
+			return err
+		}
+		if db, ok := buf.(pybuf.DeviceBuffer); ok {
+			return db.Free()
+		}
+		return nil
+	}
+}
+
+// ack moves the 4-byte completion message of the bandwidth tests; it always
+// uses the raw runtime, like OMB's C ack.
+func (o *ops) ackSend(dst int) error { return o.c.SendN(nil, 4, dst, ackTag) }
+func (o *ops) ackRecv(src int) error { _, err := o.c.RecvN(nil, 4, src, ackTag); return err }
+
+const ackTag = 999
+
+// barrier always runs through the layer under test.
+func (o *ops) barrier() error {
+	if o.opts.Mode == ModeC {
+		return o.c.Barrier()
+	}
+	return o.py.Barrier()
+}
+
+// collective dispatches the named collective for the current size.
+func (o *ops) collective(b Benchmark) error {
+	switch o.opts.Mode {
+	case ModeC:
+		return o.collectiveC(b)
+	case ModePy:
+		if o.opts.TimingOnly {
+			return o.collectivePySpec(b)
+		}
+		return o.collectivePy(b)
+	default:
+		return o.collectivePickle(b)
+	}
+}
+
+func (o *ops) collectiveC(b Benchmark) error {
+	p := o.c.Size()
+	var s, r []byte
+	if !o.opts.TimingOnly {
+		s, r = o.sraw, o.rraw
+	}
+	switch b {
+	case Barrier:
+		return o.c.Barrier()
+	case Bcast:
+		return o.c.BcastN(s, o.n, 0)
+	case Reduce:
+		return o.c.ReduceN(s, r, o.n, o.opts.DType, mpi.OpSum, 0)
+	case Allreduce:
+		return o.c.AllreduceN(s, r, o.n, o.opts.DType, mpi.OpSum)
+	case Gather:
+		return o.c.GatherN(s, o.n, r, 0)
+	case Scatter:
+		return o.c.ScatterN(s, r, o.n, 0)
+	case Allgather:
+		return o.c.AllgatherN(s, o.n, r)
+	case Alltoall:
+		return o.c.AlltoallN(s, o.n, r)
+	case ReduceScatter:
+		return o.c.ReduceScatterBlockN(s, r, o.n, o.opts.DType, mpi.OpSum)
+	case Gatherv:
+		if o.opts.TimingOnly {
+			return o.c.GathervN(o.n, nil, uniform(p, o.n), nil, 0)
+		}
+		if o.c.Rank() == 0 {
+			return o.c.Gatherv(s[:o.n], r, uniform(p, o.n), nil, 0)
+		}
+		return o.c.Gatherv(s[:o.n], nil, nil, nil, 0)
+	case Scatterv:
+		if o.opts.TimingOnly {
+			return o.c.ScattervN(uniform(p, o.n), o.n, 0)
+		}
+		return o.c.Scatterv(s, uniform(p, o.n), nil, r, 0)
+	case Allgatherv:
+		return o.c.Allgatherv(s, r, uniform(p, o.n), nil)
+	case Alltoallv:
+		return o.c.Alltoallv(s, uniform(p, o.n), nil, r, uniform(p, o.n), nil)
+	default:
+		return fmt.Errorf("core: %s is not a collective", b)
+	}
+}
+
+func (o *ops) collectivePy(b Benchmark) error {
+	switch b {
+	case Barrier:
+		return o.py.Barrier()
+	case Bcast:
+		return o.py.Bcast(o.sbuf, 0)
+	case Reduce:
+		return o.py.Reduce(o.sbuf, o.rbuf, mpi.OpSum, 0)
+	case Allreduce:
+		return o.py.Allreduce(o.sbuf, o.rbuf, mpi.OpSum)
+	case Gather:
+		return o.py.Gather(o.sbuf, o.rbuf, 0)
+	case Scatter:
+		return o.py.Scatter(o.sbuf, o.rbuf, 0)
+	case Allgather:
+		return o.py.Allgather(o.sbuf, o.rbuf)
+	case Alltoall:
+		return o.py.Alltoall(o.sbuf, o.rbuf)
+	case ReduceScatter:
+		return o.py.ReduceScatterBlock(o.sbuf, o.rbuf, mpi.OpSum)
+	case Gatherv:
+		return o.py.Gatherv(o.sbuf, o.rbuf, uniform(o.c.Size(), o.n), 0)
+	case Scatterv:
+		return o.py.Scatterv(o.sbuf, uniform(o.c.Size(), o.n), o.rbuf, 0)
+	case Allgatherv:
+		return o.py.Allgatherv(o.sbuf, o.rbuf, uniform(o.c.Size(), o.n))
+	case Alltoallv:
+		return o.py.Alltoallv(o.sbuf, uniform(o.c.Size(), o.n), o.rbuf, uniform(o.c.Size(), o.n))
+	default:
+		return fmt.Errorf("core: %s is not a collective", b)
+	}
+}
+
+func (o *ops) collectivePySpec(b Benchmark) error {
+	s := o.spec()
+	switch b {
+	case Barrier:
+		return o.py.BarrierSpec()
+	case Bcast:
+		return o.py.BcastSpec(s, 0)
+	case Reduce:
+		return o.py.ReduceSpec(s, o.opts.DType, mpi.OpSum, 0)
+	case Allreduce:
+		return o.py.AllreduceSpec(s, o.opts.DType, mpi.OpSum)
+	case Gather:
+		return o.py.GatherSpec(s, 0)
+	case Scatter:
+		return o.py.ScatterSpec(s, 0)
+	case Allgather:
+		return o.py.AllgatherSpec(s)
+	case Alltoall:
+		return o.py.AlltoallSpec(s)
+	case ReduceScatter:
+		return o.py.ReduceScatterBlockSpec(s, o.opts.DType, mpi.OpSum)
+	case Gatherv:
+		return o.py.GathervSpec(s, 0)
+	case Scatterv:
+		return o.py.ScattervSpec(s, 0)
+	case Allgatherv:
+		return o.py.AllgathervSpec(s)
+	case Alltoallv:
+		return o.py.AlltoallvSpec(s)
+	default:
+		return fmt.Errorf("core: %s is not a collective", b)
+	}
+}
+
+func (o *ops) collectivePickle(b Benchmark) error {
+	switch b {
+	case Bcast:
+		_, err := o.py.BcastObject(o.sbuf, 0, o.gpu)
+		return err
+	case Allreduce:
+		out, err := o.py.AllreduceObject(o.sbuf, mpi.OpSum, o.gpu)
+		if err != nil {
+			return err
+		}
+		if db, ok := out.(pybuf.DeviceBuffer); ok && out != o.sbuf {
+			return db.Free()
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: pickle mode does not support %s", b)
+	}
+}
+
+func uniform(p, n int) []int {
+	counts := make([]int, p)
+	for i := range counts {
+		counts[i] = n
+	}
+	return counts
+}

@@ -1,0 +1,260 @@
+// Package core implements the OMB-Py benchmark suite itself: the paper's
+// primary contribution. It provides every benchmark of the paper's Table II
+// -- point-to-point latency, bandwidth, bi-directional bandwidth and
+// multi-pair latency; the nine blocking collectives; and the four vector
+// variants -- each runnable in three modes: C (the OMB baseline calling the
+// native runtime directly), Py (OMB-Py through the mpi4py binding layer
+// with a chosen buffer library), and Pickle (OMB-Py through the
+// serializing object API). Timing is virtual and deterministic; reported
+// numbers depend only on the calibrated cost models.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mpi"
+	"repro/internal/mpi4py"
+	"repro/internal/netmodel"
+	"repro/internal/pybuf"
+	"repro/internal/topology"
+)
+
+// Mode selects the language binding under test.
+type Mode int
+
+// Benchmark modes.
+const (
+	// ModeC is the OMB baseline: benchmarks call the native runtime.
+	ModeC Mode = iota
+	// ModePy is OMB-Py with direct buffers (mpi4py upper-case methods).
+	ModePy
+	// ModePickle is OMB-Py with serialized objects (lower-case methods).
+	ModePickle
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeC:
+		return "omb-c"
+	case ModePy:
+		return "omb-py"
+	case ModePickle:
+		return "omb-py-pickle"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode resolves a mode by name.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "c", "omb", "omb-c":
+		return ModeC, nil
+	case "py", "omb-py", "python":
+		return ModePy, nil
+	case "pickle", "omb-py-pickle":
+		return ModePickle, nil
+	default:
+		return 0, fmt.Errorf("core: unknown mode %q", s)
+	}
+}
+
+// Benchmark identifies a test of the paper's Table II.
+type Benchmark string
+
+// The supported benchmarks.
+const (
+	Latency      Benchmark = "latency"
+	Bandwidth    Benchmark = "bw"
+	BiBandwidth  Benchmark = "bibw"
+	MultiLatency Benchmark = "multi_lat"
+
+	Allgather     Benchmark = "allgather"
+	Allreduce     Benchmark = "allreduce"
+	Alltoall      Benchmark = "alltoall"
+	Barrier       Benchmark = "barrier"
+	Bcast         Benchmark = "bcast"
+	Gather        Benchmark = "gather"
+	ReduceScatter Benchmark = "reduce_scatter"
+	Reduce        Benchmark = "reduce"
+	Scatter       Benchmark = "scatter"
+
+	Allgatherv Benchmark = "allgatherv"
+	Alltoallv  Benchmark = "alltoallv"
+	Gatherv    Benchmark = "gatherv"
+	Scatterv   Benchmark = "scatterv"
+)
+
+// Benchmarks lists every supported benchmark, grouped as in Table II.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		Latency, Bandwidth, BiBandwidth, MultiLatency,
+		Allgather, Allreduce, Alltoall, Barrier, Bcast, Gather,
+		ReduceScatter, Reduce, Scatter,
+		Allgatherv, Alltoallv, Gatherv, Scatterv,
+	}
+}
+
+// Kind classifies a benchmark for option validation and reporting.
+type Kind int
+
+// Benchmark kinds.
+const (
+	KindPtPt Kind = iota
+	KindCollective
+	KindVector
+)
+
+// Kind returns the benchmark's class.
+func (b Benchmark) Kind() Kind {
+	switch b {
+	case Latency, Bandwidth, BiBandwidth, MultiLatency:
+		return KindPtPt
+	case Allgatherv, Alltoallv, Gatherv, Scatterv:
+		return KindVector
+	default:
+		return KindCollective
+	}
+}
+
+// ParseBenchmark resolves a benchmark by name.
+func ParseBenchmark(s string) (Benchmark, error) {
+	for _, b := range Benchmarks() {
+		if string(b) == strings.ToLower(s) {
+			return b, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown benchmark %q (have %s)", s, benchNames())
+}
+
+func benchNames() string {
+	names := make([]string, 0, len(Benchmarks()))
+	for _, b := range Benchmarks() {
+		names = append(names, string(b))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// Options configures one benchmark run. Zero values take OMB-style
+// defaults via withDefaults.
+type Options struct {
+	Benchmark Benchmark
+	Cluster   string
+	Impl      netmodel.Impl
+	Mode      Mode
+	// Buffer is the Python buffer library (Py/Pickle modes).
+	Buffer pybuf.Library
+	// UseGPU binds ranks to GPUs and allocates device buffers.
+	UseGPU bool
+	// Ranks and PPN shape the job; pt2pt benchmarks need exactly 2 ranks
+	// (multi_lat: any even count).
+	Ranks, PPN int
+	// MinSize and MaxSize bound the message-size sweep (bytes, powers of
+	// two). Barrier ignores them.
+	MinSize, MaxSize int
+	// Iters/Warmup are per-size loop counts; sizes at or above
+	// LargeThreshold use LargeIters/LargeWarmup, as OMB does.
+	Iters, Warmup           int
+	LargeThreshold          int
+	LargeIters, LargeWarmup int
+	// Window is the bandwidth-test window size.
+	Window int
+	// TimingOnly runs without payloads (huge-scale experiments).
+	TimingOnly bool
+	// DType is the element type (defaults: uint8 pt2pt, float32 reductions).
+	DType mpi.DType
+	// Profiler, when set, records the binding layer's staging phases.
+	Profiler *mpi4py.Profiler
+	// Tuning overrides the runtime's collective algorithm thresholds
+	// (zero fields keep defaults); used by the ablation benchmarks.
+	Tuning mpi.Tuning
+}
+
+// withDefaults fills OMB-style defaults and normalises sizes.
+func (o Options) withDefaults() Options {
+	if o.Cluster == "" {
+		o.Cluster = topology.Frontera.Name
+	}
+	if o.Impl == "" {
+		o.Impl = netmodel.MVAPICH2
+	}
+	if o.Ranks == 0 {
+		o.Ranks = 2
+	}
+	if o.PPN == 0 {
+		o.PPN = 1
+	}
+	if o.MinSize == 0 {
+		o.MinSize = 1
+	}
+	if o.MaxSize == 0 {
+		o.MaxSize = 1 << 20
+	}
+	if o.Iters == 0 {
+		o.Iters = 100
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 10
+	}
+	if o.LargeThreshold == 0 {
+		o.LargeThreshold = 8192
+	}
+	if o.LargeIters == 0 {
+		o.LargeIters = 20
+	}
+	if o.LargeWarmup == 0 {
+		o.LargeWarmup = 2
+	}
+	if o.Window == 0 {
+		o.Window = 64
+	}
+	if o.DType == 0 && o.Benchmark.reduces() {
+		o.DType = mpi.Float32
+	}
+	if es := o.DType.Size(); o.MinSize < es {
+		o.MinSize = es
+	}
+	return o
+}
+
+// reduces reports whether the benchmark applies a reduction operator.
+func (b Benchmark) reduces() bool {
+	return b == Allreduce || b == Reduce || b == ReduceScatter
+}
+
+// validate rejects inconsistent configurations.
+func (o Options) validate() error {
+	if o.Benchmark == "" {
+		return fmt.Errorf("core: Options.Benchmark is required")
+	}
+	if _, err := ParseBenchmark(string(o.Benchmark)); err != nil {
+		return err
+	}
+	switch o.Benchmark {
+	case Latency, Bandwidth, BiBandwidth:
+		if o.Ranks != 2 {
+			return fmt.Errorf("core: %s needs exactly 2 ranks, got %d", o.Benchmark, o.Ranks)
+		}
+	case MultiLatency:
+		if o.Ranks%2 != 0 {
+			return fmt.Errorf("core: %s needs an even rank count, got %d", o.Benchmark, o.Ranks)
+		}
+	}
+	if o.Mode == ModePickle && o.Benchmark.Kind() != KindPtPt && o.Benchmark != Allreduce && o.Benchmark != Bcast {
+		return fmt.Errorf("core: pickle mode supports latency, bw, bibw, multi_lat, bcast and allreduce, not %s", o.Benchmark)
+	}
+	if o.UseGPU && o.Mode != ModeC && !o.Buffer.OnGPU() {
+		return fmt.Errorf("core: GPU runs need a GPU buffer library, got %v", o.Buffer)
+	}
+	if !o.UseGPU && o.Buffer.OnGPU() {
+		return fmt.Errorf("core: buffer library %v needs UseGPU", o.Buffer)
+	}
+	if o.MinSize > o.MaxSize {
+		return fmt.Errorf("core: MinSize %d > MaxSize %d", o.MinSize, o.MaxSize)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// reportJSON is the stable serialization schema of a Report.
+type reportJSON struct {
+	Benchmark string    `json:"benchmark"`
+	Cluster   string    `json:"cluster"`
+	Impl      string    `json:"impl"`
+	Mode      string    `json:"mode"`
+	Buffer    string    `json:"buffer,omitempty"`
+	GPU       bool      `json:"gpu"`
+	Ranks     int       `json:"ranks"`
+	PPN       int       `json:"ppn"`
+	Rows      []rowJSON `json:"rows"`
+}
+
+type rowJSON struct {
+	Size  int     `json:"size"`
+	AvgUs float64 `json:"avg_us"`
+	MinUs float64 `json:"min_us"`
+	MaxUs float64 `json:"max_us"`
+	MBps  float64 `json:"mbps,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with a stable, documented schema.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		Benchmark: string(r.Options.Benchmark),
+		Cluster:   r.Options.Cluster,
+		Impl:      string(r.Options.Impl),
+		Mode:      r.Options.Mode.String(),
+		GPU:       r.Options.UseGPU,
+		Ranks:     r.Options.Ranks,
+		PPN:       r.Options.PPN,
+	}
+	if r.Options.Mode != ModeC {
+		out.Buffer = r.Options.Buffer.String()
+	}
+	for _, row := range r.Series.Rows {
+		out.Rows = append(out.Rows, rowJSON{
+			Size: row.Size, AvgUs: row.AvgUs, MinUs: row.MinUs,
+			MaxUs: row.MaxUs, MBps: row.MBps,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// Text renders the report in osu-style columns.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s (%s) on %s, %d ranks x (ppn %d)\n",
+		r.Options.Benchmark, r.Series.Name, r.Options.Cluster, r.Options.Ranks, r.Options.PPN)
+	bw := r.Options.Benchmark == Bandwidth || r.Options.Benchmark == BiBandwidth
+	if bw {
+		fmt.Fprintf(&sb, "%-12s %14s\n", "# Size(B)", "Bandwidth(MB/s)")
+	} else {
+		fmt.Fprintf(&sb, "%-12s %12s %12s %12s\n", "# Size(B)", "Avg(us)", "Min(us)", "Max(us)")
+	}
+	for _, row := range r.Series.Rows {
+		if bw {
+			fmt.Fprintf(&sb, "%-12d %14.2f\n", row.Size, row.MBps)
+		} else {
+			fmt.Fprintf(&sb, "%-12s %12.2f %12.2f %12.2f\n",
+				stats.HumanBytes(row.Size), row.AvgUs, row.MinUs, row.MaxUs)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/vtime"
+)
+
+// Report is the outcome of one benchmark run.
+type Report struct {
+	Options Options
+	Series  stats.Series
+}
+
+// Run executes one benchmark configuration and returns its per-size series.
+// The run is deterministic: identical options yield identical numbers.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	cluster, err := topology.ByName(opts.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	place, err := topology.NewPlacement(cluster, opts.Ranks, opts.PPN, topology.Block, opts.UseGPU)
+	if err != nil {
+		return nil, err
+	}
+	model, err := netmodel.New(cluster, opts.Impl)
+	if err != nil {
+		return nil, err
+	}
+	world, err := mpi.NewWorld(mpi.Config{
+		Placement: place,
+		Model:     model,
+		PyMode:    opts.Mode != ModeC,
+		CarryData: !opts.TimingOnly,
+		Tuning:    opts.Tuning,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sizes := stats.PowersOfTwo(opts.MinSize, opts.MaxSize)
+	if opts.Benchmark == Barrier {
+		sizes = []int{0}
+	}
+	report := &Report{Options: opts}
+	var mu sync.Mutex // guards report.Series (rank 0 appends per size)
+
+	err = world.Run(func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		o, err := newOps(opts, c)
+		if err != nil {
+			return err
+		}
+		defer o.teardown()
+		for _, size := range sizes {
+			sf, rf := buffersFor(opts.Benchmark, c.Size())
+			if err := o.setup(size, sf, rf); err != nil {
+				return err
+			}
+			row, err := runSize(opts, o, size)
+			if err != nil {
+				return fmt.Errorf("size %d: %w", size, err)
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				report.Series.Rows = append(report.Series.Rows, row)
+				mu.Unlock()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.Series.Name = seriesName(opts)
+	return report, nil
+}
+
+func seriesName(o Options) string {
+	name := o.Mode.String()
+	if o.Mode != ModeC {
+		name += "/" + o.Buffer.String()
+	}
+	return name
+}
+
+// iterCounts returns the loop counts for a size, following OMB's reduced
+// iteration counts for large messages.
+func iterCounts(o Options, size int) (iters, warmup int) {
+	if size >= o.LargeThreshold {
+		return o.LargeIters, o.LargeWarmup
+	}
+	return o.Iters, o.Warmup
+}
+
+// runSize runs the configured benchmark body for one message size and
+// returns rank 0's aggregated row (other ranks return a zero row).
+func runSize(opts Options, o *ops, size int) (stats.Row, error) {
+	iters, warmup := iterCounts(opts, size)
+	switch opts.Benchmark {
+	case Latency:
+		return runLatency(o, size, iters, warmup)
+	case Bandwidth:
+		return runBandwidth(o, size, iters, warmup, opts.Window)
+	case BiBandwidth:
+		return runBiBandwidth(o, size, iters, warmup, opts.Window)
+	case MultiLatency:
+		return runMultiLatency(o, size, iters, warmup)
+	default:
+		return runCollective(o, opts.Benchmark, size, iters, warmup)
+	}
+}
+
+// runLatency is the ping-pong of the paper's Algorithm 1: rank 0 sends and
+// waits for the echo; rank 1 echoes. One-way latency is the averaged
+// round-trip halved.
+func runLatency(o *ops, size, iters, warmup int) (stats.Row, error) {
+	c := o.c
+	if err := o.barrier(); err != nil {
+		return stats.Row{}, err
+	}
+	var start vtime.Micros
+	for i := 0; i < warmup+iters; i++ {
+		if i == warmup {
+			start = c.Proc().Wtime()
+		}
+		if c.Rank() == 0 {
+			if err := o.send(1, 1); err != nil {
+				return stats.Row{}, err
+			}
+			if err := o.recv(1, 1); err != nil {
+				return stats.Row{}, err
+			}
+		} else {
+			if err := o.recv(0, 1); err != nil {
+				return stats.Row{}, err
+			}
+			if err := o.send(0, 1); err != nil {
+				return stats.Row{}, err
+			}
+		}
+	}
+	lat := float64(c.Proc().Wtime()-start) / float64(2*iters)
+	return reduceRow(c, size, lat, 0)
+}
+
+// runBandwidth: rank 0 streams a window of messages, rank 1 acknowledges
+// the window with a 4-byte message, as osu_bw does.
+func runBandwidth(o *ops, size, iters, warmup, window int) (stats.Row, error) {
+	c := o.c
+	if err := o.barrier(); err != nil {
+		return stats.Row{}, err
+	}
+	var start vtime.Micros
+	for i := 0; i < warmup+iters; i++ {
+		if i == warmup {
+			start = c.Proc().Wtime()
+		}
+		if c.Rank() == 0 {
+			for w := 0; w < window; w++ {
+				if err := o.send(1, 2); err != nil {
+					return stats.Row{}, err
+				}
+			}
+			if err := o.ackRecv(1); err != nil {
+				return stats.Row{}, err
+			}
+		} else {
+			for w := 0; w < window; w++ {
+				if err := o.recv(0, 2); err != nil {
+					return stats.Row{}, err
+				}
+			}
+			if err := o.ackSend(0); err != nil {
+				return stats.Row{}, err
+			}
+		}
+	}
+	elapsed := float64(c.Proc().Wtime() - start) // us
+	mbps := float64(size*window*iters) / elapsed
+	row, err := reduceRow(c, size, elapsed/float64(iters), mbps)
+	return row, err
+}
+
+// runBiBandwidth exchanges windows in both directions simultaneously.
+func runBiBandwidth(o *ops, size, iters, warmup, window int) (stats.Row, error) {
+	c := o.c
+	peer := 1 - c.Rank()
+	if err := o.barrier(); err != nil {
+		return stats.Row{}, err
+	}
+	var start vtime.Micros
+	for i := 0; i < warmup+iters; i++ {
+		if i == warmup {
+			start = c.Proc().Wtime()
+		}
+		for w := 0; w < window; w++ {
+			if err := o.exchange(peer); err != nil {
+				return stats.Row{}, err
+			}
+		}
+		if c.Rank() == 0 {
+			if err := o.ackRecv(1); err != nil {
+				return stats.Row{}, err
+			}
+		} else if err := o.ackSend(0); err != nil {
+			return stats.Row{}, err
+		}
+	}
+	elapsed := float64(c.Proc().Wtime() - start)
+	mbps := float64(2*size*window*iters) / elapsed
+	return reduceRow(c, size, elapsed/float64(iters), mbps)
+}
+
+// runMultiLatency: ranks pair up (r, r+p/2) and ping-pong concurrently; the
+// reported latency is averaged over pairs, as osu_multi_lat does.
+func runMultiLatency(o *ops, size, iters, warmup int) (stats.Row, error) {
+	c := o.c
+	p := c.Size()
+	half := p / 2
+	var peer int
+	sender := c.Rank() < half
+	if sender {
+		peer = c.Rank() + half
+	} else {
+		peer = c.Rank() - half
+	}
+	if err := o.barrier(); err != nil {
+		return stats.Row{}, err
+	}
+	var start vtime.Micros
+	for i := 0; i < warmup+iters; i++ {
+		if i == warmup {
+			start = c.Proc().Wtime()
+		}
+		if sender {
+			if err := o.send(peer, 3); err != nil {
+				return stats.Row{}, err
+			}
+			if err := o.recv(peer, 3); err != nil {
+				return stats.Row{}, err
+			}
+		} else {
+			if err := o.recv(peer, 3); err != nil {
+				return stats.Row{}, err
+			}
+			if err := o.send(peer, 3); err != nil {
+				return stats.Row{}, err
+			}
+		}
+	}
+	lat := float64(c.Proc().Wtime()-start) / float64(2*iters)
+	return reduceRow(c, size, lat, 0)
+}
+
+// runCollective times the operation per iteration and averages, then
+// reduces avg/min/max across ranks, following the OMB collective pipeline
+// the paper describes in Section III-C.
+func runCollective(o *ops, b Benchmark, size, iters, warmup int) (stats.Row, error) {
+	c := o.c
+	if err := o.barrier(); err != nil {
+		return stats.Row{}, err
+	}
+	var elapsed vtime.Micros
+	for i := 0; i < warmup+iters; i++ {
+		t0 := c.Proc().Wtime()
+		if err := o.collective(b); err != nil {
+			return stats.Row{}, err
+		}
+		if i >= warmup {
+			elapsed += c.Proc().Wtime() - t0
+		}
+	}
+	lat := float64(elapsed) / float64(iters)
+	return reduceRow(c, size, lat, 0)
+}
+
+// exchange is the bidirectional transfer of the bibw test.
+func (o *ops) exchange(peer int) error {
+	switch o.opts.Mode {
+	case ModeC:
+		if o.opts.TimingOnly {
+			_, err := o.c.SendrecvN(nil, o.n, peer, 4, nil, o.n, peer, 4)
+			return err
+		}
+		_, err := o.c.Sendrecv(o.sraw, peer, 4, o.rraw[:o.n], peer, 4)
+		return err
+	case ModePy:
+		if o.opts.TimingOnly {
+			if err := o.py.SendSpec(o.spec(), peer, 4); err != nil {
+				return err
+			}
+			_, err := o.py.RecvSpec(o.spec(), peer, 4)
+			return err
+		}
+		_, err := o.py.Sendrecv(o.sbuf, peer, 4, o.rbuf, peer, 4)
+		return err
+	default:
+		if err := o.send(peer, 4); err != nil {
+			return err
+		}
+		return o.recv(peer, 4)
+	}
+}
+
+// reduceRow aggregates the local latency across ranks: average of averages,
+// global min and max. Aggregation runs on the raw runtime (outside the
+// timed section, like OMB's MPI_Reduce of elapsed times).
+func reduceRow(c *mpi.Comm, size int, localLat, mbps float64) (stats.Row, error) {
+	avg := make([]byte, 8)
+	minv := make([]byte, 8)
+	maxv := make([]byte, 8)
+	self := mpi.EncodeFloat64s([]float64{localLat})
+	if err := c.Reduce(self, avg, mpi.Float64, mpi.OpSum, 0); err != nil {
+		return stats.Row{}, err
+	}
+	if err := c.Reduce(self, minv, mpi.Float64, mpi.OpMin, 0); err != nil {
+		return stats.Row{}, err
+	}
+	if err := c.Reduce(self, maxv, mpi.Float64, mpi.OpMax, 0); err != nil {
+		return stats.Row{}, err
+	}
+	if c.Rank() != 0 {
+		return stats.Row{}, nil
+	}
+	return stats.Row{
+		Size:  size,
+		AvgUs: mpi.DecodeFloat64s(avg)[0] / float64(c.Size()),
+		MinUs: mpi.DecodeFloat64s(minv)[0],
+		MaxUs: mpi.DecodeFloat64s(maxv)[0],
+		MBps:  mbps,
+	}, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Sweep runs one benchmark across several configurations (modes, buffer
+// libraries, implementations, scales) and collects aligned series -- the
+// pattern behind every figure of the paper. A Sweep is declarative: the
+// Base options are cloned and each Variant mutates its copy.
+type Sweep struct {
+	// Base is the configuration shared by all variants.
+	Base Options
+	// Variants name and derive each configuration.
+	Variants []Variant
+}
+
+// Variant is one line of a figure.
+type Variant struct {
+	// Name labels the resulting series (defaults to the derived options'
+	// canonical series name).
+	Name string
+	// Mutate adjusts a copy of the base options.
+	Mutate func(*Options)
+}
+
+// SweepResult pairs each variant with its report, in declaration order.
+type SweepResult struct {
+	Reports []*Report
+}
+
+// Run executes every variant. Determinism carries over: a Sweep's output
+// depends only on its configurations.
+func (s Sweep) Run() (*SweepResult, error) {
+	if len(s.Variants) == 0 {
+		return nil, fmt.Errorf("core: sweep has no variants")
+	}
+	out := &SweepResult{}
+	for i, v := range s.Variants {
+		opts := s.Base
+		if v.Mutate != nil {
+			v.Mutate(&opts)
+		}
+		rep, err := Run(opts)
+		if err != nil {
+			name := v.Name
+			if name == "" {
+				name = fmt.Sprintf("variant %d", i)
+			}
+			return nil, fmt.Errorf("core: sweep %s: %w", name, err)
+		}
+		if v.Name != "" {
+			rep.Series.Name = v.Name
+		}
+		out.Reports = append(out.Reports, rep)
+	}
+	return out, nil
+}
+
+// Series returns the variants' series, aligned for tabling or charting.
+func (r *SweepResult) Series() []*stats.Series {
+	out := make([]*stats.Series, len(r.Reports))
+	for i, rep := range r.Reports {
+		out[i] = &rep.Series
+	}
+	return out
+}
+
+// Table renders the sweep as a size-by-variant table.
+func (r *SweepResult) Table(title, metric string) stats.Table {
+	return stats.Table{Title: title, Metric: metric, Series: r.Series()}
+}
+
+// BaselinePair is the most common sweep: the benchmark under ModeC (OMB)
+// and ModePy (OMB-Py), returning (baseline, py) series.
+func BaselinePair(base Options) (*stats.Series, *stats.Series, error) {
+	sw := Sweep{
+		Base: base,
+		Variants: []Variant{
+			{Name: "OMB", Mutate: func(o *Options) { o.Mode = ModeC }},
+			{Name: "OMB-Py", Mutate: func(o *Options) { o.Mode = ModePy }},
+		},
+	}
+	res, err := sw.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &res.Reports[0].Series, &res.Reports[1].Series, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pybuf"
+	"repro/internal/stats"
+)
+
+func TestSweepRunsVariantsInOrder(t *testing.T) {
+	sw := Sweep{
+		Base: quickOpts(Latency, ModeC),
+		Variants: []Variant{
+			{Name: "baseline"},
+			{Name: "python", Mutate: func(o *Options) { o.Mode = ModePy }},
+			{Name: "pickle", Mutate: func(o *Options) { o.Mode = ModePickle }},
+		},
+	}
+	res, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("reports: %d", len(res.Reports))
+	}
+	names := []string{"baseline", "python", "pickle"}
+	for i, rep := range res.Reports {
+		if rep.Series.Name != names[i] {
+			t.Errorf("report %d named %q", i, rep.Series.Name)
+		}
+	}
+	// Ordering of cost: baseline < python < pickle at the largest size.
+	sz := 64 * 1024
+	b, _ := res.Reports[0].Series.Get(sz)
+	p, _ := res.Reports[1].Series.Get(sz)
+	k, _ := res.Reports[2].Series.Get(sz)
+	if !(b.AvgUs < p.AvgUs && p.AvgUs < k.AvgUs) {
+		t.Errorf("cost ordering broken: %v %v %v", b.AvgUs, p.AvgUs, k.AvgUs)
+	}
+}
+
+func TestSweepTableAndSeries(t *testing.T) {
+	sw := Sweep{
+		Base: quickOpts(Latency, ModeC),
+		Variants: []Variant{
+			{Name: "A"},
+			{Name: "B", Mutate: func(o *Options) { o.Mode = ModePy; o.Buffer = pybuf.NumPy }},
+		},
+	}
+	res, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series()) != 2 {
+		t.Fatal("series missing")
+	}
+	tab := res.Table("demo", "latency(us)")
+	out := tab.Render()
+	for _, want := range []string{"demo", "A", "B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table misses %q", want)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := (Sweep{Base: quickOpts(Latency, ModeC)}).Run(); err == nil {
+		t.Error("empty sweep should fail")
+	}
+	sw := Sweep{
+		Base: quickOpts(Latency, ModeC),
+		Variants: []Variant{
+			{Name: "broken", Mutate: func(o *Options) { o.Ranks = 7 }},
+		},
+	}
+	if _, err := sw.Run(); err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Errorf("variant error not surfaced: %v", err)
+	}
+}
+
+func TestBaselinePair(t *testing.T) {
+	omb, ombpy, err := BaselinePair(quickOpts(Latency, ModeC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if omb.Name != "OMB" || ombpy.Name != "OMB-Py" {
+		t.Errorf("names %q %q", omb.Name, ombpy.Name)
+	}
+	if over := stats.AvgOverheadUs(ombpy, omb); over <= 0 {
+		t.Errorf("overhead %v", over)
+	}
+}

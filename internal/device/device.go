@@ -1,0 +1,254 @@
+// Package device simulates the GPU substrate the paper's Bridges-2
+// experiments need: device memory allocation, host<->device and
+// device<->device copies with their own cost model, and the CUDA Array
+// Interface (CAI) pointer protocol that mpi4py uses to extract device
+// buffers from CuPy, PyCUDA and Numba arrays. Memory is real (host-backed
+// byte slices tagged with a device id), copies really move bytes, and the
+// virtual-time costs are charged by the callers that own a rank clock.
+package device
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vtime"
+)
+
+// Kind distinguishes host memory from device memory.
+type Kind int
+
+// Memory kinds.
+const (
+	Host Kind = iota
+	CUDA
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case CUDA:
+		return "cuda"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// CopyCosts prices data movement between host and device; values model a
+// V100 SXM2 over PCIe/NVLink as the paper's Bridges-2 nodes have.
+type CopyCosts struct {
+	H2DAlpha vtime.Micros
+	H2DBeta  float64 // us per byte
+	D2HAlpha vtime.Micros
+	D2HBeta  float64
+	D2DAlpha vtime.Micros
+	D2DBeta  float64
+}
+
+// DefaultCopyCosts is the V100-class calibration: ~10 us launch overhead,
+// ~11 GB/s PCIe H2D/D2H, ~700 GB/s on-device copies.
+func DefaultCopyCosts() CopyCosts {
+	return CopyCosts{
+		H2DAlpha: 9.0, H2DBeta: 9.1e-5,
+		D2HAlpha: 9.5, D2HBeta: 9.1e-5,
+		D2DAlpha: 4.0, D2DBeta: 1.4e-6,
+	}
+}
+
+// GPU is one simulated device. Allocations are tracked so leaks and
+// double-frees surface in tests.
+type GPU struct {
+	id    int
+	costs CopyCosts
+
+	mu     sync.Mutex
+	allocs map[uintptr]*Allocation
+	used   int64
+	limit  int64
+	nextID uintptr
+}
+
+// NewGPU creates device id with memLimit bytes of simulated memory
+// (0 means the 32 GiB of a V100-32GB).
+func NewGPU(id int, memLimit int64) *GPU {
+	if memLimit == 0 {
+		memLimit = 32 << 30
+	}
+	return &GPU{
+		id:     id,
+		costs:  DefaultCopyCosts(),
+		allocs: make(map[uintptr]*Allocation),
+		limit:  memLimit,
+		// Device pointers look nothing like host ones, and each device gets
+		// its own region so pointers never collide across GPUs.
+		nextID: 0x7f0000000000 + uintptr(id)<<36,
+	}
+}
+
+// ID returns the device index.
+func (g *GPU) ID() int { return g.id }
+
+// Costs returns the device's copy cost table.
+func (g *GPU) Costs() CopyCosts { return g.costs }
+
+// MemUsed returns the currently allocated bytes.
+func (g *GPU) MemUsed() int64 { return atomic.LoadInt64(&g.used) }
+
+// Allocation is a block of simulated device memory.
+type Allocation struct {
+	gpu   *GPU
+	ptr   uintptr
+	data  []byte
+	freed atomic.Bool
+}
+
+// ErrOutOfMemory reports device memory exhaustion.
+type ErrOutOfMemory struct {
+	Device          int
+	Requested, Free int64
+}
+
+// Error implements the error interface.
+func (e *ErrOutOfMemory) Error() string {
+	return fmt.Sprintf("device %d: out of memory: requested %d bytes, %d free",
+		e.Device, e.Requested, e.Free)
+}
+
+// Malloc allocates n bytes of device memory.
+func (g *GPU) Malloc(n int) (*Allocation, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("device %d: negative allocation %d", g.id, n)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.used+int64(n) > g.limit {
+		return nil, &ErrOutOfMemory{Device: g.id, Requested: int64(n), Free: g.limit - g.used}
+	}
+	g.nextID += 256 // keep pointers aligned and distinct
+	a := &Allocation{gpu: g, ptr: g.nextID, data: make([]byte, n)}
+	g.allocs[a.ptr] = a
+	g.used += int64(n)
+	atomic.StoreInt64(&g.used, g.used)
+	return a, nil
+}
+
+// Free releases the allocation; freeing twice is an error.
+func (a *Allocation) Free() error {
+	if a.freed.Swap(true) {
+		return fmt.Errorf("device %d: double free of %#x", a.gpu.id, a.ptr)
+	}
+	g := a.gpu
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.allocs, a.ptr)
+	g.used -= int64(len(a.data))
+	return nil
+}
+
+// Ptr returns the simulated device pointer.
+func (a *Allocation) Ptr() uintptr { return a.ptr }
+
+// Size returns the allocation size in bytes.
+func (a *Allocation) Size() int { return len(a.data) }
+
+// Device returns the owning GPU.
+func (a *Allocation) Device() *GPU { return a.gpu }
+
+// Bytes exposes the backing storage. Only the simulated runtime (copies,
+// CUDA-aware MPI path) may touch it; "host" code must go through CopyToHost.
+func (a *Allocation) Bytes() []byte { return a.data }
+
+func (a *Allocation) check(off, n int, what string) error {
+	if a.freed.Load() {
+		return fmt.Errorf("device %d: %s on freed allocation %#x", a.gpu.id, what, a.ptr)
+	}
+	if off < 0 || n < 0 || off+n > len(a.data) {
+		return fmt.Errorf("device %d: %s range [%d,%d) outside allocation of %d bytes",
+			a.gpu.id, what, off, off+n, len(a.data))
+	}
+	return nil
+}
+
+// CopyFromHost copies host bytes into device memory and returns the virtual
+// cost of the transfer.
+func (a *Allocation) CopyFromHost(off int, src []byte) (vtime.Micros, error) {
+	if err := a.check(off, len(src), "H2D copy"); err != nil {
+		return 0, err
+	}
+	copy(a.data[off:], src)
+	c := a.gpu.costs
+	return c.H2DAlpha + vtime.Micros(float64(len(src))*c.H2DBeta), nil
+}
+
+// CopyToHost copies device memory out to host bytes and returns the cost.
+func (a *Allocation) CopyToHost(off int, dst []byte) (vtime.Micros, error) {
+	if err := a.check(off, len(dst), "D2H copy"); err != nil {
+		return 0, err
+	}
+	copy(dst, a.data[off:off+len(dst)])
+	c := a.gpu.costs
+	return c.D2HAlpha + vtime.Micros(float64(len(dst))*c.D2HBeta), nil
+}
+
+// CopyDeviceToDevice copies within or across devices and returns the cost.
+func CopyDeviceToDevice(dst *Allocation, dstOff int, src *Allocation, srcOff, n int) (vtime.Micros, error) {
+	if err := src.check(srcOff, n, "D2D source"); err != nil {
+		return 0, err
+	}
+	if err := dst.check(dstOff, n, "D2D destination"); err != nil {
+		return 0, err
+	}
+	copy(dst.data[dstOff:dstOff+n], src.data[srcOff:srcOff+n])
+	c := dst.gpu.costs
+	return c.D2DAlpha + vtime.Micros(float64(n)*c.D2DBeta), nil
+}
+
+// ArrayInterface is the simulated CUDA Array Interface (CAI) version 2
+// descriptor: the attribute GPU-aware Python libraries attach to their
+// arrays so mpi4py can extract a device pointer without copying. The paper
+// (Section III-E) relies on exactly this protocol.
+type ArrayInterface struct {
+	Shape    []int
+	Typestr  string // e.g. "<f8" for little-endian float64
+	Data     uintptr
+	Version  int
+	ReadOnly bool
+}
+
+// NewArrayInterface builds the CAI descriptor for an allocation viewed as a
+// 1-D array of elemSize-byte elements.
+func NewArrayInterface(a *Allocation, elems int, typestr string) ArrayInterface {
+	return ArrayInterface{
+		Shape:   []int{elems},
+		Typestr: typestr,
+		Data:    a.Ptr(),
+		Version: 2,
+	}
+}
+
+// Registry resolves CAI device pointers back to allocations, playing the
+// role of the CUDA driver's address lookup in the real stack.
+type Registry struct {
+	mu   sync.Mutex
+	gpus []*GPU
+}
+
+// NewRegistry builds a registry over the node's GPUs.
+func NewRegistry(gpus []*GPU) *Registry { return &Registry{gpus: gpus} }
+
+// Resolve finds the allocation backing a device pointer.
+func (r *Registry) Resolve(ptr uintptr) (*Allocation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, g := range r.gpus {
+		g.mu.Lock()
+		a, ok := g.allocs[ptr]
+		g.mu.Unlock()
+		if ok {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("device: pointer %#x resolves to no live allocation", ptr)
+}

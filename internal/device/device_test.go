@@ -1,0 +1,197 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMallocFree(t *testing.T) {
+	g := NewGPU(0, 1<<20)
+	a, err := g.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 1024 || g.MemUsed() != 1024 {
+		t.Errorf("size %d used %d", a.Size(), g.MemUsed())
+	}
+	if err := a.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MemUsed() != 0 {
+		t.Errorf("used %d after free", g.MemUsed())
+	}
+	if err := a.Free(); err == nil {
+		t.Error("double free should fail")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	g := NewGPU(1, 2048)
+	if _, err := g.Malloc(1024); err != nil {
+		t.Fatal(err)
+	}
+	_, err := g.Malloc(2000)
+	var oom *ErrOutOfMemory
+	if !errors.As(err, &oom) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	if oom.Free != 1024 || oom.Requested != 2000 || oom.Device != 1 {
+		t.Errorf("oom fields %+v", oom)
+	}
+}
+
+func TestNegativeMalloc(t *testing.T) {
+	g := NewGPU(0, 0)
+	if _, err := g.Malloc(-1); err == nil {
+		t.Error("negative malloc should fail")
+	}
+}
+
+func TestCopiesRoundTrip(t *testing.T) {
+	g := NewGPU(0, 0)
+	a, err := g.Malloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	costUp, err := a.CopyFromHost(0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costUp <= 0 {
+		t.Error("H2D copy should cost time")
+	}
+	dst := make([]byte, 256)
+	costDown, err := a.CopyToHost(0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costDown <= 0 {
+		t.Error("D2H copy should cost time")
+	}
+	if !bytes.Equal(src, dst) {
+		t.Error("round trip corrupted data")
+	}
+}
+
+func TestPartialCopyWithOffset(t *testing.T) {
+	g := NewGPU(0, 0)
+	a, _ := g.Malloc(16)
+	if _, err := a.CopyFromHost(8, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4)
+	if _, err := a.CopyToHost(8, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{1, 2, 3, 4}) {
+		t.Errorf("offset copy wrong: %v", out)
+	}
+}
+
+func TestCopyBoundsChecked(t *testing.T) {
+	g := NewGPU(0, 0)
+	a, _ := g.Malloc(8)
+	if _, err := a.CopyFromHost(4, make([]byte, 8)); err == nil {
+		t.Error("overflowing H2D should fail")
+	}
+	if _, err := a.CopyToHost(-1, make([]byte, 2)); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if err := a.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CopyToHost(0, make([]byte, 2)); err == nil {
+		t.Error("use after free should fail")
+	}
+}
+
+func TestDeviceToDevice(t *testing.T) {
+	g0, g1 := NewGPU(0, 0), NewGPU(1, 0)
+	a, _ := g0.Malloc(64)
+	b, _ := g1.Malloc(64)
+	if _, err := a.CopyFromHost(0, bytes.Repeat([]byte{7}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := CopyDeviceToDevice(b, 0, a, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Error("D2D copy should cost time")
+	}
+	out := make([]byte, 64)
+	if _, err := b.CopyToHost(0, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 7 || out[63] != 7 {
+		t.Error("D2D copy lost data")
+	}
+}
+
+func TestRegistryResolve(t *testing.T) {
+	g0, g1 := NewGPU(0, 0), NewGPU(1, 0)
+	reg := NewRegistry([]*GPU{g0, g1})
+	a, _ := g0.Malloc(32)
+	b, _ := g1.Malloc(32)
+	for _, alloc := range []*Allocation{a, b} {
+		got, err := reg.Resolve(alloc.Ptr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != alloc {
+			t.Error("resolved to wrong allocation")
+		}
+	}
+	if err := a.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Resolve(a.Ptr()); err == nil {
+		t.Error("freed pointer should not resolve")
+	}
+	if _, err := reg.Resolve(0xdead); err == nil {
+		t.Error("bogus pointer should not resolve")
+	}
+}
+
+func TestPointersDistinctProperty(t *testing.T) {
+	g := NewGPU(0, 0)
+	seen := map[uintptr]bool{}
+	prop := func(nRaw uint16) bool {
+		a, err := g.Malloc(int(nRaw)%4096 + 1)
+		if err != nil {
+			return false
+		}
+		if seen[a.Ptr()] {
+			return false
+		}
+		seen[a.Ptr()] = true
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrayInterface(t *testing.T) {
+	g := NewGPU(0, 0)
+	a, _ := g.Malloc(80)
+	ai := NewArrayInterface(a, 10, "<f8")
+	if ai.Version != 2 || ai.Data != a.Ptr() || ai.Typestr != "<f8" {
+		t.Errorf("CAI %+v", ai)
+	}
+	if len(ai.Shape) != 1 || ai.Shape[0] != 10 {
+		t.Errorf("CAI shape %v", ai.Shape)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Host.String() != "host" || CUDA.String() != "cuda" {
+		t.Error("kind strings wrong")
+	}
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// CPU experiments: Figures 2-19 (point-to-point intra/inter-node latency
+// and bandwidth on Frontera/Stampede2/RI2; Allreduce and Allgather
+// collectives at 16 nodes with 1 and 56 processes per node).
+
+func init() {
+	// --- Intra-node latency, Figures 2-7 ---
+	type intraCase struct {
+		figSmall, figLarge string
+		cluster            string
+		paperSmall         float64
+		paperLarge         float64
+	}
+	for _, ic := range []intraCase{
+		{"fig2", "fig3", "frontera", 0.44, 2.31},
+		{"fig4", "fig5", "stampede2", 0.41, 4.13},
+		{"fig6", "fig7", "ri2", 0.41, 1.76},
+	} {
+		ic := ic
+		register(Experiment{
+			ID:    ic.figSmall,
+			Title: fmt.Sprintf("Intra-node CPU latency, small messages, %s (OMB vs OMB-Py)", ic.cluster),
+			Run: func() (*Result, error) {
+				return latencyOverhead(ic.figSmall, ic.cluster, 2, 2, SmallMin, SmallMax,
+					"avg OMB-Py overhead (small)", ic.paperSmall)
+			},
+		})
+		register(Experiment{
+			ID:    ic.figLarge,
+			Title: fmt.Sprintf("Intra-node CPU latency, large messages, %s (OMB vs OMB-Py)", ic.cluster),
+			Run: func() (*Result, error) {
+				return latencyOverhead(ic.figLarge, ic.cluster, 2, 2, LargeMin, LargeMax,
+					"avg OMB-Py overhead (large)", ic.paperLarge)
+			},
+		})
+	}
+
+	// --- Inter-node latency, Figures 8-9 ---
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Inter-node CPU latency, small messages, Frontera (OMB vs OMB-Py)",
+		Run: func() (*Result, error) {
+			return latencyOverhead("fig8", "frontera", 2, 1, SmallMin, SmallMax,
+				"avg OMB-Py overhead (small)", 0.43)
+		},
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Inter-node CPU latency, large messages, Frontera (OMB vs OMB-Py)",
+		Run: func() (*Result, error) {
+			return latencyOverhead("fig9", "frontera", 2, 1, LargeMin, LargeMax,
+				"avg OMB-Py overhead (large)", 0.63)
+		},
+	})
+
+	// --- Inter-node bandwidth, Figures 10-11 ---
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Inter-node CPU bandwidth, small messages, Frontera (OMB vs OMB-Py)",
+		Run: func() (*Result, error) {
+			return bandwidthGap("fig10", "frontera", SmallMin, SmallMax,
+				"avg OMB-Py bandwidth deficit 512B-8KiB", 1.05*1024, 512)
+		},
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Inter-node CPU bandwidth, large messages, Frontera (OMB vs OMB-Py)",
+		Run: func() (*Result, error) {
+			return bandwidthGap("fig11", "frontera", LargeMin, BWMax,
+				"avg OMB-Py bandwidth deficit (large)", 331, 0)
+		},
+	})
+
+	// --- Allreduce, Figures 12-15 ---
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Allreduce CPU latency, small, 16 nodes x 1 ppn, Frontera",
+		Run: func() (*Result, error) {
+			return collectiveOverhead("fig12", core.Allreduce, 16, 1, 4, SmallMax, false,
+				"avg OMB-Py overhead (small)", 0.93)
+		},
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Allreduce CPU latency, large, 16 nodes x 1 ppn, Frontera",
+		Run: func() (*Result, error) {
+			return collectiveOverhead("fig13", core.Allreduce, 16, 1, LargeMin, LargeMax, false,
+				"avg OMB-Py overhead (large)", 14.13)
+		},
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Allreduce CPU latency, small, 16 nodes x 56 ppn (full subscription), Frontera",
+		Heavy: true,
+		Run: func() (*Result, error) {
+			return collectiveOverhead("fig14", core.Allreduce, 896, 56, 4, SmallMax, true,
+				"avg OMB-Py overhead (small)", 4.21)
+		},
+	})
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Allreduce CPU latency, large, 16 nodes x 56 ppn (full subscription), Frontera",
+		Heavy: true,
+		Run: func() (*Result, error) {
+			res, err := collectiveOverhead("fig15", core.Allreduce, 896, 56, LargeMin, HugeLargeMax, true,
+				"avg OMB-Py overhead (large)", 0)
+			if err != nil {
+				return nil, err
+			}
+			// The paper quotes no single number here; it reports degradation
+			// from THREAD_MULTIPLE oversubscription. Require Py >> C.
+			res.Stats = res.Stats[:0]
+			res.Notes = "paper reports large-message degradation under full subscription " +
+				"(THREAD_MULTIPLE oversubscribes cores); compare the two columns"
+			return res, nil
+		},
+	})
+
+	// --- Allgather, Figures 16-19 ---
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Allgather CPU latency, small, 16 nodes x 1 ppn, Frontera",
+		Run: func() (*Result, error) {
+			return collectiveOverhead("fig16", core.Allgather, 16, 1, SmallMin, SmallMax, false,
+				"avg OMB-Py overhead (small)", 0.92)
+		},
+	})
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Allgather CPU latency, large, 16 nodes x 1 ppn, Frontera",
+		Run: func() (*Result, error) {
+			return collectiveOverhead("fig17", core.Allgather, 16, 1, LargeMin, LargeMax, false,
+				"avg OMB-Py overhead (large)", 23.4)
+		},
+	})
+	register(Experiment{
+		ID:    "fig18",
+		Title: "Allgather CPU latency, small, 16 nodes x 56 ppn (full subscription), Frontera",
+		Heavy: true,
+		Run:   fig18,
+	})
+	register(Experiment{
+		ID:    "fig19",
+		Title: "Allgather CPU latency, large, 16 nodes x 56 ppn (full subscription), Frontera",
+		Heavy: true,
+		Run:   fig19,
+	})
+}
+
+// latencyOverhead runs the latency pair and reports the average overhead.
+func latencyOverhead(id, cluster string, ranks, ppn, minS, maxS int, statName string, paper float64) (*Result, error) {
+	omb, ombpy, err := runPair(pairConfig{
+		bench: core.Latency, cluster: cluster, ranks: ranks, ppn: ppn,
+		minS: minS, maxS: maxS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:    id,
+		Table: stats.Table{Metric: "latency(us)", Series: []*stats.Series{omb, ombpy}},
+		Stats: []Stat{{Name: statName, Paper: paper,
+			Measured: stats.AvgOverheadUs(ombpy, omb), Unit: "us"}},
+	}, nil
+}
+
+// bandwidthGap runs the bandwidth pair and reports the average deficit over
+// sizes >= gapMin (0 = all sizes).
+func bandwidthGap(id, cluster string, minS, maxS int, statName string, paperMBps float64, gapMin int) (*Result, error) {
+	omb, ombpy, err := runPair(pairConfig{
+		bench: core.Bandwidth, cluster: cluster, ranks: 2, ppn: 1,
+		minS: minS, maxS: maxS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	filtered := func(s *stats.Series) *stats.Series {
+		if gapMin == 0 {
+			return s
+		}
+		out := &stats.Series{Name: s.Name}
+		for _, r := range s.Rows {
+			if r.Size >= gapMin {
+				out.Rows = append(out.Rows, r)
+			}
+		}
+		return out
+	}
+	return &Result{
+		ID:    id,
+		Table: stats.Table{Metric: "bandwidth(MB/s)", Series: []*stats.Series{omb, ombpy}},
+		Stats: []Stat{{Name: statName, Paper: paperMBps,
+			Measured: stats.AvgBandwidthGapMBps(filtered(ombpy), filtered(omb)), Unit: "MB/s"}},
+	}, nil
+}
+
+// collectiveOverhead runs a collective pair and reports average overhead.
+func collectiveOverhead(id string, bench core.Benchmark, ranks, ppn, minS, maxS int, heavy bool, statName string, paper float64) (*Result, error) {
+	pc := pairConfig{
+		bench: bench, cluster: "frontera", ranks: ranks, ppn: ppn,
+		minS: minS, maxS: maxS,
+	}
+	if heavy {
+		pc.timingOnly = true
+		pc.iters, pc.warmup = 3, 1
+	}
+	omb, ombpy, err := runPair(pc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:    id,
+		Table: stats.Table{Metric: "latency(us)", Series: []*stats.Series{omb, ombpy}},
+	}
+	if paper != 0 {
+		res.Stats = []Stat{{Name: statName, Paper: paper,
+			Measured: stats.AvgOverheadUs(ombpy, omb), Unit: "us"}}
+	}
+	return res, nil
+}
+
+// fig18: the paper reports overhead growing from ~8 us at 1 B to ~345 us at
+// 8 KiB under full subscription.
+func fig18() (*Result, error) {
+	omb, ombpy, err := runPair(pairConfig{
+		bench: core.Allgather, cluster: "frontera", ranks: 896, ppn: 56,
+		minS: SmallMin, maxS: SmallMax, timingOnly: true, iters: 3, warmup: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	at := func(s *stats.Series, size int) float64 {
+		r, _ := s.Get(size)
+		return r.AvgUs
+	}
+	return &Result{
+		ID:    "fig18",
+		Table: stats.Table{Metric: "latency(us)", Series: []*stats.Series{omb, ombpy}},
+		Stats: []Stat{
+			{Name: "OMB-Py overhead at 1B", Paper: 8,
+				Measured: at(ombpy, 1) - at(omb, 1), Unit: "us"},
+			{Name: "OMB-Py overhead at 8KiB", Paper: 345,
+				Measured: at(ombpy, 8192) - at(omb, 8192), Unit: "us"},
+		},
+	}, nil
+}
+
+// fig19: overhead up to ~41 ms at 32 KiB, ~16 ms average over the range.
+func fig19() (*Result, error) {
+	// The paper's Figure 19 reports 41 ms at 32 KiB and a 16 ms range
+	// average, which brackets its plotted range around 16-32 KiB; larger
+	// sizes at 896 ranks would dwarf those numbers on any model.
+	omb, ombpy, err := runPair(pairConfig{
+		bench: core.Allgather, cluster: "frontera", ranks: 896, ppn: 56,
+		minS: LargeMin, maxS: 32 * 1024, timingOnly: true, iters: 2, warmup: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	at := func(s *stats.Series, size int) float64 {
+		r, _ := s.Get(size)
+		return r.AvgUs
+	}
+	return &Result{
+		ID:    "fig19",
+		Table: stats.Table{Metric: "latency(us)", Series: []*stats.Series{omb, ombpy}},
+		Stats: []Stat{
+			{Name: "OMB-Py overhead at 32KiB", Paper: 41000,
+				Measured: at(ombpy, 32*1024) - at(omb, 32*1024), Unit: "us"},
+			{Name: "avg OMB-Py overhead (range)", Paper: 16000,
+				Measured: stats.AvgOverheadUs(ombpy, omb), Unit: "us"},
+		},
+	}, nil
+}

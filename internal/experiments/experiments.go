@@ -1,0 +1,175 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (Section IV): each experiment runs the same benchmark
+// configuration the paper describes, emits the series the figure plots, and
+// reports the summary statistic the paper quotes next to our measured value
+// so the reproduction quality is visible at a glance.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/pybuf"
+	"repro/internal/stats"
+)
+
+// Message-size ranges follow the paper's small/large split.
+const (
+	SmallMin = 1
+	SmallMax = 8 * 1024
+	LargeMin = 16 * 1024
+	LargeMax = 1 << 20
+	BWMax    = 4 << 20
+	// HugeLargeMax caps the large range of the 896-rank experiments, whose
+	// figures the paper cuts at 32 KiB anyway (Figure 19 quotes 32 KiB).
+	HugeLargeMax = 128 * 1024
+)
+
+// Stat is one paper-vs-measured comparison.
+type Stat struct {
+	Name     string
+	Paper    float64
+	Measured float64
+	Unit     string
+}
+
+// Dev returns the measured/paper ratio (1.0 = exact).
+func (s Stat) Dev() float64 {
+	if s.Paper == 0 {
+		return 0
+	}
+	return s.Measured / s.Paper
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID    string
+	Title string
+	Table stats.Table
+	Stats []Stat
+	Notes string
+}
+
+// Render pretty-prints the result.
+func (r *Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	sb.WriteString(r.Table.Render())
+	if len(r.Stats) > 0 {
+		fmt.Fprintf(&sb, "%-44s %12s %12s %8s\n", "statistic", "paper", "measured", "ratio")
+		for _, s := range r.Stats {
+			fmt.Fprintf(&sb, "%-44s %9.2f %s %9.2f %s %8.2f\n",
+				s.Name, s.Paper, s.Unit, s.Measured, s.Unit, s.Dev())
+		}
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", r.Notes)
+	}
+	return sb.String()
+}
+
+// Experiment is a runnable reproduction of one figure or table.
+type Experiment struct {
+	ID    string
+	Title string
+	// Heavy marks the 896-rank full-subscription runs.
+	Heavy bool
+	Run   func() (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+var order []string
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+	order = append(order, e.ID)
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[strings.ToLower(id)]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return e, nil
+}
+
+// IDs lists experiment ids in registration (paper) order.
+func IDs() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(order))
+	for _, id := range order {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// latencyPair runs OMB (C) and OMB-Py (direct numpy unless overridden) for
+// one latency-style benchmark and returns both series.
+type pairConfig struct {
+	bench      core.Benchmark
+	cluster    string
+	impl       netmodel.Impl
+	ranks, ppn int
+	useGPU     bool
+	buffer     pybuf.Library
+	minS, maxS int
+	timingOnly bool
+	iters      int
+	warmup     int
+}
+
+func (pc pairConfig) options(mode core.Mode) core.Options {
+	buf := pc.buffer
+	if mode == core.ModeC {
+		buf = pybuf.Bytearray // ignored by the C path
+	}
+	impl := pc.impl
+	if impl == "" {
+		impl = netmodel.MVAPICH2
+	}
+	return core.Options{
+		Benchmark:  pc.bench,
+		Cluster:    pc.cluster,
+		Impl:       impl,
+		Mode:       mode,
+		Buffer:     buf,
+		UseGPU:     pc.useGPU,
+		Ranks:      pc.ranks,
+		PPN:        pc.ppn,
+		MinSize:    pc.minS,
+		MaxSize:    pc.maxS,
+		TimingOnly: pc.timingOnly,
+		Iters:      pc.iters,
+		Warmup:     pc.warmup,
+	}
+}
+
+func runPair(pc pairConfig) (omb, ombpy *stats.Series, err error) {
+	if pc.buffer == 0 && !pc.useGPU {
+		pc.buffer = pybuf.NumPy
+	}
+	cRep, err := core.Run(pc.options(core.ModeC))
+	if err != nil {
+		return nil, nil, fmt.Errorf("OMB baseline: %w", err)
+	}
+	pyRep, err := core.Run(pc.options(core.ModePy))
+	if err != nil {
+		return nil, nil, fmt.Errorf("OMB-Py: %w", err)
+	}
+	cRep.Series.Name = "OMB"
+	pyRep.Series.Name = "OMB-Py"
+	return &cRep.Series, &pyRep.Series, nil
+}

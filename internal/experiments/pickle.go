@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Pickle experiments, Figures 30-33: mpi4py's serializing object API
+// against direct buffers, inter-node on Frontera.
+
+func init() {
+	register(Experiment{
+		ID:    "fig30",
+		Title: "Inter-node CPU latency, small, pickle vs direct buffer, Frontera",
+		Run: func() (*Result, error) {
+			pk, direct, err := pickleBench(core.Latency, SmallMin, SmallMax)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{
+				ID:    "fig30",
+				Table: stats.Table{Metric: "latency(us)", Series: []*stats.Series{direct, pk}},
+				Stats: []Stat{{Name: "avg pickle overhead (small)", Paper: 1.07,
+					Measured: stats.AvgOverheadUs(pk, direct), Unit: "us"}},
+			}, nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig31",
+		Title: "Inter-node CPU latency, large, pickle vs direct buffer, Frontera",
+		Run: func() (*Result, error) {
+			pk, direct, err := pickleBench(core.Latency, LargeMin, BWMax)
+			if err != nil {
+				return nil, err
+			}
+			worst, at := stats.MaxOverheadUs(pk, direct)
+			return &Result{
+				ID:    "fig31",
+				Table: stats.Table{Metric: "latency(us)", Series: []*stats.Series{direct, pk}},
+				Stats: []Stat{{Name: fmt.Sprintf("max pickle overhead (at %s)", stats.HumanBytes(at)),
+					Paper: 1510, Measured: worst, Unit: "us"}},
+				Notes: "paper: curves diverge past 64KiB, up to 1510us",
+			}, nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig32",
+		Title: "Inter-node CPU bandwidth, small, pickle vs direct buffer, Frontera",
+		Run: func() (*Result, error) {
+			pk, direct, err := pickleBench(core.Bandwidth, SmallMin, SmallMax)
+			if err != nil {
+				return nil, err
+			}
+			gapAt8K := func() float64 {
+				d, _ := direct.Get(8192)
+				p, _ := pk.Get(8192)
+				return (d.MBps - p.MBps) / 1024
+			}
+			return &Result{
+				ID:    "fig32",
+				Table: stats.Table{Metric: "bandwidth(MB/s)", Series: []*stats.Series{direct, pk}},
+				Stats: []Stat{{Name: "pickle bandwidth deficit at 8KiB", Paper: 2.4,
+					Measured: gapAt8K(), Unit: "GB/s"}},
+			}, nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig33",
+		Title: "Inter-node CPU bandwidth, large, pickle vs direct buffer, Frontera",
+		Run: func() (*Result, error) {
+			pk, direct, err := pickleBench(core.Bandwidth, LargeMin, BWMax)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{
+				ID:    "fig33",
+				Table: stats.Table{Metric: "bandwidth(MB/s)", Series: []*stats.Series{direct, pk}},
+				Stats: []Stat{{Name: "avg pickle bandwidth deficit (large)", Paper: 0,
+					Measured: stats.AvgBandwidthGapMBps(pk, direct), Unit: "MB/s"}},
+				Notes: "paper reports the pickle curve catching up mid-range then dropping " +
+					"again past 64KiB; no single number is quoted",
+			}, nil
+		},
+	})
+}
+
+// pickleBench runs a benchmark in Pickle and Py (direct) modes.
+func pickleBench(bench core.Benchmark, minS, maxS int) (pickleSeries, directSeries *stats.Series, err error) {
+	base := pairConfig{
+		bench: bench, cluster: "frontera", ranks: 2, ppn: 1, minS: minS, maxS: maxS,
+	}
+	direct, err := core.Run(base.options(core.ModePy))
+	if err != nil {
+		return nil, nil, fmt.Errorf("direct: %w", err)
+	}
+	direct.Series.Name = "direct-buffer"
+	pk, err := core.Run(base.options(core.ModePickle))
+	if err != nil {
+		return nil, nil, fmt.Errorf("pickle: %w", err)
+	}
+	pk.Series.Name = "pickle"
+	return &pk.Series, &direct.Series, nil
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pybuf"
+	"repro/internal/stats"
+)
+
+// Table experiments: Table II (the supported-benchmark inventory) and
+// Table III (the average-overhead summary matrix).
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Feature matrix of the OMB-Py design (Table I)",
+		Run:   table1,
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Benchmarks supported by OMB-Py (Table II)",
+		Run:   table2,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Average OMB-Py overhead summary: CPU latency/Allreduce, GPU buffers (Table III)",
+		Run:   table3,
+	})
+}
+
+// table1 exercises every feature row the paper's Table I claims for the
+// OMB-Py design: point-to-point, blocking collectives, vector variants,
+// Python-side buffers of all five libraries. Each claim is verified by
+// actually running a benchmark that depends on it.
+func table1() (*Result, error) {
+	var sb strings.Builder
+	type claim struct {
+		feature string
+		opts    core.Options
+	}
+	claims := []claim{
+		{"Point-to-Point", core.Options{
+			Benchmark: core.Latency, Mode: core.ModePy, Buffer: pybuf.NumPy,
+			Ranks: 2, PPN: 2, MinSize: 8, MaxSize: 64, Iters: 3, Warmup: 1}},
+		{"Blocking Collectives", core.Options{
+			Benchmark: core.Allreduce, Mode: core.ModePy, Buffer: pybuf.NumPy,
+			Ranks: 4, PPN: 2, MinSize: 8, MaxSize: 64, Iters: 3, Warmup: 1}},
+		{"Vector Variant Blocking Collectives", core.Options{
+			Benchmark: core.Allgatherv, Mode: core.ModePy, Buffer: pybuf.NumPy,
+			Ranks: 4, PPN: 2, MinSize: 8, MaxSize: 64, Iters: 3, Warmup: 1}},
+		{"Bytearray Buffers", core.Options{
+			Benchmark: core.Latency, Mode: core.ModePy, Buffer: pybuf.Bytearray,
+			Ranks: 2, PPN: 2, MinSize: 8, MaxSize: 64, Iters: 3, Warmup: 1}},
+		{"Numpy Buffers", core.Options{
+			Benchmark: core.Latency, Mode: core.ModePy, Buffer: pybuf.NumPy,
+			Ranks: 2, PPN: 2, MinSize: 8, MaxSize: 64, Iters: 3, Warmup: 1}},
+		{"CuPy Buffers", core.Options{
+			Benchmark: core.Latency, Mode: core.ModePy, Buffer: pybuf.CuPy,
+			Cluster: "bridges2", UseGPU: true,
+			Ranks: 2, PPN: 2, MinSize: 8, MaxSize: 64, Iters: 3, Warmup: 1}},
+		{"PyCUDA Buffers", core.Options{
+			Benchmark: core.Latency, Mode: core.ModePy, Buffer: pybuf.PyCUDA,
+			Cluster: "bridges2", UseGPU: true,
+			Ranks: 2, PPN: 2, MinSize: 8, MaxSize: 64, Iters: 3, Warmup: 1}},
+		{"Numba Buffers", core.Options{
+			Benchmark: core.Latency, Mode: core.ModePy, Buffer: pybuf.Numba,
+			Cluster: "bridges2", UseGPU: true,
+			Ranks: 2, PPN: 2, MinSize: 8, MaxSize: 64, Iters: 3, Warmup: 1}},
+		{"Pickle (serialized objects)", core.Options{
+			Benchmark: core.Latency, Mode: core.ModePickle, Buffer: pybuf.NumPy,
+			Ranks: 2, PPN: 2, MinSize: 8, MaxSize: 64, Iters: 3, Warmup: 1}},
+	}
+	passed := 0
+	for _, cl := range claims {
+		if _, err := core.Run(cl.opts); err != nil {
+			return nil, fmt.Errorf("table1: feature %q failed: %w", cl.feature, err)
+		}
+		passed++
+		fmt.Fprintf(&sb, "%-40s supported (verified by run)\n", cl.feature)
+	}
+	return &Result{
+		ID:    "table1",
+		Title: "feature matrix",
+		Table: stats.Table{Comment: sb.String()},
+		Stats: []Stat{{Name: "Table I feature rows verified", Paper: float64(len(claims)),
+			Measured: float64(passed), Unit: ""}},
+	}, nil
+}
+
+// table2 verifies the registry implements every benchmark of the paper's
+// Table II by running each one end-to-end at a small scale.
+func table2() (*Result, error) {
+	groups := map[core.Kind]string{
+		core.KindPtPt:       "Point-to-Point",
+		core.KindCollective: "Blocking Collectives",
+		core.KindVector:     "Vector Variant Blocking Collectives",
+	}
+	var sb strings.Builder
+	for _, b := range core.Benchmarks() {
+		ranks := 2
+		if b.Kind() != core.KindPtPt {
+			ranks = 4
+		}
+		opts := core.Options{
+			Benchmark: b, Mode: core.ModePy, Buffer: pybuf.NumPy,
+			Ranks: ranks, PPN: 2, MinSize: 8, MaxSize: 1024,
+			Iters: 3, Warmup: 1,
+		}
+		if _, err := core.Run(opts); err != nil {
+			return nil, fmt.Errorf("table2: %s failed: %w", b, err)
+		}
+		fmt.Fprintf(&sb, "%-40s %s: ok\n", groups[b.Kind()], b)
+	}
+	return &Result{
+		ID:    "table2",
+		Title: "supported benchmarks",
+		Table: stats.Table{Comment: sb.String()},
+		Stats: []Stat{{Name: "benchmarks implemented and passing", Paper: 17,
+			Measured: float64(len(core.Benchmarks())), Unit: ""}},
+	}, nil
+}
+
+// table3 reproduces the paper's overhead summary matrix.
+func table3() (*Result, error) {
+	row := func(name string, paper float64, f func() (float64, error)) (Stat, error) {
+		m, err := f()
+		if err != nil {
+			return Stat{}, fmt.Errorf("table3 %s: %w", name, err)
+		}
+		return Stat{Name: name, Paper: paper, Measured: m, Unit: "us"}, nil
+	}
+	latOver := func(ppn, minS, maxS int) func() (float64, error) {
+		return func() (float64, error) {
+			omb, ombpy, err := runPair(pairConfig{
+				bench: core.Latency, cluster: "frontera", ranks: 2, ppn: ppn,
+				minS: minS, maxS: maxS,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return stats.AvgOverheadUs(ombpy, omb), nil
+		}
+	}
+	allreduceOver := func(minS, maxS int) func() (float64, error) {
+		return func() (float64, error) {
+			omb, ombpy, err := runPair(pairConfig{
+				bench: core.Allreduce, cluster: "frontera", ranks: 16, ppn: 1,
+				minS: minS, maxS: maxS,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return stats.AvgOverheadUs(ombpy, omb), nil
+		}
+	}
+	gpuOver := func(lib pybuf.Library, minS, maxS int) func() (float64, error) {
+		return func() (float64, error) {
+			base := pairConfig{
+				bench: core.Latency, cluster: "bridges2", ranks: 2, ppn: 1,
+				useGPU: true, minS: minS, maxS: maxS,
+			}
+			cRep, err := core.Run(base.options(core.ModeC))
+			if err != nil {
+				return 0, err
+			}
+			base.buffer = lib
+			pyRep, err := core.Run(base.options(core.ModePy))
+			if err != nil {
+				return 0, err
+			}
+			return stats.AvgOverheadUs(&pyRep.Series, &cRep.Series), nil
+		}
+	}
+
+	type entry struct {
+		name  string
+		paper float64
+		f     func() (float64, error)
+	}
+	entries := []entry{
+		{"small: intra-node latency", 0.44, latOver(2, SmallMin, SmallMax)},
+		{"small: inter-node latency", 0.43, latOver(1, SmallMin, SmallMax)},
+		{"small: Allreduce 16x1", 0.93, allreduceOver(4, SmallMax)},
+		{"small: GPU CuPy latency", 4.33, gpuOver(pybuf.CuPy, SmallMin, SmallMax)},
+		{"small: GPU PyCUDA latency", 4.19, gpuOver(pybuf.PyCUDA, SmallMin, SmallMax)},
+		{"small: GPU Numba latency", 6.19, gpuOver(pybuf.Numba, SmallMin, SmallMax)},
+		{"large: intra-node latency", 2.31, latOver(2, LargeMin, LargeMax)},
+		{"large: inter-node latency", 0.63, latOver(1, LargeMin, LargeMax)},
+		{"large: Allreduce 16x1", 14.13, allreduceOver(LargeMin, LargeMax)},
+		{"large: GPU CuPy latency", 8.67, gpuOver(pybuf.CuPy, LargeMin, LargeMax)},
+		{"large: GPU PyCUDA latency", 8.40, gpuOver(pybuf.PyCUDA, LargeMin, LargeMax)},
+		{"large: GPU Numba latency", 10.53, gpuOver(pybuf.Numba, LargeMin, LargeMax)},
+	}
+	var sts []Stat
+	for _, e := range entries {
+		st, err := row(e.name, e.paper, e.f)
+		if err != nil {
+			return nil, err
+		}
+		sts = append(sts, st)
+	}
+	return &Result{
+		ID:    "table3",
+		Title: "average overhead matrix",
+		Table: stats.Table{Metric: "latency(us)"},
+		Stats: sts,
+	}, nil
+}

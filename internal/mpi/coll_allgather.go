@@ -1,0 +1,129 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+)
+
+// Allgather algorithm-selection thresholds, mirroring MVAPICH2: recursive
+// doubling for power-of-two groups with small totals, Bruck for small totals
+// on non-power-of-two groups, ring for large totals.
+const (
+	allgatherRDMaxTotal    = 256 * 1024
+	allgatherBruckMaxTotal = 128 * 1024
+)
+
+// Allgather collects len(sbuf) bytes from every rank into rbuf on every
+// rank, ordered by rank; len(rbuf) must be p*len(sbuf).
+func (c *Comm) Allgather(sbuf, rbuf []byte) error {
+	return c.AllgatherN(sbuf, len(sbuf), rbuf)
+}
+
+// AllgatherN is Allgather with an explicit per-rank byte count; buffers may
+// be nil in timing-only worlds.
+func (c *Comm) AllgatherN(sbuf []byte, n int, rbuf []byte) error {
+	p := len(c.group)
+	if rbuf != nil && len(rbuf) < p*n {
+		return fmt.Errorf("mpi: Allgather recv buffer %d < %d", len(rbuf), p*n)
+	}
+	if sbuf != nil && rbuf != nil {
+		copy(rbuf[c.rank*n:(c.rank+1)*n], sbuf[:n])
+	}
+	if p == 1 {
+		return nil
+	}
+	total := p * n
+	tune := c.proc.tuning()
+	var err error
+	switch {
+	case collective.IsPof2(p) && total <= tune.AllgatherRDMaxTotal:
+		err = c.allgatherRecDoubling(rbuf, n)
+	case total <= tune.AllgatherBruckMaxTotal:
+		err = c.allgatherBruck(rbuf, n)
+	default:
+		err = c.allgatherRing(rbuf, n)
+	}
+	if err != nil {
+		return fmt.Errorf("mpi: Allgather: %w", err)
+	}
+	return nil
+}
+
+// allgatherRecDoubling: at round k (mask 2^k) each rank exchanges its
+// accumulated 2^k blocks with rank^mask; blocks stay naturally placed
+// because partner windows are aligned.
+func (c *Comm) allgatherRecDoubling(rbuf []byte, n int) error {
+	p := len(c.group)
+	for mask := 1; mask < p; mask *= 2 {
+		peer := c.rank ^ mask
+		myLo := (c.rank / mask) * mask // first block of my current window
+		peerLo := (peer / mask) * mask
+		sLo, sHi := myLo*n, (myLo+mask)*n
+		rLo, rHi := peerLo*n, (peerLo+mask)*n
+		if _, err := c.sendrecvRaw(
+			sliceOrNil(rbuf, sLo, sHi), sHi-sLo, peer, tagAllgather,
+			sliceOrNil(rbuf, rLo, rHi), rHi-rLo, peer, tagAllgather,
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allgatherBruck: blocks are accumulated in a rotated staging buffer
+// starting from the local block, then rotated into place at the end.
+func (c *Comm) allgatherBruck(rbuf []byte, n int) error {
+	p := len(c.group)
+	var stage []byte
+	if rbuf != nil {
+		stage = make([]byte, p*n)
+		copy(stage[:n], rbuf[c.rank*n:(c.rank+1)*n])
+	}
+	have := 1
+	for _, s := range collective.BruckSchedule(c.rank, p) {
+		cnt := s.BlockCount
+		if cnt > have {
+			cnt = have // final partial round sends what exists
+		}
+		// Bruck sends the first cnt accumulated blocks to rank-k and
+		// receives cnt blocks appended after the current ones from rank+k.
+		if _, err := c.sendrecvRaw(
+			sliceOrNil(stage, 0, cnt*n), cnt*n, s.SendTo, tagAllgather,
+			sliceOrNil(stage, have*n, (have+cnt)*n), cnt*n, s.RecvFrom, tagAllgather,
+		); err != nil {
+			return err
+		}
+		have += cnt
+	}
+	if rbuf != nil {
+		// stage[i] holds the block of rank (c.rank + i) % p.
+		for i := 0; i < p; i++ {
+			src := stage[i*n : (i+1)*n]
+			dst := ((c.rank + i) % p) * n
+			copy(rbuf[dst:dst+n], src)
+		}
+	}
+	return nil
+}
+
+// allgatherRing: p-1 rounds, each forwarding the block received in the
+// previous round to the next neighbour.
+func (c *Comm) allgatherRing(rbuf []byte, n int) error {
+	p := len(c.group)
+	sendTo, recvFrom := collective.RingNeighbors(c.rank, p)
+	have := c.rank
+	for step := 0; step < p-1; step++ {
+		want := (have - 1 + p) % p
+		sLo, sHi := have*n, (have+1)*n
+		rLo, rHi := want*n, (want+1)*n
+		if _, err := c.sendrecvRaw(
+			sliceOrNil(rbuf, sLo, sHi), sHi-sLo, sendTo, tagAllgather,
+			sliceOrNil(rbuf, rLo, rHi), rHi-rLo, recvFrom, tagAllgather,
+		); err != nil {
+			return err
+		}
+		have = want
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+)
+
+// allreduceRabenseifnerMin is the message size at which Allreduce switches
+// from recursive doubling to Rabenseifner's reduce-scatter + allgather,
+// mirroring MVAPICH2's tuning.
+const allreduceRabenseifnerMin = 32 * 1024
+
+// Allreduce combines sbuf across all ranks with op over dt and leaves the
+// result in rbuf on every rank.
+func (c *Comm) Allreduce(sbuf, rbuf []byte, dt DType, op Op) error {
+	return c.AllreduceN(sbuf, rbuf, len(sbuf), dt, op)
+}
+
+// AllreduceN is Allreduce with an explicit byte count; buffers may be nil in
+// timing-only worlds.
+func (c *Comm) AllreduceN(sbuf, rbuf []byte, n int, dt DType, op Op) error {
+	if n%dt.Size() != 0 {
+		return fmt.Errorf("mpi: Allreduce size %d not a multiple of %s", n, dt)
+	}
+	p := len(c.group)
+	if p == 1 {
+		if rbuf != nil && sbuf != nil {
+			copy(rbuf[:n], sbuf[:n])
+		}
+		return nil
+	}
+	// Accumulator initialised with the local contribution.
+	var acc []byte
+	if sbuf != nil && rbuf != nil {
+		acc = rbuf[:n]
+		copy(acc, sbuf[:n])
+	}
+	var err error
+	if n >= c.proc.tuning().AllreduceRabenseifnerMin && p >= 4 && n/dt.Size() >= collective.Pof2Floor(p) {
+		err = c.allreduceRabenseifner(acc, n, dt, op)
+	} else {
+		err = c.allreduceRecDoubling(acc, n, dt, op)
+	}
+	if err != nil {
+		return fmt.Errorf("mpi: Allreduce: %w", err)
+	}
+	return nil
+}
+
+// chargeCompute prices a local reduction of n bytes.
+func (c *Comm) chargeCompute(n int) {
+	c.proc.clock.Advance(c.proc.world.cfg.Model.Compute(n, c.proc.pyMode(), c.proc.fullSub()))
+}
+
+// allreduceRecDoubling implements recursive doubling with the classic fold
+// for non-power-of-two communicators.
+func (c *Comm) allreduceRecDoubling(acc []byte, n int, dt DType, op Op) error {
+	p := len(c.group)
+	fold := collective.NewPof2Fold(c.rank, p)
+	var tmp []byte
+	if acc != nil {
+		tmp = make([]byte, n)
+	}
+
+	switch fold.Role {
+	case collective.FoldSender:
+		c.completeSend(c.postSend(fold.Partner, tagAllreduce, acc, n))
+	case collective.FoldReceiver:
+		if _, err := c.recvBytes(fold.Partner, tagAllreduce, tmp, n); err != nil {
+			return err
+		}
+		c.chargeCompute(n)
+		if acc != nil {
+			if err := reduceInto(acc, tmp, dt, op); err != nil {
+				return err
+			}
+		}
+	}
+
+	if fold.Role != collective.FoldSender {
+		for _, peerNew := range collective.RecursiveDoublingPeers(fold.NewRank, fold.Pof2) {
+			peer := fold.OldRank(peerNew, p)
+			if _, err := c.sendrecvRaw(acc, n, peer, tagAllreduce, tmp, n, peer, tagAllreduce); err != nil {
+				return err
+			}
+			c.chargeCompute(n)
+			if acc != nil {
+				if err := reduceInto(acc, tmp, dt, op); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Unfold: receivers hand the finished vector back to their senders.
+	switch fold.Role {
+	case collective.FoldReceiver:
+		c.completeSend(c.postSend(fold.Partner, tagAllreduce, acc, n))
+	case collective.FoldSender:
+		if _, err := c.recvBytes(fold.Partner, tagAllreduce, acc, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allreduceRabenseifner implements the reduce-scatter (recursive halving) +
+// allgather (recursive doubling) algorithm for large messages. Non-power-of
+// -two communicators fold whole vectors first, as in allreduceRecDoubling.
+func (c *Comm) allreduceRabenseifner(acc []byte, n int, dt DType, op Op) error {
+	p := len(c.group)
+	fold := collective.NewPof2Fold(c.rank, p)
+	var tmp []byte
+	if acc != nil {
+		tmp = make([]byte, n)
+	}
+
+	switch fold.Role {
+	case collective.FoldSender:
+		c.completeSend(c.postSend(fold.Partner, tagAllreduce, acc, n))
+	case collective.FoldReceiver:
+		if _, err := c.recvBytes(fold.Partner, tagAllreduce, tmp, n); err != nil {
+			return err
+		}
+		c.chargeCompute(n)
+		if acc != nil {
+			if err := reduceInto(acc, tmp, dt, op); err != nil {
+				return err
+			}
+		}
+	}
+
+	if fold.Role != collective.FoldSender {
+		pof2 := fold.Pof2
+		bounds := blockBounds(n, pof2, dt.Size())
+		// Reduce-scatter phase: recursive halving.
+		for _, s := range collective.RecursiveHalvingSchedule(fold.NewRank, pof2) {
+			peer := fold.OldRank(s.Peer, p)
+			sLo, sHi := bounds[s.SendLo], bounds[s.SendHi]
+			kLo, kHi := bounds[s.KeepLo], bounds[s.KeepHi]
+			if _, err := c.sendrecvRaw(
+				sliceOrNil(acc, sLo, sHi), sHi-sLo, peer, tagAllreduce,
+				sliceOrNil(tmp, kLo, kHi), kHi-kLo, peer, tagAllreduce,
+			); err != nil {
+				return err
+			}
+			c.chargeCompute(kHi - kLo)
+			if acc != nil {
+				if err := reduceInto(acc[kLo:kHi], tmp[kLo:kHi], dt, op); err != nil {
+					return err
+				}
+			}
+		}
+		// Allgather phase: recursive doubling over the same windows.
+		for _, s := range collective.RecursiveDoublingAllgatherSchedule(fold.NewRank, pof2) {
+			peer := fold.OldRank(s.Peer, p)
+			hLo, hHi := bounds[s.HaveLo], bounds[s.HaveHi]
+			gLo, gHi := bounds[s.GetLo], bounds[s.GetHi]
+			if _, err := c.sendrecvRaw(
+				sliceOrNil(acc, hLo, hHi), hHi-hLo, peer, tagAllreduce,
+				sliceOrNil(acc, gLo, gHi), gHi-gLo, peer, tagAllreduce,
+			); err != nil {
+				return err
+			}
+		}
+	}
+
+	switch fold.Role {
+	case collective.FoldReceiver:
+		c.completeSend(c.postSend(fold.Partner, tagAllreduce, acc, n))
+	case collective.FoldSender:
+		if _, err := c.recvBytes(fold.Partner, tagAllreduce, acc, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+)
+
+// alltoallBruckMaxBlock is the per-block size below which Alltoall uses
+// Bruck's log-round algorithm; larger exchanges use pairwise rounds.
+const alltoallBruckMaxBlock = 1024
+
+// Alltoall sends the r-th block of sbuf to rank r and receives rank r's
+// block into the r-th block of rbuf; len(sbuf) == len(rbuf) == p*blockLen.
+func (c *Comm) Alltoall(sbuf, rbuf []byte) error {
+	p := len(c.group)
+	if len(sbuf)%p != 0 {
+		return fmt.Errorf("mpi: Alltoall send buffer %d not divisible by %d ranks", len(sbuf), p)
+	}
+	return c.AlltoallN(sbuf, len(sbuf)/p, rbuf)
+}
+
+// AlltoallN is Alltoall with an explicit per-destination block size n;
+// buffers may be nil in timing-only worlds.
+func (c *Comm) AlltoallN(sbuf []byte, n int, rbuf []byte) error {
+	p := len(c.group)
+	if rbuf != nil && len(rbuf) < p*n {
+		return fmt.Errorf("mpi: Alltoall recv buffer %d < %d", len(rbuf), p*n)
+	}
+	if sbuf != nil && rbuf != nil {
+		copy(rbuf[c.rank*n:(c.rank+1)*n], sbuf[c.rank*n:(c.rank+1)*n])
+	}
+	if p == 1 {
+		return nil
+	}
+	var err error
+	if n <= c.proc.tuning().AlltoallBruckMaxBlock && p > 2 {
+		err = c.alltoallBruck(sbuf, n, rbuf)
+	} else {
+		err = c.alltoallPairwise(sbuf, n, rbuf)
+	}
+	if err != nil {
+		return fmt.Errorf("mpi: Alltoall: %w", err)
+	}
+	return nil
+}
+
+// alltoallPairwise runs p-1 balanced exchange rounds (XOR schedule for even
+// p, shifted schedule otherwise).
+func (c *Comm) alltoallPairwise(sbuf []byte, n int, rbuf []byte) error {
+	p := len(c.group)
+	// Even p: XOR schedule, rounds 1..p-1. Odd p: shifted schedule needs
+	// rounds 0..p-1 (each rank self-pairs, i.e. idles, in exactly one).
+	start, rounds := 1, p-1
+	if p%2 != 0 {
+		start, rounds = 0, p
+	}
+	for i := 0; i < rounds; i++ {
+		peer := collective.PairwisePeer(c.rank, p, start+i)
+		if peer == c.rank {
+			continue // odd-p schedule gives each rank one idle round
+		}
+		sLo, sHi := peer*n, (peer+1)*n
+		rLo, rHi := peer*n, (peer+1)*n
+		if _, err := c.sendrecvRaw(
+			sliceOrNil(sbuf, sLo, sHi), sHi-sLo, peer, tagAlltoall,
+			sliceOrNil(rbuf, rLo, rHi), rHi-rLo, peer, tagAlltoall,
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// alltoallBruck implements Bruck's alltoall: a local rotation, ceil(log2 p)
+// packed exchanges selected by the bits of the block index, and a final
+// inverse rotation with block reversal.
+func (c *Comm) alltoallBruck(sbuf []byte, n int, rbuf []byte) error {
+	p := len(c.group)
+	carry := sbuf != nil && rbuf != nil
+
+	// Phase 1: local rotation. stage[i] = block for rank (rank+i)%p.
+	var stage, packS, packR []byte
+	if carry {
+		stage = make([]byte, p*n)
+		for i := 0; i < p; i++ {
+			src := (c.rank + i) % p
+			copy(stage[i*n:(i+1)*n], sbuf[src*n:(src+1)*n])
+		}
+		packS = make([]byte, p*n)
+		packR = make([]byte, p*n)
+	}
+
+	// Phase 2: for each bit, send the blocks whose index has that bit set
+	// to rank+2^k, receive the same set from rank-2^k.
+	for k := 1; k < p; k *= 2 {
+		sendTo := (c.rank + k) % p
+		recvFrom := (c.rank - k + p) % p
+		var idx []int
+		for i := 1; i < p; i++ {
+			if i&k != 0 {
+				idx = append(idx, i)
+			}
+		}
+		bytes := len(idx) * n
+		if carry {
+			for j, i := range idx {
+				copy(packS[j*n:(j+1)*n], stage[i*n:(i+1)*n])
+			}
+		}
+		if _, err := c.sendrecvRaw(
+			sliceOrNil(packS, 0, bytes), bytes, sendTo, tagAlltoall,
+			sliceOrNil(packR, 0, bytes), bytes, recvFrom, tagAlltoall,
+		); err != nil {
+			return err
+		}
+		if carry {
+			for j, i := range idx {
+				copy(stage[i*n:(i+1)*n], packR[j*n:(j+1)*n])
+			}
+		}
+	}
+
+	// Phase 3: inverse rotation with reversal: the block now at stage[i]
+	// originated at rank (rank-i+p)%p and is destined for rbuf[(rank-i)%p].
+	if carry {
+		for i := 0; i < p; i++ {
+			dst := (c.rank - i + p) % p
+			copy(rbuf[dst*n:(dst+1)*n], stage[i*n:(i+1)*n])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+)
+
+// This file implements Barrier, Bcast and the rooted tree collectives
+// (Reduce, Gather, Scatter). Algorithm selection mirrors MVAPICH2: binomial
+// trees for rooted small/medium operations, scatter + ring-allgather for
+// large broadcasts. Every collective has an N-suffixed form taking explicit
+// byte sizes with nil-tolerant buffers (used by the timing-only huge-scale
+// experiments); the plain forms derive sizes from the slices.
+
+// Barrier blocks until every rank of the communicator has entered it,
+// using the dissemination algorithm (ceil(log2 p) zero-byte rounds).
+func (c *Comm) Barrier() error {
+	p := len(c.group)
+	if p == 1 {
+		return nil
+	}
+	sendTo, recvFrom := collective.DisseminationPeers(c.rank, p)
+	for k := range sendTo {
+		if _, err := c.sendrecvRaw(nil, 0, sendTo[k], tagBarrier, nil, 0, recvFrom[k], tagBarrier); err != nil {
+			return fmt.Errorf("mpi: Barrier round %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// bcastLargeMin is the message size at which Bcast switches from the
+// binomial tree to scatter + ring allgather.
+const bcastLargeMin = 512 * 1024
+
+// Bcast broadcasts buf from root to all ranks.
+func (c *Comm) Bcast(buf []byte, root int) error { return c.BcastN(buf, len(buf), root) }
+
+// BcastN broadcasts n bytes from root; buf may be nil in timing-only worlds.
+func (c *Comm) BcastN(buf []byte, n, root int) error {
+	if err := c.checkRank(root, "Bcast root"); err != nil {
+		return err
+	}
+	p := len(c.group)
+	if p == 1 {
+		return nil
+	}
+	if n >= c.proc.tuning().BcastScatterRingMin && p > 2 {
+		return c.bcastScatterRing(buf, n, root)
+	}
+	return c.bcastBinomial(buf, n, root)
+}
+
+func (c *Comm) bcastBinomial(buf []byte, n, root int) error {
+	p := len(c.group)
+	if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
+		if _, err := c.recvBytes(parent, tagBcast, buf, n); err != nil {
+			return fmt.Errorf("mpi: Bcast recv: %w", err)
+		}
+	}
+	for _, child := range collective.BinomialChildren(c.rank, root, p) {
+		c.completeSend(c.postSend(child, tagBcast, buf, n))
+	}
+	return nil
+}
+
+// bcastScatterRing implements the large-message broadcast: binomial scatter
+// of blocks followed by a ring allgather.
+func (c *Comm) bcastScatterRing(buf []byte, n, root int) error {
+	p := len(c.group)
+	bounds := blockBounds(n, p, 1)
+	// Relative rank r owns block r after the scatter.
+	rel := (c.rank - root + p) % p
+
+	// Scatter phase down the binomial tree: each node forwards the blocks
+	// of its subtree. A node's subtree in relative ranks is [rel, rel+sub).
+	if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
+		sub := subtreeSize(rel, p)
+		lo, hi := bounds[rel], bounds[min(rel+sub, p)]
+		dst := sliceOrNil(buf, lo, hi)
+		if _, err := c.recvBytes(parent, tagBcast, dst, hi-lo); err != nil {
+			return fmt.Errorf("mpi: Bcast scatter recv: %w", err)
+		}
+	}
+	for _, child := range collective.BinomialChildren(c.rank, root, p) {
+		crel := (child - root + p) % p
+		sub := subtreeSize(crel, p)
+		lo, hi := bounds[crel], bounds[min(crel+sub, p)]
+		c.completeSend(c.postSend(child, tagBcast, sliceOrNil(buf, lo, hi), hi-lo))
+	}
+
+	// Ring allgather of the p blocks (in relative-rank order).
+	sendTo := (c.rank + 1) % p
+	recvFrom := (c.rank - 1 + p) % p
+	have := rel
+	for step := 0; step < p-1; step++ {
+		want := (have - 1 + p) % p // block arriving this step (relative index)
+		sLo, sHi := bounds[have], bounds[have+1]
+		rLo, rHi := bounds[want], bounds[want+1]
+		if _, err := c.sendrecvRaw(
+			sliceOrNil(buf, sLo, sHi), sHi-sLo, sendTo, tagBcast,
+			sliceOrNil(buf, rLo, rHi), rHi-rLo, recvFrom, tagBcast,
+		); err != nil {
+			return fmt.Errorf("mpi: Bcast ring step %d: %w", step, err)
+		}
+		have = want
+	}
+	return nil
+}
+
+// subtreeSize returns the size of the binomial subtree rooted at relative
+// rank rel in a tree over p ranks.
+func subtreeSize(rel, p int) int {
+	if rel == 0 {
+		return p
+	}
+	// The subtree of rel spans [rel, min(rel + lowbit(rel), p)).
+	low := rel & (-rel)
+	if rel+low > p {
+		return p - rel
+	}
+	return low
+}
+
+// Reduce combines sbuf from every rank into rbuf at root using op over dt.
+func (c *Comm) Reduce(sbuf, rbuf []byte, dt DType, op Op, root int) error {
+	return c.ReduceN(sbuf, rbuf, len(sbuf), dt, op, root)
+}
+
+// ReduceN is Reduce with an explicit byte count; buffers may be nil in
+// timing-only worlds.
+func (c *Comm) ReduceN(sbuf, rbuf []byte, n int, dt DType, op Op, root int) error {
+	if err := c.checkRank(root, "Reduce root"); err != nil {
+		return err
+	}
+	if n%dt.Size() != 0 {
+		return fmt.Errorf("mpi: Reduce size %d not a multiple of %s", n, dt)
+	}
+	p := len(c.group)
+	// Accumulator starts as a copy of the local contribution.
+	var acc []byte
+	if sbuf != nil {
+		acc = make([]byte, n)
+		copy(acc, sbuf[:n])
+	}
+	var tmp []byte
+	if acc != nil {
+		tmp = make([]byte, n)
+	}
+	// Children are received in reverse binomial order (deepest subtrees
+	// last) so that reductions happen as data arrives.
+	children := collective.BinomialChildren(c.rank, root, p)
+	for i := len(children) - 1; i >= 0; i-- {
+		if _, err := c.recvBytes(children[i], tagReduce, tmp, n); err != nil {
+			return fmt.Errorf("mpi: Reduce recv: %w", err)
+		}
+		c.proc.clock.Advance(c.proc.world.cfg.Model.Compute(n, c.proc.pyMode(), c.proc.fullSub()))
+		if acc != nil {
+			if err := reduceInto(acc, tmp, dt, op); err != nil {
+				return err
+			}
+		}
+	}
+	if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
+		c.completeSend(c.postSend(parent, tagReduce, acc, n))
+		return nil
+	}
+	if rbuf != nil && acc != nil {
+		copy(rbuf[:n], acc)
+	}
+	return nil
+}
+
+// Gather collects sbuf from every rank into rbuf at root, ordered by rank.
+// len(rbuf) at root must be p*len(sbuf).
+func (c *Comm) Gather(sbuf, rbuf []byte, root int) error {
+	return c.GatherN(sbuf, len(sbuf), rbuf, root)
+}
+
+// GatherN is Gather with an explicit per-rank byte count.
+func (c *Comm) GatherN(sbuf []byte, n int, rbuf []byte, root int) error {
+	if err := c.checkRank(root, "Gather root"); err != nil {
+		return err
+	}
+	p := len(c.group)
+	if c.rank == root && rbuf != nil && len(rbuf) < p*n {
+		return fmt.Errorf("mpi: Gather recv buffer %d < %d", len(rbuf), p*n)
+	}
+	// Binomial gather in relative-rank space: each node accumulates the
+	// blocks of its subtree contiguously (relative order), then root
+	// rotates to absolute order.
+	rel := (c.rank - root + p) % p
+	sub := subtreeSize(rel, p)
+	var stage []byte
+	if sbuf != nil {
+		stage = make([]byte, sub*n)
+		copy(stage[:n], sbuf[:n])
+	}
+	children := collective.BinomialChildren(c.rank, root, p)
+	for _, child := range children {
+		crel := (child - root + p) % p
+		csub := subtreeSize(crel, p)
+		off := (crel - rel) * n
+		dst := sliceOrNil(stage, off, off+csub*n)
+		if _, err := c.recvBytes(child, tagGather, dst, csub*n); err != nil {
+			return fmt.Errorf("mpi: Gather recv: %w", err)
+		}
+	}
+	if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
+		c.completeSend(c.postSend(parent, tagGather, stage, sub*n))
+		return nil
+	}
+	if rbuf != nil && stage != nil {
+		for r := 0; r < p; r++ {
+			abs := (r + root) % p
+			copy(rbuf[abs*n:(abs+1)*n], stage[r*n:(r+1)*n])
+		}
+	}
+	return nil
+}
+
+// Scatter distributes p consecutive blocks of sbuf at root to the ranks.
+// len(sbuf) at root must be p*len(rbuf).
+func (c *Comm) Scatter(sbuf, rbuf []byte, root int) error {
+	return c.ScatterN(sbuf, rbuf, len(rbuf), root)
+}
+
+// ScatterN is Scatter with an explicit per-rank byte count.
+func (c *Comm) ScatterN(sbuf, rbuf []byte, n, root int) error {
+	if err := c.checkRank(root, "Scatter root"); err != nil {
+		return err
+	}
+	p := len(c.group)
+	if c.rank == root && sbuf != nil && len(sbuf) < p*n {
+		return fmt.Errorf("mpi: Scatter send buffer %d < %d", len(sbuf), p*n)
+	}
+	rel := (c.rank - root + p) % p
+	sub := subtreeSize(rel, p)
+	var stage []byte
+	if c.rank == root {
+		if sbuf != nil {
+			// Stage in relative order so subtree blocks are contiguous.
+			stage = make([]byte, p*n)
+			for r := 0; r < p; r++ {
+				abs := (r + root) % p
+				copy(stage[r*n:(r+1)*n], sbuf[abs*n:(abs+1)*n])
+			}
+		}
+	} else if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
+		if c.wantsData(rbuf) {
+			stage = make([]byte, sub*n)
+		}
+		if _, err := c.recvBytes(parent, tagScatter, stage, sub*n); err != nil {
+			return fmt.Errorf("mpi: Scatter recv: %w", err)
+		}
+	}
+	for _, child := range collective.BinomialChildren(c.rank, root, p) {
+		crel := (child - root + p) % p
+		csub := subtreeSize(crel, p)
+		off := (crel - rel) * n
+		c.completeSend(c.postSend(child, tagScatter, sliceOrNil(stage, off, off+csub*n), csub*n))
+	}
+	if rbuf != nil && stage != nil {
+		copy(rbuf[:n], stage[:n])
+	}
+	return nil
+}
+
+// wantsData reports whether local staging buffers should be materialised.
+func (c *Comm) wantsData(userBuf []byte) bool { return userBuf != nil }
+
+// sliceOrNil returns buf[lo:hi] or nil when buf is nil (timing-only paths).
+func sliceOrNil(buf []byte, lo, hi int) []byte {
+	if buf == nil {
+		return nil
+	}
+	return buf[lo:hi]
+}
+
+// blockBounds partitions n bytes into parts contiguous blocks whose
+// boundaries are aligned to align bytes; it returns parts+1 offsets.
+func blockBounds(n, parts, align int) []int {
+	if align <= 0 {
+		align = 1
+	}
+	elems := n / align
+	bounds := make([]int, parts+1)
+	for i := 0; i <= parts; i++ {
+		bounds[i] = (elems * i / parts) * align
+	}
+	bounds[parts] = n
+	return bounds
+}

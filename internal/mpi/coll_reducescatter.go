@@ -1,0 +1,141 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+)
+
+// ReduceScatterBlock reduces p equal blocks of sbuf across the ranks and
+// leaves block r on rank r in rbuf; len(sbuf) == p*len(rbuf).
+func (c *Comm) ReduceScatterBlock(sbuf, rbuf []byte, dt DType, op Op) error {
+	return c.ReduceScatterBlockN(sbuf, rbuf, len(rbuf), dt, op)
+}
+
+// ReduceScatterBlockN is ReduceScatterBlock with an explicit per-rank byte
+// count; buffers may be nil in timing-only worlds.
+func (c *Comm) ReduceScatterBlockN(sbuf, rbuf []byte, n int, dt DType, op Op) error {
+	if n%dt.Size() != 0 {
+		return fmt.Errorf("mpi: ReduceScatter block %d not a multiple of %s", n, dt)
+	}
+	p := len(c.group)
+	counts := make([]int, p)
+	for i := range counts {
+		counts[i] = n
+	}
+	return c.ReduceScatterN(sbuf, rbuf, counts, dt, op)
+}
+
+// ReduceScatter reduces sbuf across ranks and scatters it by counts (bytes
+// per rank, summing to len(sbuf)); rank r receives counts[r] bytes in rbuf.
+func (c *Comm) ReduceScatter(sbuf, rbuf []byte, counts []int, dt DType, op Op) error {
+	return c.ReduceScatterN(sbuf, rbuf, counts, dt, op)
+}
+
+// ReduceScatterN implements reduce-scatter with per-rank byte counts using
+// recursive halving on power-of-two groups with block-aligned windows, and
+// a pairwise exchange otherwise.
+func (c *Comm) ReduceScatterN(sbuf, rbuf []byte, counts []int, dt DType, op Op) error {
+	p := len(c.group)
+	if len(counts) != p {
+		return fmt.Errorf("mpi: ReduceScatter counts length %d != %d ranks", len(counts), p)
+	}
+	total := 0
+	for r, cnt := range counts {
+		if cnt < 0 || cnt%dt.Size() != 0 {
+			return fmt.Errorf("mpi: ReduceScatter count[%d]=%d invalid for %s", r, cnt, dt)
+		}
+		total += cnt
+	}
+	if sbuf != nil && len(sbuf) < total {
+		return fmt.Errorf("mpi: ReduceScatter send buffer %d < %d", len(sbuf), total)
+	}
+	if rbuf != nil && len(rbuf) < counts[c.rank] {
+		return fmt.Errorf("mpi: ReduceScatter recv buffer %d < %d", len(rbuf), counts[c.rank])
+	}
+	if p == 1 {
+		if sbuf != nil && rbuf != nil {
+			copy(rbuf[:total], sbuf[:total])
+		}
+		return nil
+	}
+	var err error
+	if collective.IsPof2(p) {
+		err = c.reduceScatterHalving(sbuf, rbuf, counts, total, dt, op)
+	} else {
+		err = c.reduceScatterPairwise(sbuf, rbuf, counts, total, dt, op)
+	}
+	if err != nil {
+		return fmt.Errorf("mpi: ReduceScatter: %w", err)
+	}
+	return nil
+}
+
+// reduceScatterHalving: recursive halving over rank-count-aligned windows.
+func (c *Comm) reduceScatterHalving(sbuf, rbuf []byte, counts []int, total int, dt DType, op Op) error {
+	p := len(c.group)
+	offs := make([]int, p+1)
+	for r := 0; r < p; r++ {
+		offs[r+1] = offs[r] + counts[r]
+	}
+	var acc, tmp []byte
+	if sbuf != nil {
+		acc = make([]byte, total)
+		copy(acc, sbuf[:total])
+		tmp = make([]byte, total)
+	}
+	for _, s := range collective.RecursiveHalvingSchedule(c.rank, p) {
+		sLo, sHi := offs[s.SendLo], offs[s.SendHi]
+		kLo, kHi := offs[s.KeepLo], offs[s.KeepHi]
+		if _, err := c.sendrecvRaw(
+			sliceOrNil(acc, sLo, sHi), sHi-sLo, s.Peer, tagReduceScatter,
+			sliceOrNil(tmp, kLo, kHi), kHi-kLo, s.Peer, tagReduceScatter,
+		); err != nil {
+			return err
+		}
+		c.chargeCompute(kHi - kLo)
+		if acc != nil {
+			if err := reduceInto(acc[kLo:kHi], tmp[kLo:kHi], dt, op); err != nil {
+				return err
+			}
+		}
+	}
+	if rbuf != nil && acc != nil {
+		copy(rbuf[:counts[c.rank]], acc[offs[c.rank]:offs[c.rank+1]])
+	}
+	return nil
+}
+
+// reduceScatterPairwise: p-1 rounds; in round k each rank sends the block
+// destined for rank+k and receives (and reduces) its own block from rank-k.
+func (c *Comm) reduceScatterPairwise(sbuf, rbuf []byte, counts []int, total int, dt DType, op Op) error {
+	p := len(c.group)
+	offs := make([]int, p+1)
+	for r := 0; r < p; r++ {
+		offs[r+1] = offs[r] + counts[r]
+	}
+	mine := counts[c.rank]
+	var tmp []byte
+	if sbuf != nil && rbuf != nil {
+		copy(rbuf[:mine], sbuf[offs[c.rank]:offs[c.rank]+mine])
+		tmp = make([]byte, mine)
+	}
+	for k := 1; k < p; k++ {
+		dst := (c.rank + k) % p
+		src := (c.rank - k + p) % p
+		sLo, sHi := offs[dst], offs[dst+1]
+		if _, err := c.sendrecvRaw(
+			sliceOrNil(sbuf, sLo, sHi), sHi-sLo, dst, tagReduceScatter,
+			tmp, mine, src, tagReduceScatter,
+		); err != nil {
+			return err
+		}
+		c.chargeCompute(mine)
+		if rbuf != nil && tmp != nil {
+			if err := reduceInto(rbuf[:mine], tmp, dt, op); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

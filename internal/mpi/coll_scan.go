@@ -1,0 +1,106 @@
+package mpi
+
+import "fmt"
+
+// Scan and Exscan: inclusive and exclusive prefix reductions. OMB-Py's
+// first release does not benchmark them (paper Table II), but mpi4py
+// exposes both, so the runtime provides them for library completeness.
+// Both use the classic log-round distance-doubling algorithm.
+
+// Scan leaves op(sbuf_0, ..., sbuf_rank) in rbuf on each rank.
+func (c *Comm) Scan(sbuf, rbuf []byte, dt DType, op Op) error {
+	return c.ScanN(sbuf, rbuf, len(sbuf), dt, op)
+}
+
+// ScanN is Scan with an explicit byte count; buffers may be nil in
+// timing-only worlds.
+func (c *Comm) ScanN(sbuf, rbuf []byte, n int, dt DType, op Op) error {
+	if n%dt.Size() != 0 {
+		return fmt.Errorf("mpi: Scan size %d not a multiple of %s", n, dt)
+	}
+	return c.scan(sbuf, rbuf, n, dt, op, false)
+}
+
+// Exscan leaves op(sbuf_0, ..., sbuf_{rank-1}) in rbuf on each rank;
+// rbuf on rank 0 is left untouched, as in MPI.
+func (c *Comm) Exscan(sbuf, rbuf []byte, dt DType, op Op) error {
+	return c.ExscanN(sbuf, rbuf, len(sbuf), dt, op)
+}
+
+// ExscanN is Exscan with an explicit byte count.
+func (c *Comm) ExscanN(sbuf, rbuf []byte, n int, dt DType, op Op) error {
+	if n%dt.Size() != 0 {
+		return fmt.Errorf("mpi: Exscan size %d not a multiple of %s", n, dt)
+	}
+	return c.scan(sbuf, rbuf, n, dt, op, true)
+}
+
+// scan implements the distance-doubling prefix reduction: in round k, rank
+// r sends its accumulated value to r+2^k and receives from r-2^k, folding
+// the received partial into both its running total and (for ranks that
+// will still send) its outgoing value.
+func (c *Comm) scan(sbuf, rbuf []byte, n int, dt DType, op Op, exclusive bool) error {
+	p := len(c.group)
+	carry := sbuf != nil && rbuf != nil
+
+	// acc: the value this rank forwards (op of a contiguous rank window
+	// ending at this rank). partial: the prefix result under construction.
+	var acc, partial, tmp []byte
+	var havePartial bool
+	if carry {
+		acc = make([]byte, n)
+		copy(acc, sbuf[:n])
+		partial = make([]byte, n)
+		tmp = make([]byte, n)
+	}
+	if !exclusive {
+		if carry {
+			copy(partial, sbuf[:n])
+		}
+		havePartial = true
+	}
+
+	for k := 1; k < p; k *= 2 {
+		dst := c.rank + k
+		src := c.rank - k
+		var ps *pendingSend
+		if dst < p {
+			ps = c.postSendScan(acc, n, dst)
+		}
+		if src >= 0 {
+			if _, err := c.recvBytes(src, tagScan, tmp, n); err != nil {
+				return err
+			}
+			c.chargeCompute(n)
+			if carry {
+				// Fold into the forwarded accumulator.
+				if err := reduceInto(acc, tmp, dt, op); err != nil {
+					return err
+				}
+				// Fold into (or seed) the prefix result. tmp holds
+				// op(sbuf_{src-k+1..src}) = the block immediately left of
+				// everything already in partial.
+				if havePartial {
+					if err := reduceInto(partial, tmp, dt, op); err != nil {
+						return err
+					}
+				} else {
+					copy(partial, tmp)
+				}
+			}
+			havePartial = true
+		}
+		if ps != nil {
+			c.completeSend(ps)
+		}
+	}
+	if carry && havePartial && !(exclusive && c.rank == 0) {
+		copy(rbuf[:n], partial)
+	}
+	return nil
+}
+
+// postSend helper with the scan tag (acc may be nil in timing-only mode).
+func (c *Comm) postSendScan(acc []byte, n, dst int) *pendingSend {
+	return c.postSend(dst, tagScan, acc, n)
+}

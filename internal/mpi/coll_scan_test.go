@@ -1,0 +1,130 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestScanInclusive(t *testing.T) {
+	forAllWorlds(t, func(t *testing.T, cc collCase) {
+		for _, elems := range []int{1, 64, 4096} {
+			w := testWorld(t, cc.n, cc.ppn)
+			err := w.Run(func(pr *Proc) error {
+				c := pr.CommWorld()
+				vals := make([]float64, elems)
+				for i := range vals {
+					vals[i] = float64(pr.Rank()+1) + float64(i)
+				}
+				rbuf := make([]byte, elems*8)
+				if err := c.Scan(EncodeFloat64s(vals), rbuf, Float64, OpSum); err != nil {
+					return err
+				}
+				got := DecodeFloat64s(rbuf)
+				r := pr.Rank()
+				prefixRanks := float64((r + 1) * (r + 2) / 2) // sum of 1..r+1
+				for i, g := range got {
+					want := prefixRanks + float64((r+1)*i)
+					if g != want {
+						return fmt.Errorf("rank %d elem %d: got %v want %v", r, i, g, want)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("elems=%d: %v", elems, err)
+			}
+		}
+	})
+}
+
+func TestExscanExclusive(t *testing.T) {
+	forAllWorlds(t, func(t *testing.T, cc collCase) {
+		w := testWorld(t, cc.n, cc.ppn)
+		err := w.Run(func(pr *Proc) error {
+			c := pr.CommWorld()
+			vals := []int32{int32(pr.Rank() + 1), int32(2 * (pr.Rank() + 1))}
+			rbuf := EncodeInt32s([]int32{-77, -77}) // sentinel for rank 0
+			if err := c.Exscan(EncodeInt32s(vals), rbuf, Int32, OpSum); err != nil {
+				return err
+			}
+			got := DecodeInt32s(rbuf)
+			r := pr.Rank()
+			if r == 0 {
+				if got[0] != -77 || got[1] != -77 {
+					return fmt.Errorf("rank 0 buffer must be untouched, got %v", got)
+				}
+				return nil
+			}
+			wantA := int32(r * (r + 1) / 2) // sum of 1..r
+			if got[0] != wantA || got[1] != 2*wantA {
+				return fmt.Errorf("rank %d: got %v want [%d %d]", r, got, wantA, 2*wantA)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestScanSizeValidation(t *testing.T) {
+	w := testWorld(t, 2, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		if err := c.ScanN(nil, nil, 7, Float64, OpSum); err == nil {
+			return fmt.Errorf("7 bytes of float64 should fail")
+		}
+		if err := c.ExscanN(nil, nil, 3, Int32, OpSum); err == nil {
+			return fmt.Errorf("3 bytes of int32 should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanTimingOnlyMatchesData(t *testing.T) {
+	measure := func(carry bool) float64 {
+		place, err := topologyPlacement(8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(Config{
+			Placement: place,
+			Model:     fronteraModelForTest(),
+			CarryData: carry,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var elapsed float64
+		err = w.Run(func(pr *Proc) error {
+			c := pr.CommWorld()
+			n := 64 * 1024
+			var s, r []byte
+			if carry {
+				s = pattern(pr.Rank(), n)
+				r = make([]byte, n)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			start := pr.Wtime()
+			if err := c.ScanN(s, r, n, Float64, OpSum); err != nil {
+				return err
+			}
+			if pr.Rank() == 0 {
+				elapsed = float64(pr.Wtime() - start)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	if a, b := measure(true), measure(false); a != b {
+		t.Fatalf("scan timing-only diverges: %v vs %v", b, a)
+	}
+}

@@ -1,0 +1,220 @@
+package mpi
+
+import "fmt"
+
+// Vector-variant collectives (Gatherv, Scatterv, Allgatherv, Alltoallv).
+// Like MPICH and MVAPICH2, these use linear algorithms: with per-rank counts
+// the tree optimisations give little and the reference implementations keep
+// them linear, so the benchmark shapes match. Counts and displacements are
+// in bytes. Buffers may be nil in timing-only worlds.
+
+func checkVector(counts, displs []int, p int, what string) error {
+	if len(counts) != p {
+		return fmt.Errorf("mpi: %s counts length %d != %d ranks", what, len(counts), p)
+	}
+	if displs != nil && len(displs) != p {
+		return fmt.Errorf("mpi: %s displs length %d != %d ranks", what, len(displs), p)
+	}
+	for r, cnt := range counts {
+		if cnt < 0 {
+			return fmt.Errorf("mpi: %s count[%d]=%d negative", what, r, cnt)
+		}
+	}
+	return nil
+}
+
+// contiguousDispls derives displacements for nil displs (packed layout).
+func contiguousDispls(counts []int) []int {
+	displs := make([]int, len(counts))
+	off := 0
+	for r, cnt := range counts {
+		displs[r] = off
+		off += cnt
+	}
+	return displs
+}
+
+// Gatherv gathers counts[r] bytes from rank r into rbuf at displs[r] on
+// root. Non-root ranks may pass nil rbuf/counts only if they also pass their
+// send size via sbuf. displs == nil means packed layout.
+func (c *Comm) Gatherv(sbuf []byte, rbuf []byte, counts, displs []int, root int) error {
+	if err := c.checkRank(root, "Gatherv root"); err != nil {
+		return err
+	}
+	p := len(c.group)
+	if c.rank != root {
+		c.completeSend(c.postSend(root, tagVector, sbuf, len(sbuf)))
+		return nil
+	}
+	if err := checkVector(counts, displs, p, "Gatherv"); err != nil {
+		return err
+	}
+	if displs == nil {
+		displs = contiguousDispls(counts)
+	}
+	if sbuf != nil && rbuf != nil {
+		copy(rbuf[displs[root]:displs[root]+counts[root]], sbuf[:counts[root]])
+	}
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		dst := sliceOrNil(rbuf, displs[r], displs[r]+counts[r])
+		if _, err := c.recvBytes(r, tagVector, dst, counts[r]); err != nil {
+			return fmt.Errorf("mpi: Gatherv recv from %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// GathervN is Gatherv for timing-only worlds: the non-root send size is
+// explicit so sbuf may be nil.
+func (c *Comm) GathervN(n int, rbuf []byte, counts, displs []int, root int) error {
+	if err := c.checkRank(root, "Gatherv root"); err != nil {
+		return err
+	}
+	p := len(c.group)
+	if c.rank != root {
+		c.completeSend(c.postSend(root, tagVector, nil, n))
+		return nil
+	}
+	if err := checkVector(counts, displs, p, "Gatherv"); err != nil {
+		return err
+	}
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		if _, err := c.recvBytes(r, tagVector, nil, counts[r]); err != nil {
+			return fmt.Errorf("mpi: Gatherv recv from %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Scatterv scatters counts[r] bytes at displs[r] of sbuf on root to rank r's
+// rbuf. displs == nil means packed layout.
+func (c *Comm) Scatterv(sbuf []byte, counts, displs []int, rbuf []byte, root int) error {
+	if err := c.checkRank(root, "Scatterv root"); err != nil {
+		return err
+	}
+	p := len(c.group)
+	if c.rank != root {
+		if _, err := c.recvBytes(root, tagVector, rbuf, len(rbuf)); err != nil {
+			return fmt.Errorf("mpi: Scatterv recv: %w", err)
+		}
+		return nil
+	}
+	if err := checkVector(counts, displs, p, "Scatterv"); err != nil {
+		return err
+	}
+	if displs == nil {
+		displs = contiguousDispls(counts)
+	}
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		src := sliceOrNil(sbuf, displs[r], displs[r]+counts[r])
+		c.completeSend(c.postSend(r, tagVector, src, counts[r]))
+	}
+	if sbuf != nil && rbuf != nil {
+		copy(rbuf[:counts[root]], sbuf[displs[root]:displs[root]+counts[root]])
+	}
+	return nil
+}
+
+// ScattervN is Scatterv for timing-only worlds: the root sends counts[r]
+// bytes to each rank and non-roots receive n bytes, all without payloads.
+func (c *Comm) ScattervN(counts []int, n, root int) error {
+	if err := c.checkRank(root, "Scatterv root"); err != nil {
+		return err
+	}
+	p := len(c.group)
+	if c.rank != root {
+		if _, err := c.recvBytes(root, tagVector, nil, n); err != nil {
+			return fmt.Errorf("mpi: Scatterv recv: %w", err)
+		}
+		return nil
+	}
+	if err := checkVector(counts, nil, p, "Scatterv"); err != nil {
+		return err
+	}
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		c.completeSend(c.postSend(r, tagVector, nil, counts[r]))
+	}
+	return nil
+}
+
+// Allgatherv gathers counts[r] bytes from rank r to every rank at displs[r].
+// Implemented, as in the reference MPI libraries, as a ring of p-1 rounds so
+// each round forwards one rank's (variable-sized) block.
+func (c *Comm) Allgatherv(sbuf []byte, rbuf []byte, counts, displs []int) error {
+	p := len(c.group)
+	if err := checkVector(counts, displs, p, "Allgatherv"); err != nil {
+		return err
+	}
+	if displs == nil {
+		displs = contiguousDispls(counts)
+	}
+	if sbuf != nil && rbuf != nil {
+		copy(rbuf[displs[c.rank]:displs[c.rank]+counts[c.rank]], sbuf[:counts[c.rank]])
+	}
+	if p == 1 {
+		return nil
+	}
+	sendTo := (c.rank + 1) % p
+	recvFrom := (c.rank - 1 + p) % p
+	have := c.rank
+	for step := 0; step < p-1; step++ {
+		want := (have - 1 + p) % p
+		sBlk := sliceOrNil(rbuf, displs[have], displs[have]+counts[have])
+		rBlk := sliceOrNil(rbuf, displs[want], displs[want]+counts[want])
+		if _, err := c.sendrecvRaw(
+			sBlk, counts[have], sendTo, tagVector,
+			rBlk, counts[want], recvFrom, tagVector,
+		); err != nil {
+			return fmt.Errorf("mpi: Allgatherv ring step %d: %w", step, err)
+		}
+		have = want
+	}
+	return nil
+}
+
+// Alltoallv exchanges scounts[r] bytes at sdispls[r] of sbuf with every rank
+// r, receiving rcounts[r] bytes at rdispls[r] of rbuf, via pairwise rounds.
+func (c *Comm) Alltoallv(sbuf []byte, scounts, sdispls []int, rbuf []byte, rcounts, rdispls []int) error {
+	p := len(c.group)
+	if err := checkVector(scounts, sdispls, p, "Alltoallv send"); err != nil {
+		return err
+	}
+	if err := checkVector(rcounts, rdispls, p, "Alltoallv recv"); err != nil {
+		return err
+	}
+	if sdispls == nil {
+		sdispls = contiguousDispls(scounts)
+	}
+	if rdispls == nil {
+		rdispls = contiguousDispls(rcounts)
+	}
+	if sbuf != nil && rbuf != nil {
+		copy(rbuf[rdispls[c.rank]:rdispls[c.rank]+rcounts[c.rank]],
+			sbuf[sdispls[c.rank]:sdispls[c.rank]+scounts[c.rank]])
+	}
+	for k := 1; k < p; k++ {
+		dst := (c.rank + k) % p
+		src := (c.rank - k + p) % p
+		sBlk := sliceOrNil(sbuf, sdispls[dst], sdispls[dst]+scounts[dst])
+		rBlk := sliceOrNil(rbuf, rdispls[src], rdispls[src]+rcounts[src])
+		if _, err := c.sendrecvRaw(
+			sBlk, scounts[dst], dst, tagVector,
+			rBlk, rcounts[src], src, tagVector,
+		); err != nil {
+			return fmt.Errorf("mpi: Alltoallv round %d: %w", k, err)
+		}
+	}
+	return nil
+}

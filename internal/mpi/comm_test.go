@@ -1,0 +1,254 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestProbeThenRecv(t *testing.T) {
+	w := testWorld(t, 2, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			return c.Send(pattern(0, 48), 1, 6)
+		}
+		st, err := c.Probe(0, 6)
+		if err != nil {
+			return err
+		}
+		if st.Count != 48 || st.Source != 0 || st.Tag != 6 {
+			return fmt.Errorf("probe status %+v", st)
+		}
+		// Allocate exactly and receive: the mpi4py object path's pattern.
+		buf := make([]byte, st.Count)
+		if _, err := c.Recv(buf, st.Source, st.Tag); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, pattern(0, 48)) {
+			return errors.New("payload after probe corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeDoesNotConsume(t *testing.T) {
+	w := testWorld(t, 2, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			return c.Send([]byte{9}, 1, 1)
+		}
+		for i := 0; i < 3; i++ { // repeated probes see the same message
+			st, err := c.Probe(0, 1)
+			if err != nil {
+				return err
+			}
+			if st.Count != 1 {
+				return fmt.Errorf("probe %d count %d", i, st.Count)
+			}
+		}
+		_, err := c.Recv(make([]byte, 1), 0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	w := testWorld(t, 2, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if _, err := c.Probe(9, 0); err == nil {
+			return errors.New("probe of invalid rank should fail")
+		}
+		if _, err := c.Probe(0, MaxUserTag+5); err == nil {
+			return errors.New("probe of reserved tag should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvNTimingOnlySizes(t *testing.T) {
+	place, err := topologyPlacement(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(Config{
+		Placement: place, Model: fronteraModelForTest(), CarryData: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		peer := 1 - p.Rank()
+		st, err := c.SendrecvN(nil, 4096, peer, 1, nil, 4096, peer, 1)
+		if err != nil {
+			return err
+		}
+		if st.Count != 4096 {
+			return fmt.Errorf("count %d", st.Count)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitThreeColorsUnevenGroups(t *testing.T) {
+	w := testWorld(t, 9, 5)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		color := p.Rank() % 3
+		sub, err := c.Split(color, p.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size %d", sub.Size())
+		}
+		// With key = world rank, comm rank preserves world order.
+		if want := p.Rank() / 3; sub.Rank() != want {
+			return fmt.Errorf("world %d: sub rank %d want %d", p.Rank(), sub.Rank(), want)
+		}
+		// Nested collectives on every subgroup concurrently.
+		buf := make([]byte, 8)
+		if sub.Rank() == 0 {
+			copy(buf, pattern(color, 8))
+		}
+		if err := sub.Bcast(buf, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, pattern(color, 8)) {
+			return fmt.Errorf("world %d: subgroup bcast corrupted", p.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSingletons(t *testing.T) {
+	w := testWorld(t, 4, 4)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		sub, err := c.Split(p.Rank(), 0) // every rank its own color
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 1 || sub.Rank() != 0 {
+			return fmt.Errorf("singleton %d/%d", sub.Rank(), sub.Size())
+		}
+		// Size-1 collectives must be no-ops that still work.
+		buf := pattern(p.Rank(), 16)
+		out := make([]byte, 16)
+		if err := sub.Allreduce(buf, out, Uint8, OpMax); err != nil {
+			return err
+		}
+		if !bytes.Equal(out, buf) {
+			return errors.New("singleton allreduce is identity")
+		}
+		return sub.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupIsolatesTraffic(t *testing.T) {
+	w := testWorld(t, 2, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		dup, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			// Same tag on both communicators; receivers must get the right
+			// payload per context.
+			if err := c.Send([]byte{1}, 1, 7); err != nil {
+				return err
+			}
+			return dup.Send([]byte{2}, 1, 7)
+		}
+		buf := make([]byte, 1)
+		// Receive on the dup FIRST: context matching must skip the world
+		// message even though it was sent earlier with the same tag.
+		if _, err := dup.Recv(buf, 0, 7); err != nil {
+			return err
+		}
+		if buf[0] != 2 {
+			return fmt.Errorf("dup delivered %d", buf[0])
+		}
+		if _, err := c.Recv(buf, 0, 7); err != nil {
+			return err
+		}
+		if buf[0] != 1 {
+			return fmt.Errorf("world delivered %d", buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldRankMapping(t *testing.T) {
+	w := testWorld(t, 6, 3)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		sub, err := c.Split(p.Rank()%2, 0)
+		if err != nil {
+			return err
+		}
+		// Comm rank r of the even group is world rank 2r.
+		for r := 0; r < sub.Size(); r++ {
+			want := 2*r + p.Rank()%2
+			if got := sub.WorldRank(r); got != want {
+				return fmt.Errorf("WorldRank(%d) = %d, want %d", r, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBigWorldSmoke(t *testing.T) {
+	// 896 goroutine-ranks, the scale of the paper's full-subscription runs.
+	if testing.Short() {
+		t.Skip("big world")
+	}
+	place, err := topologyPlacement(896, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(Config{
+		Placement: place, Model: fronteraModelForTest(), CarryData: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return c.AllreduceN(nil, nil, 1024, Float32, OpSum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

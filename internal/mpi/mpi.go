@@ -1,0 +1,198 @@
+// Package mpi implements a complete MPI-like message-passing runtime in Go
+// with deterministic virtual timing. Ranks are goroutines; payload bytes
+// really move through per-rank mailboxes with tag matching; blocking
+// semantics (eager vs rendezvous) follow the protocol selected by the
+// network model; and every operation advances the rank's virtual clock so
+// the micro-benchmarks built on top report reproducible latencies.
+//
+// The package provides communicators, blocking point-to-point operations,
+// and the blocking collectives of the paper's Table II (plus their vector
+// variants), with algorithm selection that mirrors MVAPICH2's tuning:
+// binomial trees, recursive doubling/halving, Rabenseifner's allreduce,
+// Bruck and pairwise alltoall, and ring allgather.
+package mpi
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/netmodel"
+	"repro/internal/topology"
+	"repro/internal/vtime"
+)
+
+// Wildcards and limits.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -1
+	// MaxUserTag is the largest tag available to applications; higher tags
+	// are reserved for internal collective traffic.
+	MaxUserTag = 1<<20 - 1
+)
+
+// Config describes a world to be created.
+type Config struct {
+	// Placement maps ranks onto a cluster (required).
+	Placement *topology.Placement
+	// Model prices every event (required).
+	Model *netmodel.Model
+	// PyMode applies the Python-binding penalty model (THREAD_MULTIPLE
+	// locking and shared-memory degradation) to every operation; it is set
+	// by the mpi4py layer and off for the C (OMB) baseline.
+	PyMode bool
+	// CarryData disables payload movement when false: messages carry only
+	// sizes and timing, which lets the huge-scale experiments (896 ranks x
+	// megabyte buffers) run without allocating terabytes. Correctness tests
+	// always run with CarryData true.
+	CarryData bool
+	// Trace, when non-nil, records every message endpoint with virtual
+	// timestamps for message-complexity analysis.
+	Trace *Trace
+	// Tuning overrides collective algorithm-selection thresholds; zero
+	// fields keep the shipped defaults.
+	Tuning Tuning
+}
+
+// World is a set of ranks sharing mailboxes and a cost model.
+type World struct {
+	cfg       Config
+	size      int
+	fullSub   bool
+	tuning    Tuning
+	mailboxes []*mailbox
+
+	ctxMu   sync.Mutex
+	nextCtx int
+}
+
+// NewWorld validates cfg and builds a world.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Placement == nil {
+		return nil, fmt.Errorf("mpi: Config.Placement is required")
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("mpi: Config.Model is required")
+	}
+	if cfg.Model.Cluster != cfg.Placement.Cluster() {
+		return nil, fmt.Errorf("mpi: model calibrated for %s but placement is on %s",
+			cfg.Model.Cluster.Name, cfg.Placement.Cluster().Name)
+	}
+	size := cfg.Placement.Size()
+	w := &World{
+		cfg: cfg, size: size, fullSub: cfg.Placement.FullySubscribed(),
+		tuning: cfg.Tuning.withDefaults(), nextCtx: 1,
+	}
+	w.mailboxes = make([]*mailbox, size)
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Placement returns the hardware placement of the world's ranks.
+func (w *World) Placement() *topology.Placement { return w.cfg.Placement }
+
+// Model returns the world's cost model.
+func (w *World) Model() *netmodel.Model { return w.cfg.Model }
+
+// PyMode reports whether the Python-binding penalty model is active.
+func (w *World) PyMode() bool { return w.cfg.PyMode }
+
+// allocCtx reserves a contiguous block of n communicator context ids.
+func (w *World) allocCtx(n int) int {
+	w.ctxMu.Lock()
+	defer w.ctxMu.Unlock()
+	base := w.nextCtx
+	w.nextCtx += n
+	return base
+}
+
+// RankError wraps an error raised by a specific rank.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *RankError) Error() string { return fmt.Sprintf("mpi: rank %d: %v", e.Rank, e.Err) }
+
+// Unwrap exposes the underlying error.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// Run spawns one goroutine per rank, executes body in each, and waits for
+// all of them. The first error (by rank order) is returned; a panicking rank
+// is converted into an error carrying its stack.
+func (w *World) Run(body func(p *Proc) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("panic: %v\n%s", rec, debug.Stack())
+				}
+			}()
+			p := &Proc{world: w, rank: rank}
+			errs[rank] = body(p)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return &RankError{Rank: r, Err: err}
+		}
+	}
+	return nil
+}
+
+// Proc is the per-rank handle: it owns the rank's virtual clock and is only
+// ever used from that rank's goroutine.
+type Proc struct {
+	world *World
+	rank  int
+	clock vtime.Clock
+	// linkBusy tracks, per destination world rank, when this rank's wire
+	// to that peer frees up; back-to-back eager sends serialize on it.
+	linkBusy map[int]vtime.Micros
+}
+
+// Rank returns the world rank of this process.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.world.size }
+
+// World returns the world this process belongs to.
+func (p *Proc) World() *World { return p.world }
+
+// Wtime returns the rank's current virtual time, the analogue of MPI_Wtime.
+func (p *Proc) Wtime() vtime.Micros { return p.clock.Now() }
+
+// AdvanceClock charges local work of duration d to the rank, modelling
+// computation between communication calls.
+func (p *Proc) AdvanceClock(d vtime.Micros) { p.clock.Advance(d) }
+
+// CommWorld returns the communicator spanning all ranks (context 0).
+func (p *Proc) CommWorld() *Comm {
+	ranks := make([]int, p.world.size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return &Comm{proc: p, ctx: 0, group: ranks, rank: p.rank}
+}
+
+func (p *Proc) pyMode() bool  { return p.world.cfg.PyMode }
+func (p *Proc) fullSub() bool { return p.world.fullSub }
+
+// ResetClock rewinds the rank clock to zero. Benchmark harnesses call this
+// between repetitions (collectively, after a barrier) so virtual timestamps
+// stay small; it must never be called while messages are in flight.
+func (p *Proc) ResetClock() { p.clock.Set(0) }

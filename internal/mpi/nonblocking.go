@@ -1,0 +1,117 @@
+package mpi
+
+import "fmt"
+
+// Nonblocking point-to-point operations. The real OSU bandwidth tests post
+// windows of MPI_Isend/MPI_Irecv; OMB-Py's first release benchmarks only
+// blocking operations (paper Table II), so the benchmark engine does not
+// depend on these, but the runtime provides them for applications built on
+// the library.
+//
+// Semantics notes (documented deviations from full MPI):
+//   - Isend injects immediately (eager) or posts the RTS (rendezvous);
+//     Wait blocks until the transfer drains, exactly like Send's tail.
+//   - Irecv records the (source, tag) to match; the match happens at
+//     Wait time. Matching order among multiple pending Irecvs is the order
+//     their Waits run, which for single-threaded ranks equals post order
+//     when Waitall is used.
+
+// Request tracks an outstanding nonblocking operation.
+type Request struct {
+	comm *Comm
+	// send side
+	ps   *pendingSend
+	sent bool
+	// recv side
+	buf      []byte
+	max      int
+	src, tag int
+	isRecv   bool
+
+	done   bool
+	status Status
+}
+
+// Isend starts a nonblocking standard-mode send and returns its request.
+func (c *Comm) Isend(buf []byte, dst, tag int) (*Request, error) {
+	if err := c.checkRank(dst, "Isend dst"); err != nil {
+		return nil, err
+	}
+	if err := checkTag(tag); err != nil {
+		return nil, err
+	}
+	ps := c.postSend(dst, tag, buf, len(buf))
+	return &Request{comm: c, ps: ps, sent: true}, nil
+}
+
+// IsendN is Isend with an explicit byte count (timing-only worlds).
+func (c *Comm) IsendN(buf []byte, n, dst, tag int) (*Request, error) {
+	if err := c.checkRank(dst, "Isend dst"); err != nil {
+		return nil, err
+	}
+	if err := checkTag(tag); err != nil {
+		return nil, err
+	}
+	ps := c.postSend(dst, tag, buf, n)
+	return &Request{comm: c, ps: ps, sent: true}, nil
+}
+
+// Irecv posts a nonblocking receive; the match completes at Wait.
+func (c *Comm) Irecv(buf []byte, src, tag int) (*Request, error) {
+	if src != AnySource {
+		if err := c.checkRank(src, "Irecv src"); err != nil {
+			return nil, err
+		}
+	}
+	if tag != AnyTag {
+		if err := checkTag(tag); err != nil {
+			return nil, err
+		}
+	}
+	return &Request{comm: c, buf: buf, max: len(buf), src: src, tag: tag, isRecv: true}, nil
+}
+
+// IrecvN is Irecv with an explicit maximum byte count.
+func (c *Comm) IrecvN(buf []byte, n, src, tag int) (*Request, error) {
+	r, err := c.Irecv(buf, src, tag)
+	if err != nil {
+		return nil, err
+	}
+	r.max = n
+	return r, nil
+}
+
+// Wait blocks until the request completes and returns its status (receives
+// only; sends return a zero Status).
+func (r *Request) Wait() (Status, error) {
+	if r == nil {
+		return Status{}, fmt.Errorf("mpi: Wait on nil request")
+	}
+	if r.done {
+		return r.status, nil
+	}
+	r.done = true
+	if r.isRecv {
+		st, err := r.comm.recvBytes(r.src, r.tag, r.buf, r.max)
+		r.status = st
+		return st, err
+	}
+	if r.sent {
+		r.comm.completeSend(r.ps)
+	}
+	return Status{}, nil
+}
+
+// Done reports whether Wait has completed the request.
+func (r *Request) Done() bool { return r != nil && r.done }
+
+// Waitall completes every request in order and returns the first error.
+func Waitall(reqs []*Request) error {
+	var firstErr error
+	for i, r := range reqs {
+		if _, err := r.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("mpi: Waitall request %d: %w", i, err)
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,189 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestIsendIrecvBasic(t *testing.T) {
+	w := testWorld(t, 2, 2)
+	const n = 128
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			req, err := c.Isend(pattern(0, n), 1, 7)
+			if err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			if !req.Done() {
+				return errors.New("request not done after Wait")
+			}
+			return nil
+		}
+		buf := make([]byte, n)
+		req, err := c.Irecv(buf, 0, 7)
+		if err != nil {
+			return err
+		}
+		st, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if st.Source != 0 || st.Count != n {
+			return fmt.Errorf("status %+v", st)
+		}
+		if !bytes.Equal(buf, pattern(0, n)) {
+			return errors.New("payload corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowOfIsendsLikeOsuBw(t *testing.T) {
+	// The osu_bw pattern: a window of nonblocking sends, acknowledged.
+	w := testWorld(t, 2, 1)
+	const window, n = 16, 4096
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			reqs := make([]*Request, window)
+			for i := range reqs {
+				r, err := c.Isend(pattern(i, n), 1, 2)
+				if err != nil {
+					return err
+				}
+				reqs[i] = r
+			}
+			if err := Waitall(reqs); err != nil {
+				return err
+			}
+			_, err := c.Recv(make([]byte, 4), 1, 3)
+			return err
+		}
+		reqs := make([]*Request, window)
+		bufs := make([][]byte, window)
+		for i := range reqs {
+			bufs[i] = make([]byte, n)
+			r, err := c.Irecv(bufs[i], 0, 2)
+			if err != nil {
+				return err
+			}
+			reqs[i] = r
+		}
+		if err := Waitall(reqs); err != nil {
+			return err
+		}
+		for i, buf := range bufs {
+			if !bytes.Equal(buf, pattern(i, n)) {
+				return fmt.Errorf("window message %d corrupted", i)
+			}
+		}
+		return c.Send(make([]byte, 4), 0, 3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendRendezvousOverlap(t *testing.T) {
+	// Two overlapping rendezvous isends both complete under Waitall even
+	// when the peer posts its receives in reverse tag order.
+	w := testWorld(t, 2, 1)
+	const n = 128 * 1024
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			r1, err := c.Isend(pattern(1, n), 1, 1)
+			if err != nil {
+				return err
+			}
+			r2, err := c.Isend(pattern(2, n), 1, 2)
+			if err != nil {
+				return err
+			}
+			return Waitall([]*Request{r1, r2})
+		}
+		b2 := make([]byte, n)
+		if _, err := c.Recv(b2, 0, 2); err != nil {
+			return err
+		}
+		b1 := make([]byte, n)
+		if _, err := c.Recv(b1, 0, 1); err != nil {
+			return err
+		}
+		if !bytes.Equal(b1, pattern(1, n)) || !bytes.Equal(b2, pattern(2, n)) {
+			return errors.New("rendezvous payloads corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	w := testWorld(t, 2, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if _, err := c.Isend(nil, 5, 0); err == nil {
+			return errors.New("Isend to invalid rank should fail")
+		}
+		if _, err := c.Irecv(nil, 0, -2); err == nil {
+			return errors.New("Irecv with negative tag should fail")
+		}
+		var nilReq *Request
+		if _, err := nilReq.Wait(); err == nil {
+			return errors.New("Wait on nil request should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitIsIdempotent(t *testing.T) {
+	w := testWorld(t, 2, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			req, err := c.Isend([]byte{1}, 1, 1)
+			if err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			_, err = req.Wait() // second Wait is a no-op
+			return err
+		}
+		buf := make([]byte, 1)
+		req, err := c.Irecv(buf, 0, 1)
+		if err != nil {
+			return err
+		}
+		st1, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		st2, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if st1 != st2 {
+			return fmt.Errorf("idempotent Wait changed status: %+v vs %+v", st1, st2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

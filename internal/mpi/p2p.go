@@ -1,0 +1,382 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// ErrTruncate is returned when a received message is larger than the posted
+// receive buffer, mirroring MPI_ERR_TRUNCATE.
+type ErrTruncate struct {
+	Posted, Actual int
+	Source, Tag    int
+}
+
+// Error implements the error interface.
+func (e *ErrTruncate) Error() string {
+	return fmt.Sprintf("mpi: message truncated: posted %d bytes, received %d (source %d, tag %d)",
+		e.Posted, e.Actual, e.Source, e.Tag)
+}
+
+// ctlCarryMax is the largest payload still carried in timing-only worlds.
+const ctlCarryMax = 64 * 1024
+
+// Status describes a completed receive, like MPI_Status.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int // bytes received
+}
+
+// envelope is a message in flight. Eager messages carry their payload and
+// arrival timestamp; rendezvous messages carry a handshake.
+type envelope struct {
+	src, tag, ctx int
+	size          int
+	data          []byte       // payload copy (eager, CarryData worlds)
+	arrival       vtime.Micros // eager arrival instant
+	rdv           *rendezvous  // non-nil for rendezvous messages
+}
+
+// rendezvous carries the RTS state of a large message. The payload is
+// staged at post time; the receiver computes the transfer completion instant
+// (it knows both ready times and the wire cost) and reports it back on done,
+// so neither side ever waits on the other's *next* operation -- which is
+// what keeps symmetric exchanges (Sendrecv, recursive doubling) live.
+type rendezvous struct {
+	senderReady vtime.Micros      // sender clock when the RTS was posted
+	payload     []byte            // staged payload (nil in timing-only worlds)
+	done        chan vtime.Micros // receiver -> sender: transfer completion
+}
+
+// mailbox is the per-rank unexpected-message queue with tag matching.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*envelope
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) deliver(e *envelope) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, e)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// match blocks until a message matching (src, tag, ctx) is queued and
+// removes it. Matching is FIFO per (source, tag) pair, which together with
+// single-threaded ranks gives MPI's non-overtaking guarantee.
+func (mb *mailbox) match(src, tag, ctx int) *envelope {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, e := range mb.queue {
+			if e.ctx != ctx {
+				continue
+			}
+			if src != AnySource && e.src != src {
+				continue
+			}
+			if tag != AnyTag && e.tag != tag {
+				continue
+			}
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return e
+		}
+		mb.cond.Wait()
+	}
+}
+
+// peek blocks until a message matching (src, tag, ctx) is queued and
+// returns it without removing it.
+func (mb *mailbox) peek(src, tag, ctx int) *envelope {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for _, e := range mb.queue {
+			if e.ctx != ctx {
+				continue
+			}
+			if src != AnySource && e.src != src {
+				continue
+			}
+			if tag != AnyTag && e.tag != tag {
+				continue
+			}
+			return e
+		}
+		mb.cond.Wait()
+	}
+}
+
+// pendingSend tracks a posted-but-incomplete send. Eager sends complete at
+// post time and have a nil handle. Rendezvous sends complete when the
+// receiver's CTS arrives; splitting post from completion is what lets
+// Sendrecv (and the collectives built on it) exchange large messages
+// between two ranks without deadlock.
+type pendingSend struct {
+	rdv *rendezvous
+}
+
+// postSend injects a message toward communicator rank dst and returns a
+// handle that must be passed to completeSend. The payload is copied at post
+// time (or only sized, in timing-only worlds).
+func (c *Comm) postSend(dst, tag int, data []byte, size int) *pendingSend {
+	p := c.proc
+	w := p.world
+	gdst := c.group[dst]
+	link := w.cfg.Placement.Link(p.rank, gdst)
+	py, fullSub := p.pyMode(), p.fullSub()
+	cost := w.cfg.Model.PtPt(link, size, py, fullSub)
+	if py {
+		internal := tag > MaxUserTag
+		p.clock.Advance(w.cfg.Model.PyOpLock(link, size, internal, fullSub))
+	}
+	p.clock.Advance(cost.SendOverhead)
+
+	// Payloads move whenever the caller supplied a buffer, except that
+	// timing-only worlds (CarryData false) drop payloads above ctlCarryMax
+	// so huge-scale experiments never materialise terabytes. Control-plane
+	// traffic (Split, Dup) stays below the limit and therefore always works.
+	var payload []byte
+	if data != nil && (w.cfg.CarryData || size <= ctlCarryMax) {
+		payload = make([]byte, size)
+		copy(payload, data[:size])
+	}
+	w.cfg.Trace.record(Event{
+		Kind: EventSend, Rank: p.rank, Peer: gdst, Tag: tag, Bytes: size,
+		Link: link, Time: p.clock.Now(), Eager: cost.Eager,
+	})
+	if cost.Eager {
+		// Injection waits for the wire to this peer to free; the message
+		// then occupies it for its transmit time.
+		if p.linkBusy == nil {
+			p.linkBusy = make(map[int]vtime.Micros)
+		}
+		start := vtime.Max(p.clock.Now(), p.linkBusy[gdst])
+		p.linkBusy[gdst] = start + cost.Transmit
+		w.mailboxes[gdst].deliver(&envelope{
+			src: c.rank, tag: tag, ctx: c.ctx, size: size,
+			data: payload, arrival: start + cost.Wire,
+		})
+		return nil
+	}
+	rdv := &rendezvous{
+		senderReady: p.clock.Now(),
+		payload:     payload,
+		done:        make(chan vtime.Micros, 1),
+	}
+	w.mailboxes[gdst].deliver(&envelope{
+		src: c.rank, tag: tag, ctx: c.ctx, size: size, rdv: rdv,
+	})
+	return &pendingSend{rdv: rdv}
+}
+
+// completeSend blocks until the rendezvous transfer finishes and advances
+// the sender clock to its completion instant. It is a no-op for eager sends.
+func (c *Comm) completeSend(ps *pendingSend) {
+	if ps == nil {
+		return
+	}
+	c.proc.clock.AdvanceTo(<-ps.rdv.done)
+}
+
+// recvBytes implements blocking receive on a communicator. src is a
+// communicator rank or AnySource. It returns the message's communicator-rank
+// source, tag and byte count.
+func (c *Comm) recvBytes(src, tag int, buf []byte, max int) (Status, error) {
+	p := c.proc
+	w := p.world
+	e := w.mailboxes[p.rank].match(src, tag, c.ctx)
+	gsrc := c.group[e.src]
+	link := w.cfg.Placement.Link(p.rank, gsrc)
+	py, fullSub := p.pyMode(), p.fullSub()
+	cost := w.cfg.Model.PtPt(link, e.size, py, fullSub)
+
+	var payload []byte
+	if e.rdv == nil {
+		p.clock.AdvanceTo(e.arrival)
+		payload = e.data
+	} else {
+		// The transfer starts when both sides are ready and occupies the
+		// wire for the modelled duration; the receiver reports completion
+		// back so the blocking sender can advance its clock too.
+		done := vtime.Max(e.rdv.senderReady, p.clock.Now()) + cost.Wire
+		p.clock.AdvanceTo(done)
+		payload = e.rdv.payload
+		e.rdv.done <- done
+	}
+	p.clock.Advance(cost.RecvOverhead)
+	w.cfg.Trace.record(Event{
+		Kind: EventRecv, Rank: p.rank, Peer: gsrc, Tag: e.tag, Bytes: e.size,
+		Link: link, Time: p.clock.Now(), Eager: e.rdv == nil,
+	})
+
+	st := Status{Source: e.src, Tag: e.tag, Count: e.size}
+	if e.size > max {
+		st.Count = max
+		if payload != nil && buf != nil {
+			copy(buf[:max], payload[:max])
+		}
+		return st, &ErrTruncate{Posted: max, Actual: e.size, Source: e.src, Tag: e.tag}
+	}
+	if payload != nil && buf != nil {
+		copy(buf[:e.size], payload[:e.size])
+	}
+	return st, nil
+}
+
+// Send performs a blocking standard-mode send of buf to communicator rank
+// dst with the given tag.
+func (c *Comm) Send(buf []byte, dst, tag int) error {
+	if err := c.checkRank(dst, "Send dst"); err != nil {
+		return err
+	}
+	if err := checkTag(tag); err != nil {
+		return err
+	}
+	c.completeSend(c.postSend(dst, tag, buf, len(buf)))
+	return nil
+}
+
+// Recv performs a blocking receive into buf from communicator rank src
+// (or AnySource) with the given tag (or AnyTag).
+func (c *Comm) Recv(buf []byte, src, tag int) (Status, error) {
+	if src != AnySource {
+		if err := c.checkRank(src, "Recv src"); err != nil {
+			return Status{}, err
+		}
+	}
+	if tag != AnyTag {
+		if err := checkTag(tag); err != nil {
+			return Status{}, err
+		}
+	}
+	return c.recvBytes(src, tag, buf, len(buf))
+}
+
+// SendN is Send with an explicit byte count; buf may be nil in timing-only
+// worlds (the message then carries only its size).
+func (c *Comm) SendN(buf []byte, n, dst, tag int) error {
+	if err := c.checkRank(dst, "Send dst"); err != nil {
+		return err
+	}
+	if err := checkTag(tag); err != nil {
+		return err
+	}
+	c.completeSend(c.postSend(dst, tag, buf, n))
+	return nil
+}
+
+// RecvN is Recv with an explicit maximum byte count; buf may be nil in
+// timing-only worlds.
+func (c *Comm) RecvN(buf []byte, n, src, tag int) (Status, error) {
+	if src != AnySource {
+		if err := c.checkRank(src, "Recv src"); err != nil {
+			return Status{}, err
+		}
+	}
+	if tag != AnyTag {
+		if err := checkTag(tag); err != nil {
+			return Status{}, err
+		}
+	}
+	return c.recvBytes(src, tag, buf, n)
+}
+
+// Probe blocks until a message matching (src, tag) is available and returns
+// its status without consuming it, like MPI_Probe. The rank clock advances
+// to the message's availability instant.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	if src != AnySource {
+		if err := c.checkRank(src, "Probe src"); err != nil {
+			return Status{}, err
+		}
+	}
+	if tag != AnyTag {
+		if err := checkTag(tag); err != nil {
+			return Status{}, err
+		}
+	}
+	p := c.proc
+	e := p.world.mailboxes[p.rank].peek(src, tag, c.ctx)
+	if e.rdv == nil {
+		p.clock.AdvanceTo(e.arrival)
+	} else {
+		p.clock.AdvanceTo(e.rdv.senderReady)
+	}
+	return Status{Source: e.src, Tag: e.tag, Count: e.size}, nil
+}
+
+// Sendrecv sends sbuf to dst and receives into rbuf from src without
+// deadlock: the send is posted first (RTS for rendezvous), the receive is
+// satisfied, and only then does the call wait for the send to drain -- so
+// two ranks exchanging large messages both make progress.
+func (c *Comm) Sendrecv(sbuf []byte, dst, stag int, rbuf []byte, src, rtag int) (Status, error) {
+	if err := c.checkRank(dst, "Sendrecv dst"); err != nil {
+		return Status{}, err
+	}
+	if src != AnySource {
+		if err := c.checkRank(src, "Sendrecv src"); err != nil {
+			return Status{}, err
+		}
+	}
+	if err := checkTag(stag); err != nil {
+		return Status{}, err
+	}
+	if rtag != AnyTag {
+		if err := checkTag(rtag); err != nil {
+			return Status{}, err
+		}
+	}
+	ps := c.postSend(dst, stag, sbuf, len(sbuf))
+	st, err := c.recvBytes(src, rtag, rbuf, len(rbuf))
+	c.completeSend(ps)
+	return st, err
+}
+
+// SendrecvN is Sendrecv with explicit byte counts; buffers may be nil in
+// timing-only worlds.
+func (c *Comm) SendrecvN(sbuf []byte, sn, dst, stag int, rbuf []byte, rn, src, rtag int) (Status, error) {
+	if err := c.checkRank(dst, "Sendrecv dst"); err != nil {
+		return Status{}, err
+	}
+	if src != AnySource {
+		if err := c.checkRank(src, "Sendrecv src"); err != nil {
+			return Status{}, err
+		}
+	}
+	if err := checkTag(stag); err != nil {
+		return Status{}, err
+	}
+	if rtag != AnyTag {
+		if err := checkTag(rtag); err != nil {
+			return Status{}, err
+		}
+	}
+	return c.sendrecvRaw(sbuf, sn, dst, stag, rbuf, rn, src, rtag)
+}
+
+// sendrecvRaw is the internal exchange used by collectives: explicit sizes,
+// reserved tags, no validation.
+func (c *Comm) sendrecvRaw(sbuf []byte, ssize, dst, stag int, rbuf []byte, rsize, src, rtag int) (Status, error) {
+	ps := c.postSend(dst, stag, sbuf, ssize)
+	st, err := c.recvBytes(src, rtag, rbuf, rsize)
+	c.completeSend(ps)
+	return st, err
+}
+
+func checkTag(tag int) error {
+	if tag < 0 || tag > MaxUserTag {
+		return fmt.Errorf("mpi: tag %d outside [0, %d]", tag, MaxUserTag)
+	}
+	return nil
+}

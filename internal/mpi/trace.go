@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/topology"
+	"repro/internal/vtime"
+)
+
+// Tracing: an optional event recorder that captures every message the
+// runtime moves, with virtual timestamps and link classification. Traces
+// support the analysis workflows a benchmark-suite user needs -- how many
+// messages a collective generated, how many bytes crossed each link class,
+// where the virtual time went -- and are exercised by the test suite to
+// validate the collective algorithms' message complexity.
+
+// EventKind classifies a trace event.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EventSend EventKind = iota
+	EventRecv
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventSend:
+		return "send"
+	case EventRecv:
+		return "recv"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one traced message endpoint.
+type Event struct {
+	Kind EventKind
+	// Rank is the world rank recording the event.
+	Rank int
+	// Peer is the world rank on the other end.
+	Peer int
+	// Tag is the message tag (internal collective tags are above
+	// MaxUserTag).
+	Tag int
+	// Bytes is the message payload size.
+	Bytes int
+	// Link is the classified path between the endpoints.
+	Link topology.LinkClass
+	// Time is the rank's virtual clock after the operation.
+	Time vtime.Micros
+	// Eager reports the protocol used.
+	Eager bool
+}
+
+// Internal reports whether the event belongs to collective-internal
+// traffic rather than an application point-to-point call.
+func (e Event) Internal() bool { return e.Tag > MaxUserTag }
+
+// Trace accumulates events from all ranks of a world. Safe for concurrent
+// use; attach with Config.Trace.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace creates an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+func (t *Trace) record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events, ordered by virtual time
+// (ties broken by rank then kind for determinism).
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Reset discards all events.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = t.events[:0]
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Messages      int
+	Bytes         int64
+	ByLink        map[topology.LinkClass]int
+	BytesByLink   map[topology.LinkClass]int64
+	InternalMsgs  int // collective-internal messages
+	EagerMsgs     int
+	RendezvousMsg int
+	// Makespan is the latest event timestamp.
+	Makespan vtime.Micros
+}
+
+// Summarize computes the aggregate view over send events (each message is
+// counted once, at its sender).
+func (t *Trace) Summarize() Summary {
+	s := Summary{
+		ByLink:      map[topology.LinkClass]int{},
+		BytesByLink: map[topology.LinkClass]int64{},
+	}
+	for _, e := range t.Events() {
+		if e.Time > s.Makespan {
+			s.Makespan = e.Time
+		}
+		if e.Kind != EventSend {
+			continue
+		}
+		s.Messages++
+		s.Bytes += int64(e.Bytes)
+		s.ByLink[e.Link]++
+		s.BytesByLink[e.Link] += int64(e.Bytes)
+		if e.Internal() {
+			s.InternalMsgs++
+		}
+		if e.Eager {
+			s.EagerMsgs++
+		} else {
+			s.RendezvousMsg++
+		}
+	}
+	return s
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "messages: %d (%d internal, %d eager, %d rendezvous), bytes: %d, makespan: %v\n",
+		s.Messages, s.InternalMsgs, s.EagerMsgs, s.RendezvousMsg, s.Bytes, s.Makespan)
+	links := make([]topology.LinkClass, 0, len(s.ByLink))
+	for l := range s.ByLink {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, l := range links {
+		fmt.Fprintf(&sb, "  %-16s %8d msgs %12d bytes\n", l, s.ByLink[l], s.BytesByLink[l])
+	}
+	return sb.String()
+}

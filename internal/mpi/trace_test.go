@@ -1,0 +1,195 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/netmodel"
+	"repro/internal/topology"
+)
+
+// tracedWorld builds a world with a trace attached.
+func tracedWorld(t *testing.T, n, ppn int) (*World, *Trace) {
+	t.Helper()
+	place, err := topology.NewPlacement(&topology.Frontera, n, ppn, topology.Block, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace()
+	w, err := NewWorld(Config{
+		Placement: place,
+		Model:     netmodel.MustNew(&topology.Frontera, netmodel.MVAPICH2),
+		CarryData: true,
+		Trace:     tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, tr
+}
+
+func TestTraceRecordsBothEndpoints(t *testing.T) {
+	w, tr := tracedWorld(t, 2, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			return c.Send(make([]byte, 64), 1, 5)
+		}
+		_, err := c.Recv(make([]byte, 64), 0, 5)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("events: %d, want 2", len(events))
+	}
+	send, recv := events[0], events[1]
+	if send.Kind != EventSend || recv.Kind != EventRecv {
+		t.Errorf("kinds %v %v", send.Kind, recv.Kind)
+	}
+	if send.Rank != 0 || send.Peer != 1 || recv.Rank != 1 || recv.Peer != 0 {
+		t.Errorf("endpoints wrong: %+v %+v", send, recv)
+	}
+	if send.Bytes != 64 || send.Tag != 5 || !send.Eager || send.Internal() {
+		t.Errorf("send attrs wrong: %+v", send)
+	}
+	if send.Link != topology.LinkSameSocket {
+		t.Errorf("link %v", send.Link)
+	}
+	if recv.Time < send.Time {
+		t.Error("recv must not precede send in virtual time")
+	}
+}
+
+// TestTraceCollectiveMessageComplexity validates the algorithms' message
+// counts against theory using the trace.
+func TestTraceCollectiveMessageComplexity(t *testing.T) {
+	cases := []struct {
+		name string
+		p    int
+		n    int
+		run  func(c *Comm, n int) error
+		want func(p int) int // expected number of messages
+	}{
+		{
+			name: "barrier dissemination",
+			p:    8, n: 0,
+			run:  func(c *Comm, n int) error { return c.Barrier() },
+			want: func(p int) int { return p * collective.Log2Ceil(p) },
+		},
+		{
+			name: "bcast binomial",
+			p:    8, n: 1024,
+			run:  func(c *Comm, n int) error { return c.BcastN(nil, n, 0) },
+			want: func(p int) int { return p - 1 },
+		},
+		{
+			name: "allreduce recursive doubling pof2",
+			p:    8, n: 1024,
+			run: func(c *Comm, n int) error {
+				return c.AllreduceN(nil, nil, n, Float64, OpSum)
+			},
+			want: func(p int) int { return p * collective.Log2Ceil(p) },
+		},
+		{
+			name: "allgather ring large",
+			p:    8, n: 64 * 1024,
+			run: func(c *Comm, n int) error {
+				return c.AllgatherN(nil, n, nil)
+			},
+			want: func(p int) int { return p * (p - 1) },
+		},
+		{
+			name: "alltoall pairwise large",
+			p:    8, n: 4 * 1024,
+			run: func(c *Comm, n int) error {
+				return c.AlltoallN(nil, n, nil)
+			},
+			want: func(p int) int { return p * (p - 1) },
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w, tr := tracedWorld(t, tc.p, 4)
+			err := w.Run(func(p *Proc) error {
+				return tc.run(p.CommWorld(), tc.n)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tr.Summarize().Messages
+			if want := tc.want(tc.p); got != want {
+				t.Errorf("messages = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	w, tr := tracedWorld(t, 4, 2) // 2 nodes x 2 ranks
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		// One intra-node and one inter-node message.
+		switch p.Rank() {
+		case 0:
+			if err := c.Send(make([]byte, 100), 1, 1); err != nil { // same node
+				return err
+			}
+			return c.Send(make([]byte, 200*1024), 2, 1) // inter node, rendezvous
+		case 1:
+			_, err := c.Recv(make([]byte, 100), 0, 1)
+			return err
+		case 2:
+			_, err := c.Recv(make([]byte, 200*1024), 0, 1)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	if s.Messages != 2 || s.Bytes != 100+200*1024 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.EagerMsgs != 1 || s.RendezvousMsg != 1 {
+		t.Errorf("protocol split %d/%d", s.EagerMsgs, s.RendezvousMsg)
+	}
+	if s.ByLink[topology.LinkSameSocket] != 1 || s.ByLink[topology.LinkInterNode] != 1 {
+		t.Errorf("link split %v", s.ByLink)
+	}
+	if s.Makespan <= 0 {
+		t.Error("makespan missing")
+	}
+	out := s.String()
+	for _, want := range []string{"messages: 2", "inter-node", "same-socket"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary render misses %q:\n%s", want, out)
+		}
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Error("Reset should clear events")
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.record(Event{}) // must not panic
+	w := testWorld(t, 2, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			return c.Send([]byte{1}, 1, 1)
+		}
+		_, err := c.Recv(make([]byte, 1), 0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package mpi
+
+// Tuning exposes the collective algorithm-selection thresholds, like
+// MVAPICH2's MV2_* environment knobs. The defaults mirror the library's
+// shipped tuning tables; the ablation benchmarks override individual knobs
+// to quantify each design choice (DESIGN.md section 4). Zero fields keep
+// the defaults; negative values disable the corresponding algorithm
+// (e.g. AllgatherRDMaxTotal: -1 forces Bruck or ring).
+type Tuning struct {
+	// BcastScatterRingMin is the message size at which Bcast switches from
+	// the binomial tree to scatter + ring allgather.
+	BcastScatterRingMin int
+	// AllreduceRabenseifnerMin is the size at which Allreduce switches
+	// from recursive doubling to Rabenseifner.
+	AllreduceRabenseifnerMin int
+	// AllgatherRDMaxTotal bounds recursive-doubling allgather (power-of-two
+	// groups) by total payload.
+	AllgatherRDMaxTotal int
+	// AllgatherBruckMaxTotal bounds Bruck allgather by total payload.
+	AllgatherBruckMaxTotal int
+	// AlltoallBruckMaxBlock bounds Bruck alltoall by per-block size.
+	AlltoallBruckMaxBlock int
+}
+
+// DefaultTuning returns the shipped thresholds.
+func DefaultTuning() Tuning {
+	return Tuning{
+		BcastScatterRingMin:      bcastLargeMin,
+		AllreduceRabenseifnerMin: allreduceRabenseifnerMin,
+		AllgatherRDMaxTotal:      allgatherRDMaxTotal,
+		AllgatherBruckMaxTotal:   allgatherBruckMaxTotal,
+		AlltoallBruckMaxBlock:    alltoallBruckMaxBlock,
+	}
+}
+
+// withDefaults fills zero fields with the shipped values.
+func (t Tuning) withDefaults() Tuning {
+	d := DefaultTuning()
+	if t.BcastScatterRingMin == 0 {
+		t.BcastScatterRingMin = d.BcastScatterRingMin
+	}
+	if t.AllreduceRabenseifnerMin == 0 {
+		t.AllreduceRabenseifnerMin = d.AllreduceRabenseifnerMin
+	}
+	if t.AllgatherRDMaxTotal == 0 {
+		t.AllgatherRDMaxTotal = d.AllgatherRDMaxTotal
+	}
+	if t.AllgatherBruckMaxTotal == 0 {
+		t.AllgatherBruckMaxTotal = d.AllgatherBruckMaxTotal
+	}
+	if t.AlltoallBruckMaxBlock == 0 {
+		t.AlltoallBruckMaxBlock = d.AlltoallBruckMaxBlock
+	}
+	return t
+}
+
+// tuning returns the world's effective thresholds.
+func (p *Proc) tuning() Tuning { return p.world.tuning }

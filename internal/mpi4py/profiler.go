@@ -1,0 +1,134 @@
+package mpi4py
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/pybuf"
+	"repro/internal/vtime"
+)
+
+// Profiler attributes staging time to (library, message size, phase), the
+// decomposition the paper's Figure 34 plots. One Profiler may be shared by
+// all ranks of a world (it locks), though experiments usually attach it to
+// rank 0 only so critical-path numbers are not averaged away.
+type Profiler struct {
+	mu      sync.Mutex
+	entries map[profKey]*profEntry
+}
+
+type profKey struct {
+	lib   pybuf.Library
+	bytes int
+	phase Phase
+}
+
+type profEntry struct {
+	total vtime.Micros
+	calls int
+}
+
+// NewProfiler creates an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{entries: make(map[profKey]*profEntry)}
+}
+
+func (pr *Profiler) record(lib pybuf.Library, bytes int, phase Phase, d vtime.Micros) {
+	if pr == nil {
+		return
+	}
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	k := profKey{lib: lib, bytes: bytes, phase: phase}
+	e := pr.entries[k]
+	if e == nil {
+		e = &profEntry{}
+		pr.entries[k] = e
+	}
+	e.total += d
+	e.calls++
+}
+
+// Breakdown is the aggregated staging attribution for one (library, size).
+type Breakdown struct {
+	Library pybuf.Library
+	Bytes   int
+	// PerPhase holds the mean per-call staging time of each phase.
+	PerPhase map[Phase]vtime.Micros
+	// Calls is the number of profiled calls.
+	Calls int
+}
+
+// Total returns the mean per-call staging time across phases.
+func (b Breakdown) Total() vtime.Micros {
+	var t vtime.Micros
+	for _, v := range b.PerPhase {
+		t += v
+	}
+	return t
+}
+
+// Fraction returns phase's share of the total staging time.
+func (b Breakdown) Fraction(p Phase) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.PerPhase[p] / t)
+}
+
+// Snapshot returns per-(library, size) breakdowns sorted by library then
+// size.
+func (pr *Profiler) Snapshot() []Breakdown {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	agg := map[[2]int]*Breakdown{}
+	for k, e := range pr.entries {
+		ak := [2]int{int(k.lib), k.bytes}
+		b := agg[ak]
+		if b == nil {
+			b = &Breakdown{Library: k.lib, Bytes: k.bytes, PerPhase: map[Phase]vtime.Micros{}}
+			agg[ak] = b
+		}
+		b.PerPhase[k.phase] += e.total / vtime.Micros(e.calls)
+		if e.calls > b.Calls {
+			b.Calls = e.calls
+		}
+	}
+	out := make([]Breakdown, 0, len(agg))
+	for _, b := range agg {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Library != out[j].Library {
+			return out[i].Library < out[j].Library
+		}
+		return out[i].Bytes < out[j].Bytes
+	})
+	return out
+}
+
+// Reset discards all recorded samples.
+func (pr *Profiler) Reset() {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.entries = make(map[profKey]*profEntry)
+}
+
+// String renders the snapshot as an ASCII table.
+func (pr *Profiler) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %10s %12s %12s %12s %8s\n",
+		"library", "bytes", "misc[us]", "send[us]", "recv[us]", "calls")
+	for _, b := range pr.Snapshot() {
+		fmt.Fprintf(&sb, "%-10s %10d %12.3f %12.3f %12.3f %8d\n",
+			b.Library, b.Bytes,
+			float64(b.PerPhase[PhaseMisc]),
+			float64(b.PerPhase[PhaseSendPrep]),
+			float64(b.PerPhase[PhaseRecvPrep]),
+			b.Calls)
+	}
+	return sb.String()
+}

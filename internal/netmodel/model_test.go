@@ -1,0 +1,223 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func allModels(t *testing.T) []*Model {
+	t.Helper()
+	var out []*Model
+	for _, name := range topology.Names() {
+		cl, err := topology.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, impl := range []Impl{MVAPICH2, IntelMPI} {
+			m, err := New(cl, impl)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, impl, err)
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func TestParseImpl(t *testing.T) {
+	for _, s := range []string{"mvapich2", "mv2", "mvapich2-gdr"} {
+		if impl, err := ParseImpl(s); err != nil || impl != MVAPICH2 {
+			t.Errorf("ParseImpl(%q) = %v, %v", s, impl, err)
+		}
+	}
+	for _, s := range []string{"intelmpi", "impi", "intel"} {
+		if impl, err := ParseImpl(s); err != nil || impl != IntelMPI {
+			t.Errorf("ParseImpl(%q) = %v, %v", s, impl, err)
+		}
+	}
+	if _, err := ParseImpl("openmpi"); err == nil {
+		t.Error("unknown impl should fail")
+	}
+}
+
+func TestAllClustersCalibrated(t *testing.T) {
+	for _, m := range allModels(t) {
+		for _, link := range []topology.LinkClass{
+			topology.LinkSelf, topology.LinkSameSocket,
+			topology.LinkSameNode, topology.LinkInterNode,
+		} {
+			p := m.Params(link)
+			if p.Alpha <= 0 || p.BetaUsPerByte <= 0 || p.EagerLimit <= 0 {
+				t.Errorf("%s %v: uncalibrated params %+v", m, link, p)
+			}
+		}
+		if m.ComputeGammaUsPerByte <= 0 {
+			t.Errorf("%s: no compute gamma", m)
+		}
+	}
+}
+
+func TestBridges2HasGPULinks(t *testing.T) {
+	m := MustNew(&topology.Bridges2, MVAPICH2)
+	same := m.Params(topology.LinkGPUSameNode)
+	inter := m.Params(topology.LinkGPUInterNode)
+	if same.Alpha >= inter.Alpha {
+		t.Error("NVLink latency should beat GPUDirect RDMA")
+	}
+	if same.BetaUsPerByte >= inter.BetaUsPerByte {
+		t.Error("NVLink bandwidth should beat the fabric")
+	}
+}
+
+func TestCostMonotoneInSize(t *testing.T) {
+	m := MustNew(&topology.Frontera, MVAPICH2)
+	for _, link := range []topology.LinkClass{topology.LinkSameSocket, topology.LinkInterNode} {
+		prev := m.PtPt(link, 0, false, false).Total()
+		for n := 1; n <= 1<<22; n *= 4 {
+			cur := m.PtPt(link, n, false, false).Total()
+			if cur < prev {
+				t.Errorf("%v: cost not monotone at %d bytes (%v < %v)", link, n, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPyModeAlwaysCostsMore(t *testing.T) {
+	prop := func(nRaw uint32, linkRaw uint8) bool {
+		m := MustNew(&topology.Frontera, MVAPICH2)
+		n := int(nRaw % (4 << 20))
+		links := []topology.LinkClass{
+			topology.LinkSameSocket, topology.LinkSameNode, topology.LinkInterNode,
+		}
+		link := links[int(linkRaw)%len(links)]
+		c := m.PtPt(link, n, false, false).Total()
+		py := m.PtPt(link, n, true, false).Total() + m.PyOpLock(link, n, false, false)
+		return py > c
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntelMPICalibration(t *testing.T) {
+	mv := MustNew(&topology.Frontera, MVAPICH2)
+	impi := MustNew(&topology.Frontera, IntelMPI)
+	l := topology.LinkInterNode
+	if impi.Params(l).Alpha <= mv.Params(l).Alpha {
+		t.Error("Intel MPI should have higher inter-node latency")
+	}
+	if impi.Params(l).BetaUsPerByte <= mv.Params(l).BetaUsPerByte {
+		t.Error("Intel MPI should have lower inter-node bandwidth")
+	}
+	// Intra-node shared memory is implementation-agnostic here.
+	if impi.Params(topology.LinkSameSocket) != mv.Params(topology.LinkSameSocket) {
+		t.Error("intra-node params should match across implementations")
+	}
+}
+
+func TestEagerRendezvousSwitch(t *testing.T) {
+	m := MustNew(&topology.Frontera, MVAPICH2)
+	l := topology.LinkInterNode
+	limit := m.Params(l).EagerLimit
+	if !m.Eager(l, limit-1) || m.Eager(l, limit) {
+		t.Error("eager predicate wrong at the limit")
+	}
+	below := m.PtPt(l, limit-1, false, false)
+	above := m.PtPt(l, limit, false, false)
+	if above.Wire-below.Wire < m.Params(l).Alpha {
+		t.Error("rendezvous handshake should add at least one alpha")
+	}
+}
+
+func TestSegments(t *testing.T) {
+	m := MustNew(&topology.Frontera, MVAPICH2)
+	l := topology.LinkInterNode
+	if m.Segments(l, 1) != 1 {
+		t.Error("1 byte is 1 segment")
+	}
+	if m.Segments(l, 64*1024) != 1 {
+		t.Error("exactly one segment at the segment size")
+	}
+	if got := m.Segments(l, 64*1024+1); got != 2 {
+		t.Errorf("segments = %d, want 2", got)
+	}
+	if got := m.Segments(l, 1<<20); got != 16 {
+		t.Errorf("segments = %d, want 16", got)
+	}
+}
+
+func TestPyOpLockInternalRendezvous(t *testing.T) {
+	m := MustNew(&topology.Frontera, MVAPICH2)
+	l := topology.LinkInterNode
+	small := m.PyOpLock(l, 8, true, false)
+	if small != m.Py.LockBase {
+		t.Errorf("small internal lock = %v, want base %v", small, m.Py.LockBase)
+	}
+	big := m.PyOpLock(l, 1<<20, true, false)
+	if big != m.Py.LockBase+m.Py.LockRdv {
+		t.Errorf("large internal lock = %v", big)
+	}
+	user := m.PyOpLock(l, 1<<20, false, false)
+	if user != m.Py.LockBase {
+		t.Errorf("user sends must not pay the contended lock, got %v", user)
+	}
+}
+
+func TestFullSubscriptionMultipliers(t *testing.T) {
+	m := MustNew(&topology.Frontera, MVAPICH2)
+	l := topology.LinkSameSocket
+	n := 64 * 1024 // rendezvous intra-node
+	normal := m.PtPt(l, n, true, false).Wire
+	contended := m.PtPt(l, n, true, true).Wire
+	if contended <= normal {
+		t.Error("full subscription should degrade rendezvous shm wire time")
+	}
+	// Eager messages do not pay the beta multiplier.
+	ne, ce := m.PtPt(l, 1024, true, false).Wire, m.PtPt(l, 1024, true, true).Wire
+	if ne != ce {
+		t.Errorf("eager wire changed under full subscription: %v vs %v", ne, ce)
+	}
+	if m.Compute(1024, true, true) <= m.Compute(1024, true, false) {
+		t.Error("full subscription should slow py-mode reductions")
+	}
+	if m.Compute(1024, false, true) != m.Compute(1024, false, false) {
+		t.Error("C-mode compute must be unaffected by the py contention model")
+	}
+}
+
+func TestPyCallExtraOnlyOnBridges2(t *testing.T) {
+	frontera := MustNew(&topology.Frontera, MVAPICH2)
+	if frontera.PyCallExtra(1<<20) != 0 {
+		t.Error("CPU clusters must not charge the GDR pipeline cost")
+	}
+	b2 := MustNew(&topology.Bridges2, MVAPICH2)
+	if b2.PyCallExtra(4) != 0 {
+		t.Error("small buffers must not pay the pipeline cost")
+	}
+	if b2.PyCallExtra(64*1024) != b2.Py.RdvCallUs {
+		t.Error("rendezvous-sized buffers pay the pipeline cost on Bridges-2")
+	}
+}
+
+func TestUnknownClusterOrImpl(t *testing.T) {
+	other := topology.Cluster{Name: "unknown"}
+	if _, err := New(&other, MVAPICH2); err == nil {
+		t.Error("uncalibrated cluster should fail")
+	}
+	if _, err := New(&topology.Frontera, Impl("openmpi")); err == nil {
+		t.Error("unknown impl should fail")
+	}
+}
+
+func TestMemcpyCost(t *testing.T) {
+	m := MustNew(&topology.Frontera, MVAPICH2)
+	if m.MemcpyCost(0) <= 0 {
+		t.Error("memcpy has a fixed cost")
+	}
+	if m.MemcpyCost(1<<20) <= m.MemcpyCost(1<<10) {
+		t.Error("memcpy cost grows with size")
+	}
+}

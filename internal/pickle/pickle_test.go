@@ -1,0 +1,154 @@
+package pickle
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/mpi"
+	"repro/internal/pybuf"
+)
+
+func TestHostRoundTrip(t *testing.T) {
+	costs := DefaultCosts()
+	for _, tc := range []struct {
+		lib   pybuf.Library
+		dt    mpi.DType
+		count int
+	}{
+		{pybuf.Bytearray, mpi.Uint8, 100},
+		{pybuf.NumPy, mpi.Float64, 33},
+		{pybuf.NumPy, mpi.Int32, 0},
+	} {
+		in, err := pybuf.New(tc.lib, nil, tc.dt, tc.count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pybuf.FillPattern(in, 7)
+		frame, dCost, err := Dumps(in, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dCost <= 0 {
+			t.Error("dumps must cost time")
+		}
+		if len(frame) != FrameSize(in.NBytes()) {
+			t.Errorf("frame %d bytes, want %d", len(frame), FrameSize(in.NBytes()))
+		}
+		out, lCost, err := Loads(frame, nil, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lCost <= 0 {
+			t.Error("loads must cost time")
+		}
+		if out.Library() != tc.lib || out.DType() != tc.dt || out.Count() != tc.count {
+			t.Errorf("metadata lost: %v %v %d", out.Library(), out.DType(), out.Count())
+		}
+		if !pybuf.Equal(in, out) {
+			t.Error("payload corrupted")
+		}
+	}
+}
+
+func TestGPURoundTripIncludesCopies(t *testing.T) {
+	gpu := device.NewGPU(0, 0)
+	costs := DefaultCosts()
+	in, err := pybuf.NewGPUArray(pybuf.CuPy, gpu, mpi.Float64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pybuf.FillPattern(in, 9)
+	frame, dCost, err := Dumps(in, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The D2H copy alpha alone exceeds the serializer's base cost.
+	if float64(dCost) < 9.0 {
+		t.Errorf("dumps of a GPU buffer should include the D2H copy, cost %v", dCost)
+	}
+	out, lCost, err := Loads(frame, gpu, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(lCost) < 9.0 {
+		t.Errorf("loads of a GPU buffer should include the H2D copy, cost %v", lCost)
+	}
+	if !pybuf.Equal(in, out) {
+		t.Error("GPU payload corrupted")
+	}
+	if _, _, err := Loads(frame, nil, costs); err == nil {
+		t.Error("loading a GPU frame without a GPU must fail")
+	}
+}
+
+func TestCostCliff(t *testing.T) {
+	costs := DefaultCosts()
+	below := DumpsCost(costs.CliffBytes, costs)
+	above := DumpsCost(2*costs.CliffBytes, costs)
+	linear := DumpsCost(costs.CliffBytes, costs) + // what pure linearity would give
+		(DumpsCost(costs.CliffBytes, costs) - DumpsCost(0, costs))
+	if above <= linear {
+		t.Errorf("cost past the cliff (%v) should exceed the linear projection (%v, below=%v)",
+			above, linear, below)
+	}
+}
+
+func TestCostMonotoneProperty(t *testing.T) {
+	costs := DefaultCosts()
+	prop := func(a, b uint32) bool {
+		na, nb := int(a%(8<<20)), int(b%(8<<20))
+		if na > nb {
+			na, nb = nb, na
+		}
+		return DumpsCost(na, costs) <= DumpsCost(nb, costs) &&
+			LoadsCost(na, costs) <= LoadsCost(nb, costs)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedFrames(t *testing.T) {
+	costs := DefaultCosts()
+	good, _, err := Dumps(pybuf.NewNumPy(mpi.Float64, 4), costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"short":       good[:8],
+		"bad magic":   append([]byte("XXXX"), good[4:]...),
+		"bad version": mutate(good, 4, 99),
+		"bad library": mutate(good, 5, 200),
+		"bad dtype":   mutate(good, 6, 200),
+		"truncated":   good[:len(good)-8],
+	}
+	for name, frame := range cases {
+		if _, _, err := Loads(frame, nil, costs); err == nil {
+			t.Errorf("%s frame should fail to load", name)
+		}
+	}
+	// Header accessor agrees with Dumps.
+	lib, dt, count, err := Header(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib != pybuf.NumPy || dt != mpi.Float64 || count != 4 {
+		t.Errorf("header %v %v %d", lib, dt, count)
+	}
+}
+
+func mutate(in []byte, at int, v byte) []byte {
+	out := bytes.Clone(in)
+	out[at] = v
+	return out
+}
+
+func TestFrameSizeInverse(t *testing.T) {
+	for _, n := range []int{0, 1, 4096, 1 << 20} {
+		if PayloadSize(FrameSize(n)) != n {
+			t.Errorf("FrameSize/PayloadSize not inverse at %d", n)
+		}
+	}
+}

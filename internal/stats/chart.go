@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart renders series as an ASCII line chart with a log2 x-axis (message
+// size) and linear or log10 y-axis, approximating the paper's figures well
+// enough to eyeball trends and crossovers in a terminal.
+type Chart struct {
+	Title  string
+	Metric string // "latency(us)" or "bandwidth(MB/s)"
+	Series []*Series
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	// LogY selects a log10 y-axis, matching the paper's latency figures.
+	LogY bool
+}
+
+// markers assigned to series in order.
+var chartMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// value extracts the plotted metric from a row.
+func (c *Chart) value(r Row) float64 {
+	if strings.Contains(c.Metric, "bandwidth") {
+		return r.MBps
+	}
+	return r.AvgUs
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	// Collect the x domain (sizes) and y range.
+	sizeSet := map[int]bool{}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, r := range s.Rows {
+			sizeSet[r.Size] = true
+			v := c.value(r)
+			if v < minY {
+				minY = v
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if len(sizeSet) == 0 || math.IsInf(minY, 1) {
+		return "(empty chart)\n"
+	}
+	sizes := make([]int, 0, len(sizeSet))
+	for sz := range sizeSet {
+		sizes = append(sizes, sz)
+	}
+	sort.Ints(sizes)
+
+	yOf := func(v float64) float64 { return v }
+	if c.LogY {
+		if minY <= 0 {
+			minY = 1e-3
+		}
+		yOf = func(v float64) float64 {
+			if v <= 0 {
+				v = 1e-3
+			}
+			return math.Log10(v)
+		}
+	}
+	lo, hi := yOf(minY), yOf(maxY)
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	xOf := func(size int) int {
+		if len(sizes) == 1 {
+			return 0
+		}
+		// log2 spacing across the size domain.
+		l := math.Log2(float64(sizes[0]) + 1)
+		h := math.Log2(float64(sizes[len(sizes)-1]) + 1)
+		f := (math.Log2(float64(size)+1) - l) / (h - l)
+		col := int(math.Round(f * float64(width-1)))
+		if col < 0 {
+			col = 0
+		}
+		if col > width-1 {
+			col = width - 1
+		}
+		return col
+	}
+	rowOf := func(v float64) int {
+		f := (yOf(v) - lo) / (hi - lo)
+		r := int(math.Round(f * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		marker := chartMarkers[si%len(chartMarkers)]
+		for _, r := range s.Rows {
+			grid[rowOf(c.value(r))][xOf(r.Size)] = marker
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	legend := make([]string, 0, len(c.Series))
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", chartMarkers[si%len(chartMarkers)], s.Name))
+	}
+	fmt.Fprintf(&sb, "[%s]  %s\n", c.Metric, strings.Join(legend, "  "))
+
+	// y-axis labels on the first, middle and last rows.
+	labelAt := func(row int) string {
+		f := float64(height-1-row) / float64(height-1)
+		v := lo + f*(hi-lo)
+		if c.LogY {
+			v = math.Pow(10, v)
+		}
+		return fmt.Sprintf("%10.2f", v)
+	}
+	for row := 0; row < height; row++ {
+		label := strings.Repeat(" ", 10)
+		if row == 0 || row == height-1 || row == height/2 {
+			label = labelAt(row)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, grid[row])
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%s  %-*s%s\n", strings.Repeat(" ", 10), width-8,
+		HumanBytes(sizes[0]), HumanBytes(sizes[len(sizes)-1]))
+	return sb.String()
+}

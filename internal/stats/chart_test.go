@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartSeries() []*Series {
+	a := &Series{Name: "OMB"}
+	b := &Series{Name: "OMB-Py"}
+	for n := 1; n <= 8192; n *= 2 {
+		a.Rows = append(a.Rows, Row{Size: n, AvgUs: 1 + float64(n)/1000, MBps: float64(n)})
+		b.Rows = append(b.Rows, Row{Size: n, AvgUs: 1.5 + float64(n)/1000, MBps: float64(n) * 0.8})
+	}
+	return []*Series{a, b}
+}
+
+func TestChartRenderBasics(t *testing.T) {
+	ch := Chart{
+		Title:  "demo chart",
+		Metric: "latency(us)",
+		Series: chartSeries(),
+	}
+	out := ch.Render()
+	for _, want := range []string{"demo chart", "*=OMB", "o=OMB-Py", "|", "+", "8K"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart misses %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + legend + 16 rows + axis + x labels
+	if len(lines) != 2+16+2 {
+		t.Errorf("chart has %d lines", len(lines))
+	}
+	if !strings.ContainsAny(out, "*o") {
+		t.Error("no markers plotted")
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	ch := Chart{Metric: "latency(us)", Series: chartSeries(), LogY: true}
+	out := ch.Render()
+	if !strings.Contains(out, "|") {
+		t.Fatalf("log chart failed:\n%s", out)
+	}
+}
+
+func TestChartBandwidthMetric(t *testing.T) {
+	ch := Chart{Metric: "bandwidth(MB/s)", Series: chartSeries(), Height: 8, Width: 40}
+	out := ch.Render()
+	if !strings.Contains(out, "8192.00") {
+		t.Errorf("bandwidth top label missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := Chart{Metric: "latency(us)"}
+	if got := ch.Render(); !strings.Contains(got, "empty") {
+		t.Errorf("empty chart rendered %q", got)
+	}
+}
+
+func TestChartSingleSize(t *testing.T) {
+	s := &Series{Name: "one", Rows: []Row{{Size: 64, AvgUs: 5}}}
+	ch := Chart{Metric: "latency(us)", Series: []*Series{s}}
+	out := ch.Render() // must not panic or divide by zero
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}

@@ -1,0 +1,189 @@
+// Package stats provides the small numeric and presentation helpers the
+// benchmark suite reports with: per-size result rows, series alignment,
+// overhead computation between an OMB-Py series and its OMB baseline, and
+// ASCII table rendering in the style of the OSU benchmarks' output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Row is one message-size measurement of a benchmark.
+type Row struct {
+	Size  int     // message size in bytes
+	AvgUs float64 // average latency in microseconds
+	MinUs float64
+	MaxUs float64
+	MBps  float64 // bandwidth in MB/s (bandwidth benchmarks only)
+}
+
+// Series is a named sequence of rows ordered by size.
+type Series struct {
+	Name string
+	Rows []Row
+}
+
+// Get returns the row for a size, if present.
+func (s *Series) Get(size int) (Row, bool) {
+	for _, r := range s.Rows {
+		if r.Size == size {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// Sizes returns the sizes present in the series, sorted.
+func (s *Series) Sizes() []int {
+	out := make([]int, len(s.Rows))
+	for i, r := range s.Rows {
+		out[i] = r.Size
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AvgOverheadUs returns the mean latency overhead of s over base across the
+// sizes both series share — the statistic the paper quotes for every figure
+// ("OMB-Py latency numbers have an average overhead of 0.44 us ...").
+func AvgOverheadUs(s, base *Series) float64 {
+	var sum float64
+	var n int
+	for _, r := range s.Rows {
+		if b, ok := base.Get(r.Size); ok {
+			sum += r.AvgUs - b.AvgUs
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// AvgBandwidthGapMBps returns the mean bandwidth deficit of s under base.
+func AvgBandwidthGapMBps(s, base *Series) float64 {
+	var sum float64
+	var n int
+	for _, r := range s.Rows {
+		if b, ok := base.Get(r.Size); ok {
+			sum += b.MBps - r.MBps
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// MaxOverheadUs returns the largest latency overhead of s over base and the
+// size where it occurs.
+func MaxOverheadUs(s, base *Series) (float64, int) {
+	worst, at := math.Inf(-1), -1
+	for _, r := range s.Rows {
+		if b, ok := base.Get(r.Size); ok {
+			if d := r.AvgUs - b.AvgUs; d > worst {
+				worst, at = d, r.Size
+			}
+		}
+	}
+	return worst, at
+}
+
+// GeoMeanRatio returns the geometric mean of s/base latency ratios.
+func GeoMeanRatio(s, base *Series) float64 {
+	var logSum float64
+	var n int
+	for _, r := range s.Rows {
+		if b, ok := base.Get(r.Size); ok && b.AvgUs > 0 && r.AvgUs > 0 {
+			logSum += math.Log(r.AvgUs / b.AvgUs)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Table renders one or more series side by side, keyed by size.
+type Table struct {
+	Title   string
+	Metric  string // "latency(us)" or "bandwidth(MB/s)"
+	Series  []*Series
+	Comment string
+}
+
+// Render produces the ASCII table.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "# %s\n", t.Title)
+	}
+	sizes := map[int]bool{}
+	for _, s := range t.Series {
+		for _, r := range s.Rows {
+			sizes[r.Size] = true
+		}
+	}
+	ordered := make([]int, 0, len(sizes))
+	for sz := range sizes {
+		ordered = append(ordered, sz)
+	}
+	sort.Ints(ordered)
+
+	fmt.Fprintf(&sb, "%-12s", "size(B)")
+	for _, s := range t.Series {
+		fmt.Fprintf(&sb, " %18s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for _, sz := range ordered {
+		fmt.Fprintf(&sb, "%-12d", sz)
+		for _, s := range t.Series {
+			if r, ok := s.Get(sz); ok {
+				v := r.AvgUs
+				if strings.Contains(t.Metric, "bandwidth") {
+					v = r.MBps
+				}
+				fmt.Fprintf(&sb, " %18.2f", v)
+			} else {
+				fmt.Fprintf(&sb, " %18s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if t.Comment != "" {
+		fmt.Fprintf(&sb, "## %s\n", t.Comment)
+	}
+	return sb.String()
+}
+
+// HumanBytes renders a byte count in OMB style (1K, 64K, 1M).
+func HumanBytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// PowersOfTwo returns the powers of two in [lo, hi] inclusive.
+func PowersOfTwo(lo, hi int) []int {
+	var out []int
+	for n := 1; n <= hi; n *= 2 {
+		if n >= lo {
+			out = append(out, n)
+		}
+		if n > (1<<62)/2 {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkSeries(name string, rows ...Row) *Series {
+	return &Series{Name: name, Rows: rows}
+}
+
+func TestAvgOverheadUs(t *testing.T) {
+	base := mkSeries("c", Row{Size: 1, AvgUs: 1}, Row{Size: 2, AvgUs: 2})
+	py := mkSeries("py", Row{Size: 1, AvgUs: 1.5}, Row{Size: 2, AvgUs: 2.7})
+	if got := AvgOverheadUs(py, base); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("AvgOverheadUs = %v, want 0.6", got)
+	}
+}
+
+func TestAvgOverheadSkipsUnsharedSizes(t *testing.T) {
+	base := mkSeries("c", Row{Size: 1, AvgUs: 1})
+	py := mkSeries("py", Row{Size: 1, AvgUs: 2}, Row{Size: 4, AvgUs: 100})
+	if got := AvgOverheadUs(py, base); got != 1 {
+		t.Errorf("AvgOverheadUs = %v, want 1 (size 4 unshared)", got)
+	}
+}
+
+func TestAvgOverheadEmptyIsNaN(t *testing.T) {
+	if !math.IsNaN(AvgOverheadUs(mkSeries("a"), mkSeries("b"))) {
+		t.Error("disjoint series should give NaN")
+	}
+}
+
+func TestMaxOverheadUs(t *testing.T) {
+	base := mkSeries("c", Row{Size: 1, AvgUs: 1}, Row{Size: 2, AvgUs: 1}, Row{Size: 4, AvgUs: 1})
+	py := mkSeries("py", Row{Size: 1, AvgUs: 2}, Row{Size: 2, AvgUs: 5}, Row{Size: 4, AvgUs: 3})
+	worst, at := MaxOverheadUs(py, base)
+	if worst != 4 || at != 2 {
+		t.Errorf("MaxOverheadUs = (%v, %v), want (4, 2)", worst, at)
+	}
+}
+
+func TestBandwidthGap(t *testing.T) {
+	base := mkSeries("c", Row{Size: 1, MBps: 100}, Row{Size: 2, MBps: 200})
+	py := mkSeries("py", Row{Size: 1, MBps: 80}, Row{Size: 2, MBps: 150})
+	if got := AvgBandwidthGapMBps(py, base); got != 35 {
+		t.Errorf("gap = %v, want 35", got)
+	}
+}
+
+func TestGeoMeanRatio(t *testing.T) {
+	base := mkSeries("c", Row{Size: 1, AvgUs: 1}, Row{Size: 2, AvgUs: 4})
+	py := mkSeries("py", Row{Size: 1, AvgUs: 2}, Row{Size: 2, AvgUs: 8})
+	if got := GeoMeanRatio(py, base); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMeanRatio = %v, want 2", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:  "demo",
+		Metric: "latency(us)",
+		Series: []*Series{
+			mkSeries("A", Row{Size: 1, AvgUs: 1.25}, Row{Size: 8, AvgUs: 2}),
+			mkSeries("B", Row{Size: 8, AvgUs: 3}),
+		},
+	}
+	out := tab.Render()
+	for _, want := range []string{"# demo", "A", "B", "1.25", "3.00", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render misses %q:\n%s", want, out)
+		}
+	}
+	// Bandwidth metric switches the rendered column.
+	bw := Table{Metric: "bandwidth(MB/s)", Series: []*Series{
+		mkSeries("A", Row{Size: 1, AvgUs: 9, MBps: 123.45}),
+	}}
+	if !strings.Contains(bw.Render(), "123.45") {
+		t.Error("bandwidth table should render MBps")
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int]string{
+		0: "0", 1: "1", 1023: "1023", 1024: "1K", 64 * 1024: "64K",
+		1 << 20: "1M", 4 << 20: "4M", 1536: "1536",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(1, 8)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("PowersOfTwo(1,8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PowersOfTwo(1,8) = %v", got)
+		}
+	}
+	if got := PowersOfTwo(3, 8); len(got) != 2 || got[0] != 4 {
+		t.Errorf("PowersOfTwo(3,8) = %v", got)
+	}
+	if got := PowersOfTwo(9, 8); got != nil {
+		t.Errorf("empty range should be nil, got %v", got)
+	}
+}
+
+func TestSeriesSizesSorted(t *testing.T) {
+	prop := func(sizesRaw []uint16) bool {
+		s := &Series{}
+		for _, v := range sizesRaw {
+			s.Rows = append(s.Rows, Row{Size: int(v)})
+		}
+		sizes := s.Sizes()
+		for i := 1; i < len(sizes); i++ {
+			if sizes[i-1] > sizes[i] {
+				return false
+			}
+		}
+		return len(sizes) == len(sizesRaw)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package topology describes the simulated HPC clusters the benchmarks run
+// on: their node/socket/core/GPU inventory and the placement of MPI ranks
+// onto that hardware. The four clusters from the paper's evaluation
+// (Frontera, Stampede2, RI2, Bridges-2) are provided, and the link class
+// between any two ranks (same socket, same node, inter node, and the GPU
+// variants) is derived from placement so the network model can price each
+// message correctly.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Interconnect identifies the fabric joining nodes of a cluster.
+type Interconnect string
+
+// Fabrics present on the paper's evaluation systems.
+const (
+	InfiniBandHDR Interconnect = "InfiniBand-HDR" // Frontera, Bridges-2
+	OmniPath      Interconnect = "Omni-Path"      // Stampede2
+	InfiniBandEDR Interconnect = "InfiniBand-EDR" // RI2 (SB7790/SB7800 switches)
+)
+
+// Cluster is a static description of a machine.
+type Cluster struct {
+	Name           string
+	Nodes          int
+	SocketsPerNode int
+	CoresPerSocket int
+	GPUsPerNode    int
+	ClockGHz       float64
+	RAMPerNodeGB   int
+	Fabric         Interconnect
+}
+
+// CoresPerNode returns the total number of physical cores on one node.
+func (c *Cluster) CoresPerNode() int { return c.SocketsPerNode * c.CoresPerSocket }
+
+// TotalCores returns the number of cores in the whole cluster.
+func (c *Cluster) TotalCores() int { return c.Nodes * c.CoresPerNode() }
+
+// TotalGPUs returns the number of GPUs in the whole cluster.
+func (c *Cluster) TotalGPUs() int { return c.Nodes * c.GPUsPerNode }
+
+// String implements fmt.Stringer.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("%s (%d nodes x %d cores, %d GPUs/node, %s)",
+		c.Name, c.Nodes, c.CoresPerNode(), c.GPUsPerNode, c.Fabric)
+}
+
+// The evaluation systems, sized as in Section IV-A of the paper.
+var (
+	// Frontera: up to 16 Intel Xeon Platinum 8280 (Cascade Lake) nodes,
+	// 2 x 28 cores @ 2.70 GHz, 192 GB RAM, Mellanox InfiniBand HDR/HDR-100.
+	Frontera = Cluster{
+		Name: "frontera", Nodes: 16, SocketsPerNode: 2, CoresPerSocket: 28,
+		GPUsPerNode: 0, ClockGHz: 2.70, RAMPerNodeGB: 192, Fabric: InfiniBandHDR,
+	}
+	// Stampede2: up to 16 Skylake nodes, Xeon Platinum 8160, 2 x 24 cores
+	// @ 2.70 GHz, 192 GB RAM, Intel Omni-Path.
+	Stampede2 = Cluster{
+		Name: "stampede2", Nodes: 16, SocketsPerNode: 2, CoresPerSocket: 24,
+		GPUsPerNode: 0, ClockGHz: 2.70, RAMPerNodeGB: 192, Fabric: OmniPath,
+	}
+	// RI2: up to 8 nodes, Xeon Gold 6132, 2 x 14 cores @ 2.40 GHz,
+	// Mellanox InfiniBand (SB7790/SB7800).
+	RI2 = Cluster{
+		Name: "ri2", Nodes: 8, SocketsPerNode: 2, CoresPerSocket: 14,
+		GPUsPerNode: 0, ClockGHz: 2.40, RAMPerNodeGB: 128, Fabric: InfiniBandEDR,
+	}
+	// Bridges2: 2 GPU nodes, Xeon Gold 6248 2 x 20 cores @ 2.50 GHz, 512 GB,
+	// 8 x NVIDIA V100-32GB SXM2 per node, dual ConnectX-6 HDR 200 Gb/s.
+	Bridges2 = Cluster{
+		Name: "bridges2", Nodes: 2, SocketsPerNode: 2, CoresPerSocket: 20,
+		GPUsPerNode: 8, ClockGHz: 2.50, RAMPerNodeGB: 512, Fabric: InfiniBandHDR,
+	}
+)
+
+var registry = map[string]*Cluster{
+	Frontera.Name:  &Frontera,
+	Stampede2.Name: &Stampede2,
+	RI2.Name:       &RI2,
+	Bridges2.Name:  &Bridges2,
+}
+
+// ByName looks a cluster up by its lower-case name.
+func ByName(name string) (*Cluster, error) {
+	c, ok := registry[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("topology: unknown cluster %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return c, nil
+}
+
+// Names lists the registered cluster names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LinkClass categorises the path between two ranks; the network model prices
+// each class differently.
+type LinkClass int
+
+// Link classes from cheapest to most expensive paths.
+const (
+	LinkSelf         LinkClass = iota // same rank (copy)
+	LinkSameSocket                    // shared L3 / same NUMA domain
+	LinkSameNode                      // cross-socket shared memory
+	LinkInterNode                     // network fabric
+	LinkGPUSameNode                   // GPU peer (NVLink / PCIe IPC)
+	LinkGPUInterNode                  // GPU over fabric (GPUDirect RDMA)
+)
+
+// String implements fmt.Stringer.
+func (l LinkClass) String() string {
+	switch l {
+	case LinkSelf:
+		return "self"
+	case LinkSameSocket:
+		return "same-socket"
+	case LinkSameNode:
+		return "same-node"
+	case LinkInterNode:
+		return "inter-node"
+	case LinkGPUSameNode:
+		return "gpu-same-node"
+	case LinkGPUInterNode:
+		return "gpu-inter-node"
+	default:
+		return fmt.Sprintf("LinkClass(%d)", int(l))
+	}
+}
+
+// PlacementPolicy selects how consecutive ranks map to hardware.
+type PlacementPolicy int
+
+// Placement policies.
+const (
+	// Block placement fills a node with PPN ranks before moving to the next
+	// node (the mpirun default and what the paper's experiments use).
+	Block PlacementPolicy = iota
+	// Cyclic placement deals ranks round-robin across nodes.
+	Cyclic
+)
+
+// Placement maps ranks to hardware locations.
+type Placement struct {
+	cluster *Cluster
+	ppn     int
+	policy  PlacementPolicy
+	nranks  int
+	useGPU  bool
+}
+
+// NewPlacement lays out nranks ranks on cluster with ppn ranks per node.
+// If useGPU is true each rank is also bound to a distinct GPU on its node.
+func NewPlacement(cluster *Cluster, nranks, ppn int, policy PlacementPolicy, useGPU bool) (*Placement, error) {
+	if nranks <= 0 {
+		return nil, fmt.Errorf("topology: nranks must be positive, got %d", nranks)
+	}
+	if ppn <= 0 {
+		return nil, fmt.Errorf("topology: ppn must be positive, got %d", ppn)
+	}
+	nodesNeeded := (nranks + ppn - 1) / ppn
+	if nodesNeeded > cluster.Nodes {
+		return nil, fmt.Errorf("topology: %d ranks at %d ppn need %d nodes but %s has %d",
+			nranks, ppn, nodesNeeded, cluster.Name, cluster.Nodes)
+	}
+	if useGPU {
+		if cluster.GPUsPerNode == 0 {
+			return nil, fmt.Errorf("topology: cluster %s has no GPUs", cluster.Name)
+		}
+		if ppn > cluster.GPUsPerNode {
+			return nil, fmt.Errorf("topology: ppn %d exceeds %d GPUs per node on %s",
+				ppn, cluster.GPUsPerNode, cluster.Name)
+		}
+	}
+	return &Placement{cluster: cluster, ppn: ppn, policy: policy, nranks: nranks, useGPU: useGPU}, nil
+}
+
+// Cluster returns the machine this placement lives on.
+func (p *Placement) Cluster() *Cluster { return p.cluster }
+
+// Size returns the number of ranks placed.
+func (p *Placement) Size() int { return p.nranks }
+
+// PPN returns the ranks-per-node of this placement.
+func (p *Placement) PPN() int { return p.ppn }
+
+// UsesGPU reports whether ranks are bound to GPUs.
+func (p *Placement) UsesGPU() bool { return p.useGPU }
+
+// Node returns the node index hosting rank r.
+func (p *Placement) Node(r int) int {
+	p.check(r)
+	switch p.policy {
+	case Cyclic:
+		nodes := (p.nranks + p.ppn - 1) / p.ppn
+		return r % nodes
+	default:
+		return r / p.ppn
+	}
+}
+
+// LocalRank returns the index of rank r among the ranks of its node.
+func (p *Placement) LocalRank(r int) int {
+	p.check(r)
+	switch p.policy {
+	case Cyclic:
+		nodes := (p.nranks + p.ppn - 1) / p.ppn
+		return r / nodes
+	default:
+		return r % p.ppn
+	}
+}
+
+// Socket returns the socket index hosting rank r on its node. Ranks fill
+// socket 0 first, matching compact CPU binding.
+func (p *Placement) Socket(r int) int {
+	local := p.LocalRank(r)
+	perSocket := p.cluster.CoresPerSocket
+	if perSocket == 0 {
+		return 0
+	}
+	s := local / perSocket
+	if s >= p.cluster.SocketsPerNode {
+		s = p.cluster.SocketsPerNode - 1 // oversubscribed: pile onto last socket
+	}
+	return s
+}
+
+// GPU returns the GPU index bound to rank r on its node, or -1 when the
+// placement is CPU-only.
+func (p *Placement) GPU(r int) int {
+	if !p.useGPU {
+		return -1
+	}
+	return p.LocalRank(r) % p.cluster.GPUsPerNode
+}
+
+// Oversubscribed reports whether more ranks share a node than it has cores.
+func (p *Placement) Oversubscribed() bool { return p.ppn > p.cluster.CoresPerNode() }
+
+// FullySubscribed reports whether every core of a node hosts a rank, the
+// "full subscription" configuration of the paper's Figures 14-15 and 18-19.
+func (p *Placement) FullySubscribed() bool { return p.ppn >= p.cluster.CoresPerNode() }
+
+// Link classifies the path between ranks a and b.
+func (p *Placement) Link(a, b int) LinkClass {
+	p.check(a)
+	p.check(b)
+	if a == b {
+		return LinkSelf
+	}
+	sameNode := p.Node(a) == p.Node(b)
+	if p.useGPU {
+		if sameNode {
+			return LinkGPUSameNode
+		}
+		return LinkGPUInterNode
+	}
+	if !sameNode {
+		return LinkInterNode
+	}
+	if p.Socket(a) == p.Socket(b) {
+		return LinkSameSocket
+	}
+	return LinkSameNode
+}
+
+func (p *Placement) check(r int) {
+	if r < 0 || r >= p.nranks {
+		panic(fmt.Sprintf("topology: rank %d out of range [0,%d)", r, p.nranks))
+	}
+}

@@ -1,0 +1,185 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"frontera", "stampede2", "ri2", "bridges2"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, c.Name)
+		}
+	}
+	if _, err := ByName("FRONTERA"); err != nil {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, err := ByName("summit"); err == nil {
+		t.Error("unknown cluster should fail")
+	}
+}
+
+func TestClusterInventoryMatchesPaper(t *testing.T) {
+	if got := Frontera.CoresPerNode(); got != 56 {
+		t.Errorf("Frontera cores/node = %d, want 56", got)
+	}
+	if got := Stampede2.CoresPerNode(); got != 48 {
+		t.Errorf("Stampede2 cores/node = %d, want 48", got)
+	}
+	if got := RI2.CoresPerNode(); got != 28 {
+		t.Errorf("RI2 cores/node = %d, want 28", got)
+	}
+	if got := Bridges2.GPUsPerNode; got != 8 {
+		t.Errorf("Bridges-2 GPUs/node = %d, want 8", got)
+	}
+	if got := Bridges2.TotalGPUs(); got != 16 {
+		t.Errorf("Bridges-2 total GPUs = %d, want 16", got)
+	}
+	if Frontera.Fabric != InfiniBandHDR || Stampede2.Fabric != OmniPath {
+		t.Error("fabric assignments wrong")
+	}
+}
+
+func TestPlacementBlock(t *testing.T) {
+	p, err := NewPlacement(&Frontera, 8, 4, Block, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNode := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for r, want := range wantNode {
+		if got := p.Node(r); got != want {
+			t.Errorf("rank %d node = %d, want %d", r, got, want)
+		}
+		if got := p.LocalRank(r); got != r%4 {
+			t.Errorf("rank %d local = %d, want %d", r, got, r%4)
+		}
+	}
+}
+
+func TestPlacementCyclic(t *testing.T) {
+	p, err := NewPlacement(&Frontera, 8, 4, Cyclic, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 ranks at 4 ppn need 2 nodes; cyclic deals round-robin.
+	for r := 0; r < 8; r++ {
+		if got := p.Node(r); got != r%2 {
+			t.Errorf("rank %d node = %d, want %d", r, got, r%2)
+		}
+	}
+}
+
+func TestPlacementSockets(t *testing.T) {
+	// Frontera: 28 cores per socket. Compact binding fills socket 0 first.
+	p, err := NewPlacement(&Frontera, 56, 56, Block, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Socket(0) != 0 || p.Socket(27) != 0 {
+		t.Error("first 28 local ranks should be socket 0")
+	}
+	if p.Socket(28) != 1 || p.Socket(55) != 1 {
+		t.Error("next 28 local ranks should be socket 1")
+	}
+}
+
+func TestLinkClassification(t *testing.T) {
+	p, err := NewPlacement(&Frontera, 112, 56, Block, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b int
+		want LinkClass
+	}{
+		{0, 0, LinkSelf},
+		{0, 1, LinkSameSocket},
+		{0, 30, LinkSameNode}, // sockets 0 and 1 on node 0
+		{0, 56, LinkInterNode},
+		{55, 56, LinkInterNode},
+	}
+	for _, c := range cases {
+		if got := p.Link(c.a, c.b); got != c.want {
+			t.Errorf("Link(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGPULinkClassification(t *testing.T) {
+	p, err := NewPlacement(&Bridges2, 16, 8, Block, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Link(0, 1); got != LinkGPUSameNode {
+		t.Errorf("GPU same node link = %v", got)
+	}
+	if got := p.Link(0, 8); got != LinkGPUInterNode {
+		t.Errorf("GPU inter node link = %v", got)
+	}
+	if got := p.GPU(3); got != 3 {
+		t.Errorf("rank 3 GPU = %d, want 3", got)
+	}
+	if got := p.GPU(11); got != 3 {
+		t.Errorf("rank 11 GPU = %d, want 3", got)
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	if _, err := NewPlacement(&Frontera, 0, 1, Block, false); err == nil {
+		t.Error("zero ranks should fail")
+	}
+	if _, err := NewPlacement(&Frontera, 2, 0, Block, false); err == nil {
+		t.Error("zero ppn should fail")
+	}
+	// 16 nodes max on Frontera: 17 nodes worth of ranks must fail.
+	if _, err := NewPlacement(&Frontera, 17, 1, Block, false); err == nil {
+		t.Error("overflowing the cluster should fail")
+	}
+	// GPU placement on a GPU-less cluster must fail.
+	if _, err := NewPlacement(&Frontera, 2, 1, Block, true); err == nil {
+		t.Error("GPU placement on Frontera should fail")
+	}
+	// More GPU ranks per node than GPUs must fail.
+	if _, err := NewPlacement(&Bridges2, 18, 9, Block, true); err == nil {
+		t.Error("9 GPU ranks per node on 8-GPU nodes should fail")
+	}
+}
+
+func TestSubscriptionPredicates(t *testing.T) {
+	full, _ := NewPlacement(&Frontera, 112, 56, Block, false)
+	if !full.FullySubscribed() || full.Oversubscribed() {
+		t.Error("56 ppn on Frontera is exactly full subscription")
+	}
+	sparse, _ := NewPlacement(&Frontera, 16, 1, Block, false)
+	if sparse.FullySubscribed() {
+		t.Error("1 ppn is not full subscription")
+	}
+}
+
+func TestLinkSymmetryProperty(t *testing.T) {
+	p, err := NewPlacement(&Frontera, 112, 56, Block, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b uint8) bool {
+		ra, rb := int(a)%112, int(b)%112
+		return p.Link(ra, rb) == p.Link(rb, ra)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if !strings.Contains(Frontera.String(), "frontera") {
+		t.Error("cluster String misses name")
+	}
+	if LinkInterNode.String() != "inter-node" || LinkGPUSameNode.String() != "gpu-same-node" {
+		t.Error("link class strings wrong")
+	}
+}

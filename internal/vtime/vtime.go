@@ -1,0 +1,84 @@
+// Package vtime provides the virtual-time primitives used by the simulated
+// MPI runtime. All benchmark timing in this repository is virtual: each rank
+// carries a deterministic clock measured in microseconds, and communication
+// costs computed by the network model advance it. Wall-clock time never
+// enters a measurement, which makes every reported number reproducible
+// bit-for-bit across runs and machines.
+package vtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Micros is a duration or instant in virtual microseconds. The zero value is
+// the epoch at which every rank in a world starts.
+type Micros float64
+
+// Seconds converts a virtual duration to seconds.
+func (m Micros) Seconds() float64 { return float64(m) / 1e6 }
+
+// Millis converts a virtual duration to milliseconds.
+func (m Micros) Millis() float64 { return float64(m) / 1e3 }
+
+// String renders the duration with a unit chosen for readability.
+func (m Micros) String() string {
+	v := float64(m)
+	switch {
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.3fs", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.3fms", v/1e3)
+	default:
+		return fmt.Sprintf("%.3fus", v)
+	}
+}
+
+// Max returns the later of two instants.
+func Max(a, b Micros) Micros {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of two instants.
+func Min(a, b Micros) Micros {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Clock is the per-rank virtual clock. It is owned by exactly one goroutine
+// (the rank process) and therefore needs no locking; cross-rank time flows
+// only through message timestamps.
+type Clock struct {
+	now Micros
+}
+
+// Now returns the current virtual instant.
+func (c *Clock) Now() Micros { return c.now }
+
+// Advance moves the clock forward by d. Negative advances are a programming
+// error in the cost model and panic so they are caught in tests.
+func (c *Clock) Advance(d Micros) Micros {
+	if d < 0 {
+		panic(fmt.Sprintf("vtime: negative clock advance %v", d))
+	}
+	c.now += d
+	return c.now
+}
+
+// AdvanceTo moves the clock to instant t if t is in the future; a rank that
+// receives a message stamped earlier than its own clock keeps its clock.
+func (c *Clock) AdvanceTo(t Micros) Micros {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Set forces the clock to t. Used when a world is reset between benchmark
+// repetitions.
+func (c *Clock) Set(t Micros) { c.now = t }

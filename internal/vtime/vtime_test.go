@@ -1,0 +1,99 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock should start at the epoch")
+	}
+	if got := c.Advance(1.5); got != 1.5 {
+		t.Errorf("Advance returned %v", got)
+	}
+	if got := c.Advance(0); got != 1.5 {
+		t.Errorf("zero advance moved the clock to %v", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance must panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestAdvanceToNeverRewinds(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	if got := c.AdvanceTo(5); got != 10 {
+		t.Errorf("AdvanceTo(5) rewound to %v", got)
+	}
+	if got := c.AdvanceTo(20); got != 20 {
+		t.Errorf("AdvanceTo(20) = %v", got)
+	}
+}
+
+func TestAdvanceToMonotoneProperty(t *testing.T) {
+	prop := func(steps []float64) bool {
+		var c Clock
+		prev := c.Now()
+		for _, s := range steps {
+			if s < 0 {
+				s = -s
+			}
+			c.AdvanceTo(Micros(s))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(1, 2) != 2 || Max(3, 2) != 3 {
+		t.Error("Max wrong")
+	}
+	if Min(1, 2) != 1 || Min(3, 2) != 2 {
+		t.Error("Min wrong")
+	}
+}
+
+func TestConversionsAndString(t *testing.T) {
+	m := Micros(1_500_000)
+	if m.Seconds() != 1.5 {
+		t.Errorf("Seconds = %v", m.Seconds())
+	}
+	if m.Millis() != 1500 {
+		t.Errorf("Millis = %v", m.Millis())
+	}
+	cases := map[Micros]string{
+		Micros(0.5):       "0.500us",
+		Micros(1500):      "1.500ms",
+		Micros(2_500_000): "2.500s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", float64(in), got, want)
+		}
+	}
+}
+
+func TestSet(t *testing.T) {
+	var c Clock
+	c.Advance(42)
+	c.Set(0)
+	if c.Now() != 0 {
+		t.Error("Set(0) should rewind")
+	}
+}

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -333,6 +334,63 @@ func BenchmarkTable3OverheadMatrix(b *testing.B) {
 		benchCollectivePair(b, core.Allreduce, 16, 1, 4, benchSmallMax, false)
 	})
 	b.Run("gpu_cupy_small", func(b *testing.B) { benchGPU(b, core.Latency, pybuf.CuPy, 2, 1, 8, benchSmallMax) })
+}
+
+// --- Sweep engine ---
+
+// sweepVariants builds an 8-variant allreduce sweep (2 algorithms x 2
+// implementations x 2 modes), the shape behind the ablation figures.
+func sweepVariants() core.Sweep {
+	var variants []core.Variant
+	for _, algo := range []string{"recursive_doubling", "rabenseifner"} {
+		for _, impl := range []netmodel.Impl{netmodel.MVAPICH2, netmodel.IntelMPI} {
+			for _, mode := range []core.Mode{core.ModeC, core.ModePy} {
+				algo, impl, mode := algo, impl, mode
+				variants = append(variants, core.Variant{
+					Name: string(impl) + "/" + mode.String() + "/" + algo,
+					Mutate: func(o *core.Options) {
+						o.Algorithms = map[string]string{"allreduce": algo}
+						o.Impl = impl
+						o.Mode = mode
+					},
+				})
+			}
+		}
+	}
+	return core.Sweep{
+		Base: core.Options{
+			Benchmark: core.Allreduce, Mode: core.ModeC, Buffer: pybuf.NumPy,
+			Ranks: 16, PPN: 4, MinSize: 4, MaxSize: benchLargeMax,
+			Iters: 20, Warmup: 2, LargeIters: 5, LargeWarmup: 1,
+		},
+		Variants: variants,
+	}
+}
+
+// BenchmarkSweepParallel contrasts the serial sweep with the bounded
+// worker pool on the same 8-variant sweep; the speedup is the wall-clock
+// ratio of the workers_1 and workers_8 ns/op numbers. Variants are
+// embarrassingly parallel (each simulates an independent virtual world),
+// so the ratio tracks min(workers, GOMAXPROCS) -- on a single-CPU runner
+// the numbers converge instead of improving. Results are bit-identical
+// regardless of the worker count, which TestSweepParallelBitIdentical
+// proves.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			sw := sweepVariants()
+			sw.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := sw.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Reports) != len(sw.Variants) {
+					b.Fatalf("reports: %d", len(res.Reports))
+				}
+			}
+		})
+	}
 }
 
 // --- Ablations (DESIGN.md section 4) ---

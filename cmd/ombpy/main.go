@@ -9,6 +9,9 @@
 //	ombpy -bench allreduce -mode py -ranks 16 -ppn 1
 //	ombpy -bench latency -mode py -buffer cupy -cluster bridges2 -gpu
 //	ombpy -bench bw -mode pickle
+//	ombpy -bench allgather -ranks 16 -algorithm ring
+//	ombpy -bench allreduce -ranks 16 -algorithm all -parallel 4
+//	ombpy -algorithm list
 //	ombpy -list
 package main
 
@@ -20,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mpi"
 	"repro/internal/netmodel"
 	"repro/internal/pybuf"
 	"repro/internal/stats"
@@ -42,11 +46,18 @@ func main() {
 		warmup  = flag.Int("warmup", 10, "warm-up iterations per size")
 		window  = flag.Int("window", 64, "window size for bandwidth tests")
 		timing  = flag.Bool("timing-only", false, "skip payloads (huge-scale runs)")
+		algo    = flag.String("algorithm", "", "force collective algorithms: a name for this benchmark's collective, coll=name pairs, \"all\" to sweep every algorithm, \"list\" to show the registry")
+		par     = flag.Int("parallel", 0, "worker count for the -algorithm all sweep (0 = serial)")
 		asJSON  = flag.Bool("json", false, "emit the report as JSON")
 		plot    = flag.Bool("plot", false, "render the series as an ASCII chart")
 		list    = flag.Bool("list", false, "list available benchmarks")
 	)
 	flag.Parse()
+
+	if *algo == "list" {
+		fmt.Print(mpi.DescribeRegistry())
+		return
+	}
 
 	if *list {
 		fmt.Println("point-to-point:        latency bw bibw multi_lat")
@@ -65,7 +76,7 @@ func main() {
 	mpiImpl, err := netmodel.ParseImpl(*impl)
 	check(err)
 
-	rep, err := core.Run(core.Options{
+	opts := core.Options{
 		Benchmark:  b,
 		Cluster:    *cluster,
 		Impl:       mpiImpl,
@@ -80,7 +91,17 @@ func main() {
 		Warmup:     *warmup,
 		Window:     *window,
 		TimingOnly: *timing,
-	})
+	}
+
+	if *algo == "all" {
+		runAlgorithmSweep(opts, *par, *asJSON, *plot)
+		return
+	}
+	if *algo != "" {
+		opts.Algorithms = parseAlgorithmFlag(*algo, b)
+	}
+
+	rep, err := core.Run(opts)
 	check(err)
 
 	switch {
@@ -101,6 +122,46 @@ func main() {
 			Series: []*stats.Series{&rep.Series},
 			LogY:   metric == "latency(us)",
 		}
+		fmt.Print(ch.Render())
+	}
+}
+
+// parseAlgorithmFlag accepts either comma-separated coll=name pairs or a
+// bare algorithm name applied to the benchmark's own collective.
+func parseAlgorithmFlag(algo string, b core.Benchmark) map[string]string {
+	if strings.Contains(algo, "=") {
+		m, err := core.ParseAlgorithmList(algo)
+		check(err)
+		return m
+	}
+	coll, ok := b.Collective()
+	if !ok {
+		check(fmt.Errorf("benchmark %s has no selectable algorithms; use coll=name pairs", b))
+	}
+	canon, err := mpi.CanonicalAlgorithm(coll, algo)
+	check(err)
+	return map[string]string{string(coll): canon}
+}
+
+// runAlgorithmSweep runs the benchmark once per registered algorithm of
+// its collective (skipping ones infeasible at this rank count) on the
+// parallel sweep engine and prints the aligned table.
+func runAlgorithmSweep(opts core.Options, workers int, asJSON, plot bool) {
+	variants, err := core.AlgorithmVariants(opts)
+	check(err)
+	res, err := core.Sweep{Base: opts, Variants: variants, Workers: workers}.Run()
+	check(err)
+	switch {
+	case asJSON:
+		out, err := json.MarshalIndent(res.Reports, "", "  ")
+		check(err)
+		fmt.Println(string(out))
+	default:
+		tab := res.Table(fmt.Sprintf("%s algorithms", opts.Benchmark), "latency(us)")
+		fmt.Print(tab.Render())
+	}
+	if plot {
+		ch := stats.Chart{Metric: "latency(us)", Series: res.Series(), LogY: true}
 		fmt.Print(ch.Render())
 	}
 }

@@ -3,8 +3,10 @@
 // Usage:
 //
 //	ombrepro -experiment fig2        # one experiment
+//	ombrepro -experiment algo_allgather -parallel 4   # algorithm ablation
 //	ombrepro -all                    # everything except the 896-rank runs
 //	ombrepro -all -heavy             # everything
+//	ombrepro -all -algorithm allgather=ring           # forced-algorithm rerun
 //	ombrepro -list                   # enumerate experiment ids
 //
 // Each experiment prints the series its figure plots plus a
@@ -18,20 +20,32 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		id    = flag.String("experiment", "", "experiment id (fig1..fig34, table1..table3)")
+		id    = flag.String("experiment", "", "experiment id (fig1..fig34, table1..table3, algo_*)")
 		all   = flag.Bool("all", false, "run every experiment")
 		heavy = flag.Bool("heavy", false, "include the 896-rank full-subscription experiments")
 		list  = flag.Bool("list", false, "list experiment ids")
 		plot  = flag.Bool("plot", false, "render each experiment's series as an ASCII chart")
+		algo  = flag.String("algorithm", "", "force collective algorithms for every run, as coll=name pairs (e.g. allgather=ring,allreduce=rd)")
+		par   = flag.Int("parallel", 0, "sweep worker count for multi-variant experiments (0 = serial)")
 	)
 	flag.Parse()
 	plotCharts = *plot
+
+	if *algo != "" {
+		forced, err := core.ParseAlgorithmList(*algo)
+		if err != nil {
+			fatal(err)
+		}
+		core.SetDefaultAlgorithms(forced)
+	}
+	core.SetDefaultSweepWorkers(*par)
 
 	switch {
 	case *list:

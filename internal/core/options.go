@@ -172,6 +172,94 @@ type Options struct {
 	// Tuning overrides the runtime's collective algorithm thresholds
 	// (zero fields keep defaults); used by the ablation benchmarks.
 	Tuning mpi.Tuning
+	// Algorithms forces a named algorithm per collective, mirroring
+	// MVAPICH2's MV2_*_ALGORITHM knobs: keys are collective names
+	// ("bcast", "allreduce", "allgather", "alltoall", "reduce_scatter"),
+	// values are registered algorithm names or their aliases ("ring",
+	// "rd", "raben", ...). Names are canonicalised and validated; a nil
+	// map takes the process default set via SetDefaultAlgorithms.
+	Algorithms map[string]string
+}
+
+// defaultAlgorithms is the process-wide forced-algorithm default applied
+// when Options.Algorithms is nil -- the CLIs' -algorithm flag sets it, the
+// analogue of exporting MV2_*_ALGORITHM into a job's environment.
+var defaultAlgorithms map[string]string
+
+// SetDefaultAlgorithms installs the process-wide forced-algorithm default.
+// It is meant to be called once at CLI startup, before any Run.
+func SetDefaultAlgorithms(m map[string]string) { defaultAlgorithms = m }
+
+// ParseAlgorithmList parses a comma-separated list of collective=algorithm
+// pairs ("allgather=ring,allreduce=rd") into an Options.Algorithms map,
+// validating both halves against the runtime registry.
+func ParseAlgorithmList(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		coll, name, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("core: -algorithm entry %q is not collective=algorithm", pair)
+		}
+		c, err := mpi.ParseCollective(coll)
+		if err != nil {
+			return nil, err
+		}
+		canon, err := mpi.CanonicalAlgorithm(c, name)
+		if err != nil {
+			return nil, err
+		}
+		out[string(c)] = canon
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: -algorithm list %q is empty", s)
+	}
+	return out, nil
+}
+
+// mpiAlgorithms canonicalises Options.Algorithms into the runtime's forced
+// map.
+func (o Options) mpiAlgorithms() (map[mpi.Collective]string, error) {
+	if len(o.Algorithms) == 0 {
+		return nil, nil
+	}
+	out := make(map[mpi.Collective]string, len(o.Algorithms))
+	for coll, name := range o.Algorithms {
+		if name == "" {
+			continue
+		}
+		c, err := mpi.ParseCollective(coll)
+		if err != nil {
+			return nil, err
+		}
+		canon, err := mpi.CanonicalAlgorithm(c, name)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = canon
+	}
+	return out, nil
+}
+
+// Collective returns the runtime collective whose algorithm registry the
+// benchmark exercises, if it has selectable algorithms.
+func (b Benchmark) Collective() (mpi.Collective, bool) {
+	switch b {
+	case Bcast:
+		return mpi.CollBcast, true
+	case Allreduce:
+		return mpi.CollAllreduce, true
+	case Allgather:
+		return mpi.CollAllgather, true
+	case Alltoall:
+		return mpi.CollAlltoall, true
+	case ReduceScatter:
+		return mpi.CollReduceScatter, true
+	}
+	return "", false
 }
 
 // withDefaults fills OMB-style defaults and normalises sizes.
@@ -218,6 +306,9 @@ func (o Options) withDefaults() Options {
 	if es := o.DType.Size(); o.MinSize < es {
 		o.MinSize = es
 	}
+	if o.Algorithms == nil {
+		o.Algorithms = defaultAlgorithms
+	}
 	return o
 }
 
@@ -255,6 +346,9 @@ func (o Options) validate() error {
 	}
 	if o.MinSize > o.MaxSize {
 		return fmt.Errorf("core: MinSize %d > MaxSize %d", o.MinSize, o.MaxSize)
+	}
+	if _, err := o.mpiAlgorithms(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -36,12 +36,17 @@ func Run(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	algorithms, err := opts.mpiAlgorithms()
+	if err != nil {
+		return nil, err
+	}
 	world, err := mpi.NewWorld(mpi.Config{
-		Placement: place,
-		Model:     model,
-		PyMode:    opts.Mode != ModeC,
-		CarryData: !opts.TimingOnly,
-		Tuning:    opts.Tuning,
+		Placement:  place,
+		Model:      model,
+		PyMode:     opts.Mode != ModeC,
+		CarryData:  !opts.TimingOnly,
+		Tuning:     opts.Tuning,
+		Algorithms: algorithms,
 	})
 	if err != nil {
 		return nil, err

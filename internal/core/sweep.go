@@ -2,19 +2,44 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/mpi"
 	"repro/internal/stats"
 )
 
 // Sweep runs one benchmark across several configurations (modes, buffer
-// libraries, implementations, scales) and collects aligned series -- the
-// pattern behind every figure of the paper. A Sweep is declarative: the
-// Base options are cloned and each Variant mutates its copy.
+// libraries, implementations, algorithms, scales) and collects aligned
+// series -- the pattern behind every figure of the paper. A Sweep is
+// declarative: the Base options are cloned and each Variant mutates its
+// copy.
 type Sweep struct {
 	// Base is the configuration shared by all variants.
 	Base Options
 	// Variants name and derive each configuration.
 	Variants []Variant
+	// Workers bounds how many variants run concurrently. Every variant
+	// owns an independent virtual world, so scheduling cannot change the
+	// numbers: results are bit-identical to serial execution and reported
+	// in declaration order. 0 takes the process default (serial unless
+	// SetDefaultSweepWorkers raised it); negative uses GOMAXPROCS.
+	Workers int
+}
+
+// defaultSweepWorkers is the process-wide worker count applied when
+// Sweep.Workers is zero; the CLIs' -parallel flag raises it.
+var defaultSweepWorkers = 1
+
+// SetDefaultSweepWorkers installs the process-wide sweep parallelism
+// (values below 1 reset to serial). It is meant to be called once at CLI
+// startup.
+func SetDefaultSweepWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultSweepWorkers = n
 }
 
 // Variant is one line of a figure.
@@ -31,32 +56,108 @@ type SweepResult struct {
 	Reports []*Report
 }
 
-// Run executes every variant. Determinism carries over: a Sweep's output
-// depends only on its configurations.
+// Run executes every variant on a bounded worker pool. Determinism carries
+// over from Run: each variant simulates an independent virtual world, so
+// the output depends only on the configurations, never on the schedule --
+// reports come back in declaration order and bit-identical to a serial
+// sweep. If variants fail, the error of the earliest-declared failure is
+// returned, as a serial sweep would.
 func (s Sweep) Run() (*SweepResult, error) {
 	if len(s.Variants) == 0 {
 		return nil, fmt.Errorf("core: sweep has no variants")
 	}
-	out := &SweepResult{}
-	for i, v := range s.Variants {
-		opts := s.Base
-		if v.Mutate != nil {
-			v.Mutate(&opts)
-		}
-		rep, err := Run(opts)
+	workers := s.Workers
+	if workers == 0 {
+		workers = defaultSweepWorkers
+	}
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.Variants) {
+		workers = len(s.Variants)
+	}
+
+	reports := make([]*Report, len(s.Variants))
+	errs := make([]error, len(s.Variants))
+	jobs := make(chan int)
+	// failed makes the pool fail fast: once any variant errors, queued
+	// variants are abandoned (in-flight ones finish). With one worker this
+	// is exactly the serial stop-at-first-error; with several, the
+	// earliest-declared recorded error is reported either way.
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
+				reports[i], errs[i] = s.runVariant(i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range s.Variants {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
 		if err != nil {
-			name := v.Name
+			name := s.Variants[i].Name
 			if name == "" {
 				name = fmt.Sprintf("variant %d", i)
 			}
 			return nil, fmt.Errorf("core: sweep %s: %w", name, err)
 		}
-		if v.Name != "" {
-			rep.Series.Name = v.Name
-		}
-		out.Reports = append(out.Reports, rep)
 	}
-	return out, nil
+	return &SweepResult{Reports: reports}, nil
+}
+
+// runVariant derives and runs the i-th configuration.
+func (s Sweep) runVariant(i int) (*Report, error) {
+	v := s.Variants[i]
+	opts := s.Base
+	if v.Mutate != nil {
+		v.Mutate(&opts)
+	}
+	rep, err := Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	if v.Name != "" {
+		rep.Series.Name = v.Name
+	}
+	return rep, nil
+}
+
+// AlgorithmVariants returns one sweep variant per registered algorithm of
+// the benchmark's collective, each forcing that algorithm by name.
+// Algorithms that are infeasible for the options' rank count (recursive
+// doubling and halving need power-of-two groups) are skipped rather than
+// left to fail at run time.
+func AlgorithmVariants(opts Options) ([]Variant, error) {
+	coll, ok := opts.Benchmark.Collective()
+	if !ok {
+		return nil, fmt.Errorf("core: benchmark %s has no selectable algorithms", opts.Benchmark)
+	}
+	ranks := opts.withDefaults().Ranks
+	var variants []Variant
+	for _, a := range mpi.Algorithms(coll) {
+		if !a.FeasibleFor(mpi.Selection{CommSize: ranks}) {
+			continue
+		}
+		name := a.Name
+		variants = append(variants, Variant{Name: name, Mutate: func(o *Options) {
+			o.Algorithms = map[string]string{string(coll): name}
+		}})
+	}
+	return variants, nil
 }
 
 // Series returns the variants' series, aligned for tabling or charting.

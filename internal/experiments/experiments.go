@@ -157,19 +157,22 @@ func (pc pairConfig) options(mode core.Mode) core.Options {
 	}
 }
 
+// runPair executes both modes as a two-variant sweep, so ombrepro's
+// -parallel flag overlaps them on the sweep engine's worker pool.
 func runPair(pc pairConfig) (omb, ombpy *stats.Series, err error) {
 	if pc.buffer == 0 && !pc.useGPU {
 		pc.buffer = pybuf.NumPy
 	}
-	cRep, err := core.Run(pc.options(core.ModeC))
-	if err != nil {
-		return nil, nil, fmt.Errorf("OMB baseline: %w", err)
+	sw := core.Sweep{
+		Base: pc.options(core.ModeC),
+		Variants: []core.Variant{
+			{Name: "OMB"},
+			{Name: "OMB-Py", Mutate: func(o *core.Options) { *o = pc.options(core.ModePy) }},
+		},
 	}
-	pyRep, err := core.Run(pc.options(core.ModePy))
+	res, err := sw.Run()
 	if err != nil {
-		return nil, nil, fmt.Errorf("OMB-Py: %w", err)
+		return nil, nil, err
 	}
-	cRep.Series.Name = "OMB"
-	pyRep.Series.Name = "OMB-Py"
-	return &cRep.Series, &pyRep.Series, nil
+	return &res.Reports[0].Series, &res.Reports[1].Series, nil
 }

@@ -13,6 +13,8 @@ func TestRegistryCoversEveryFigureAndTable(t *testing.T) {
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
 		"fig24", "fig25", "fig26", "fig27", "fig28", "fig29", "fig30",
 		"fig31", "fig32", "fig33", "fig34",
+		"algo_bcast", "algo_allreduce", "algo_allgather", "algo_alltoall",
+		"algo_reduce_scatter",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -14,6 +14,39 @@ const (
 	allgatherBruckMaxTotal = 128 * 1024
 )
 
+func init() {
+	registerAlgorithm(Algorithm{
+		Name:       "recursive_doubling",
+		Collective: CollAllgather,
+		Summary:    "recursive doubling (power-of-two groups, small totals)",
+		Applicable: func(s Selection) bool {
+			return collective.IsPof2(s.CommSize) && s.Total() <= s.Tuning.AllgatherRDMaxTotal
+		},
+		Feasible: func(s Selection) bool { return collective.IsPof2(s.CommSize) },
+		run: func(c *Comm, call collCall) error {
+			return c.allgatherRecDoubling(call.rbuf, call.n)
+		},
+	})
+	registerAlgorithm(Algorithm{
+		Name:       "bruck",
+		Collective: CollAllgather,
+		Summary:    "Bruck log-round accumulation (small totals, any group)",
+		Applicable: func(s Selection) bool { return s.Total() <= s.Tuning.AllgatherBruckMaxTotal },
+		run: func(c *Comm, call collCall) error {
+			return c.allgatherBruck(call.rbuf, call.n)
+		},
+	})
+	registerAlgorithm(Algorithm{
+		Name:       "ring",
+		Collective: CollAllgather,
+		Summary:    "neighbour ring (large totals)",
+		Applicable: func(Selection) bool { return true },
+		run: func(c *Comm, call collCall) error {
+			return c.allgatherRing(call.rbuf, call.n)
+		},
+	})
+}
+
 // Allgather collects len(sbuf) bytes from every rank into rbuf on every
 // rank, ordered by rank; len(rbuf) must be p*len(sbuf).
 func (c *Comm) Allgather(sbuf, rbuf []byte) error {
@@ -33,18 +66,11 @@ func (c *Comm) AllgatherN(sbuf []byte, n int, rbuf []byte) error {
 	if p == 1 {
 		return nil
 	}
-	total := p * n
-	tune := c.proc.tuning()
-	var err error
-	switch {
-	case collective.IsPof2(p) && total <= tune.AllgatherRDMaxTotal:
-		err = c.allgatherRecDoubling(rbuf, n)
-	case total <= tune.AllgatherBruckMaxTotal:
-		err = c.allgatherBruck(rbuf, n)
-	default:
-		err = c.allgatherRing(rbuf, n)
-	}
+	alg, err := c.algorithm(CollAllgather, Selection{CommSize: p, Bytes: n})
 	if err != nil {
+		return fmt.Errorf("mpi: Allgather: %w", err)
+	}
+	if err := alg.run(c, collCall{rbuf: rbuf, n: n}); err != nil {
 		return fmt.Errorf("mpi: Allgather: %w", err)
 	}
 	return nil

@@ -11,6 +11,30 @@ import (
 // mirroring MVAPICH2's tuning.
 const allreduceRabenseifnerMin = 32 * 1024
 
+func init() {
+	registerAlgorithm(Algorithm{
+		Name:       "rabenseifner",
+		Collective: CollAllreduce,
+		Summary:    "reduce-scatter + allgather (large vectors, >=4 ranks)",
+		Applicable: func(s Selection) bool {
+			return s.Bytes >= s.Tuning.AllreduceRabenseifnerMin &&
+				s.CommSize >= 4 && s.Elems >= collective.Pof2Floor(s.CommSize)
+		},
+		run: func(c *Comm, call collCall) error {
+			return c.allreduceRabenseifner(call.rbuf, call.n, call.dt, call.op)
+		},
+	})
+	registerAlgorithm(Algorithm{
+		Name:       "recursive_doubling",
+		Collective: CollAllreduce,
+		Summary:    "whole-vector recursive doubling (small messages)",
+		Applicable: func(Selection) bool { return true },
+		run: func(c *Comm, call collCall) error {
+			return c.allreduceRecDoubling(call.rbuf, call.n, call.dt, call.op)
+		},
+	})
+}
+
 // Allreduce combines sbuf across all ranks with op over dt and leaves the
 // result in rbuf on every rank.
 func (c *Comm) Allreduce(sbuf, rbuf []byte, dt DType, op Op) error {
@@ -36,13 +60,11 @@ func (c *Comm) AllreduceN(sbuf, rbuf []byte, n int, dt DType, op Op) error {
 		acc = rbuf[:n]
 		copy(acc, sbuf[:n])
 	}
-	var err error
-	if n >= c.proc.tuning().AllreduceRabenseifnerMin && p >= 4 && n/dt.Size() >= collective.Pof2Floor(p) {
-		err = c.allreduceRabenseifner(acc, n, dt, op)
-	} else {
-		err = c.allreduceRecDoubling(acc, n, dt, op)
-	}
+	alg, err := c.algorithm(CollAllreduce, Selection{CommSize: p, Bytes: n, Elems: n / dt.Size()})
 	if err != nil {
+		return fmt.Errorf("mpi: Allreduce: %w", err)
+	}
+	if err := alg.run(c, collCall{rbuf: acc, n: n, dt: dt, op: op}); err != nil {
 		return fmt.Errorf("mpi: Allreduce: %w", err)
 	}
 	return nil

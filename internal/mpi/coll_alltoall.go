@@ -10,6 +10,29 @@ import (
 // Bruck's log-round algorithm; larger exchanges use pairwise rounds.
 const alltoallBruckMaxBlock = 1024
 
+func init() {
+	registerAlgorithm(Algorithm{
+		Name:       "bruck",
+		Collective: CollAlltoall,
+		Summary:    "Bruck packed log-round exchange (small blocks)",
+		Applicable: func(s Selection) bool {
+			return s.Bytes <= s.Tuning.AlltoallBruckMaxBlock && s.CommSize > 2
+		},
+		run: func(c *Comm, call collCall) error {
+			return c.alltoallBruck(call.sbuf, call.n, call.rbuf)
+		},
+	})
+	registerAlgorithm(Algorithm{
+		Name:       "pairwise",
+		Collective: CollAlltoall,
+		Summary:    "balanced pairwise exchange rounds (large blocks)",
+		Applicable: func(Selection) bool { return true },
+		run: func(c *Comm, call collCall) error {
+			return c.alltoallPairwise(call.sbuf, call.n, call.rbuf)
+		},
+	})
+}
+
 // Alltoall sends the r-th block of sbuf to rank r and receives rank r's
 // block into the r-th block of rbuf; len(sbuf) == len(rbuf) == p*blockLen.
 func (c *Comm) Alltoall(sbuf, rbuf []byte) error {
@@ -33,13 +56,11 @@ func (c *Comm) AlltoallN(sbuf []byte, n int, rbuf []byte) error {
 	if p == 1 {
 		return nil
 	}
-	var err error
-	if n <= c.proc.tuning().AlltoallBruckMaxBlock && p > 2 {
-		err = c.alltoallBruck(sbuf, n, rbuf)
-	} else {
-		err = c.alltoallPairwise(sbuf, n, rbuf)
-	}
+	alg, err := c.algorithm(CollAlltoall, Selection{CommSize: p, Bytes: n})
 	if err != nil {
+		return fmt.Errorf("mpi: Alltoall: %w", err)
+	}
+	if err := alg.run(c, collCall{sbuf: sbuf, rbuf: rbuf, n: n}); err != nil {
 		return fmt.Errorf("mpi: Alltoall: %w", err)
 	}
 	return nil

@@ -33,6 +33,29 @@ func (c *Comm) Barrier() error {
 // binomial tree to scatter + ring allgather.
 const bcastLargeMin = 512 * 1024
 
+func init() {
+	registerAlgorithm(Algorithm{
+		Name:       "scatter_ring",
+		Collective: CollBcast,
+		Summary:    "binomial scatter + ring allgather (large messages)",
+		Applicable: func(s Selection) bool {
+			return s.Bytes >= s.Tuning.BcastScatterRingMin && s.CommSize > 2
+		},
+		run: func(c *Comm, call collCall) error {
+			return c.bcastScatterRing(call.sbuf, call.n, call.root)
+		},
+	})
+	registerAlgorithm(Algorithm{
+		Name:       "binomial",
+		Collective: CollBcast,
+		Summary:    "binomial tree (small and medium messages)",
+		Applicable: func(Selection) bool { return true },
+		run: func(c *Comm, call collCall) error {
+			return c.bcastBinomial(call.sbuf, call.n, call.root)
+		},
+	})
+}
+
 // Bcast broadcasts buf from root to all ranks.
 func (c *Comm) Bcast(buf []byte, root int) error { return c.BcastN(buf, len(buf), root) }
 
@@ -45,10 +68,11 @@ func (c *Comm) BcastN(buf []byte, n, root int) error {
 	if p == 1 {
 		return nil
 	}
-	if n >= c.proc.tuning().BcastScatterRingMin && p > 2 {
-		return c.bcastScatterRing(buf, n, root)
+	alg, err := c.algorithm(CollBcast, Selection{CommSize: p, Bytes: n})
+	if err != nil {
+		return fmt.Errorf("mpi: Bcast: %w", err)
 	}
-	return c.bcastBinomial(buf, n, root)
+	return alg.run(c, collCall{sbuf: buf, n: n, root: root})
 }
 
 func (c *Comm) bcastBinomial(buf []byte, n, root int) error {

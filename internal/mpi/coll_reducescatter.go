@@ -6,6 +6,28 @@ import (
 	"repro/internal/collective"
 )
 
+func init() {
+	registerAlgorithm(Algorithm{
+		Name:       "recursive_halving",
+		Collective: CollReduceScatter,
+		Summary:    "recursive halving over aligned windows (power-of-two groups)",
+		Applicable: func(s Selection) bool { return collective.IsPof2(s.CommSize) },
+		Feasible:   func(s Selection) bool { return collective.IsPof2(s.CommSize) },
+		run: func(c *Comm, call collCall) error {
+			return c.reduceScatterHalving(call.sbuf, call.rbuf, call.counts, call.total, call.dt, call.op)
+		},
+	})
+	registerAlgorithm(Algorithm{
+		Name:       "pairwise",
+		Collective: CollReduceScatter,
+		Summary:    "pairwise exchange-and-reduce rounds (any group)",
+		Applicable: func(Selection) bool { return true },
+		run: func(c *Comm, call collCall) error {
+			return c.reduceScatterPairwise(call.sbuf, call.rbuf, call.counts, call.total, call.dt, call.op)
+		},
+	})
+}
+
 // ReduceScatterBlock reduces p equal blocks of sbuf across the ranks and
 // leaves block r on rank r in rbuf; len(sbuf) == p*len(rbuf).
 func (c *Comm) ReduceScatterBlock(sbuf, rbuf []byte, dt DType, op Op) error {
@@ -59,13 +81,11 @@ func (c *Comm) ReduceScatterN(sbuf, rbuf []byte, counts []int, dt DType, op Op) 
 		}
 		return nil
 	}
-	var err error
-	if collective.IsPof2(p) {
-		err = c.reduceScatterHalving(sbuf, rbuf, counts, total, dt, op)
-	} else {
-		err = c.reduceScatterPairwise(sbuf, rbuf, counts, total, dt, op)
-	}
+	alg, err := c.algorithm(CollReduceScatter, Selection{CommSize: p, Bytes: total, Elems: total / dt.Size()})
 	if err != nil {
+		return fmt.Errorf("mpi: ReduceScatter: %w", err)
+	}
+	if err := alg.run(c, collCall{sbuf: sbuf, rbuf: rbuf, counts: counts, total: total, dt: dt, op: op}); err != nil {
 		return fmt.Errorf("mpi: ReduceScatter: %w", err)
 	}
 	return nil

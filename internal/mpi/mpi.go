@@ -54,6 +54,12 @@ type Config struct {
 	// Tuning overrides collective algorithm-selection thresholds; zero
 	// fields keep the shipped defaults.
 	Tuning Tuning
+	// Algorithms forces a named algorithm per collective, bypassing the
+	// threshold policy the way MVAPICH2's MV2_*_ALGORITHM environment
+	// knobs do. Values may use registered aliases ("rd", "raben", ...);
+	// unknown names fail NewWorld. Missing or empty entries keep the
+	// Tuning-driven selection.
+	Algorithms map[Collective]string
 }
 
 // World is a set of ranks sharing mailboxes and a cost model.
@@ -61,7 +67,7 @@ type World struct {
 	cfg       Config
 	size      int
 	fullSub   bool
-	tuning    Tuning
+	policy    Policy
 	mailboxes []*mailbox
 
 	ctxMu   sync.Mutex
@@ -80,10 +86,25 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("mpi: model calibrated for %s but placement is on %s",
 			cfg.Model.Cluster.Name, cfg.Placement.Cluster().Name)
 	}
+	var forced map[Collective]string
+	for coll, name := range cfg.Algorithms {
+		if name == "" {
+			continue
+		}
+		canon, err := CanonicalAlgorithm(coll, name)
+		if err != nil {
+			return nil, err
+		}
+		if forced == nil {
+			forced = make(map[Collective]string)
+		}
+		forced[coll] = canon
+	}
 	size := cfg.Placement.Size()
 	w := &World{
 		cfg: cfg, size: size, fullSub: cfg.Placement.FullySubscribed(),
-		tuning: cfg.Tuning.withDefaults(), nextCtx: 1,
+		policy:  Policy{Tuning: cfg.Tuning.withDefaults(), Forced: forced, defaulted: true},
+		nextCtx: 1,
 	}
 	w.mailboxes = make([]*mailbox, size)
 	for i := range w.mailboxes {
@@ -103,6 +124,9 @@ func (w *World) Model() *netmodel.Model { return w.cfg.Model }
 
 // PyMode reports whether the Python-binding penalty model is active.
 func (w *World) PyMode() bool { return w.cfg.PyMode }
+
+// Policy returns the world's effective algorithm-selection policy.
+func (w *World) Policy() Policy { return w.policy }
 
 // allocCtx reserves a contiguous block of n communicator context ids.
 func (w *World) allocCtx(n int) int {

@@ -1,0 +1,309 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+)
+
+// The golden* functions replicate, verbatim, the inline threshold logic
+// the collectives used before dispatch moved to the registry. The parity
+// test below proves the registry's default policy picks exactly the same
+// algorithm over a grid of communicator sizes, message sizes and tuning
+// overrides, so refactoring dispatch changed no selection.
+
+func goldenBcast(p, n int, t Tuning) string {
+	if n >= t.BcastScatterRingMin && p > 2 {
+		return "scatter_ring"
+	}
+	return "binomial"
+}
+
+func goldenAllreduce(p, n, elemSize int, t Tuning) string {
+	if n >= t.AllreduceRabenseifnerMin && p >= 4 && n/elemSize >= collective.Pof2Floor(p) {
+		return "rabenseifner"
+	}
+	return "recursive_doubling"
+}
+
+func goldenAllgather(p, n int, t Tuning) string {
+	total := p * n
+	switch {
+	case collective.IsPof2(p) && total <= t.AllgatherRDMaxTotal:
+		return "recursive_doubling"
+	case total <= t.AllgatherBruckMaxTotal:
+		return "bruck"
+	default:
+		return "ring"
+	}
+}
+
+func goldenAlltoall(p, n int, t Tuning) string {
+	if n <= t.AlltoallBruckMaxBlock && p > 2 {
+		return "bruck"
+	}
+	return "pairwise"
+}
+
+func goldenReduceScatter(p int) string {
+	if collective.IsPof2(p) {
+		return "recursive_halving"
+	}
+	return "pairwise"
+}
+
+// parityTunings is the tuning grid: defaults plus every field forced low,
+// negative (algorithm disabled) and huge, one at a time.
+func parityTunings() []Tuning {
+	big := 1 << 30
+	out := []Tuning{{}}
+	for _, v := range []int{-1, 1, big} {
+		out = append(out,
+			Tuning{BcastScatterRingMin: v},
+			Tuning{AllreduceRabenseifnerMin: v},
+			Tuning{AllgatherRDMaxTotal: v},
+			Tuning{AllgatherBruckMaxTotal: v},
+			Tuning{AlltoallBruckMaxBlock: v},
+		)
+	}
+	return out
+}
+
+func paritySizes() []int {
+	var out []int
+	for k := 0; k <= 21; k++ {
+		n := 1 << k
+		out = append(out, n)
+		if n > 1 {
+			out = append(out, n-1, n+1)
+		}
+	}
+	return out
+}
+
+func TestRegistryMatchesGoldenSelectionTable(t *testing.T) {
+	commSizes := []int{2, 3, 4, 5, 6, 7, 8, 12, 16, 24, 32, 64, 128, 896}
+	sizes := paritySizes()
+	checked := 0
+	for _, tu := range parityTunings() {
+		pol := Policy{Tuning: tu}
+		eff := tu.withDefaults()
+		for _, p := range commSizes {
+			for _, n := range sizes {
+				pick := func(coll Collective, sel Selection) string {
+					t.Helper()
+					a, err := pol.Select(coll, sel)
+					if err != nil {
+						t.Fatalf("%s p=%d n=%d tuning=%+v: %v", coll, p, n, tu, err)
+					}
+					return a.Name
+				}
+				if got, want := pick(CollBcast, Selection{CommSize: p, Bytes: n}),
+					goldenBcast(p, n, eff); got != want {
+					t.Fatalf("bcast p=%d n=%d tuning=%+v: registry %s, golden %s", p, n, tu, got, want)
+				}
+				for _, es := range []int{1, 4, 8} {
+					if n%es != 0 {
+						continue
+					}
+					if got, want := pick(CollAllreduce, Selection{CommSize: p, Bytes: n, Elems: n / es}),
+						goldenAllreduce(p, n, es, eff); got != want {
+						t.Fatalf("allreduce p=%d n=%d es=%d tuning=%+v: registry %s, golden %s",
+							p, n, es, tu, got, want)
+					}
+				}
+				if got, want := pick(CollAllgather, Selection{CommSize: p, Bytes: n}),
+					goldenAllgather(p, n, eff); got != want {
+					t.Fatalf("allgather p=%d n=%d tuning=%+v: registry %s, golden %s", p, n, tu, got, want)
+				}
+				if got, want := pick(CollAlltoall, Selection{CommSize: p, Bytes: n}),
+					goldenAlltoall(p, n, eff); got != want {
+					t.Fatalf("alltoall p=%d n=%d tuning=%+v: registry %s, golden %s", p, n, tu, got, want)
+				}
+				if got, want := pick(CollReduceScatter, Selection{CommSize: p, Bytes: p * n, Elems: p * n}),
+					goldenReduceScatter(p); got != want {
+					t.Fatalf("reduce_scatter p=%d tuning=%+v: registry %s, golden %s", p, tu, got, want)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("parity grid is empty")
+	}
+}
+
+func TestRegistryListing(t *testing.T) {
+	want := map[Collective][]string{
+		CollBcast:         {"scatter_ring", "binomial"},
+		CollAllreduce:     {"rabenseifner", "recursive_doubling"},
+		CollAllgather:     {"recursive_doubling", "bruck", "ring"},
+		CollAlltoall:      {"bruck", "pairwise"},
+		CollReduceScatter: {"recursive_halving", "pairwise"},
+	}
+	if len(Collectives()) != len(want) {
+		t.Fatalf("collectives: %v", Collectives())
+	}
+	for coll, names := range want {
+		got := AlgorithmNames(coll)
+		if len(got) != len(names) {
+			t.Fatalf("%s algorithms: %v, want %v", coll, got, names)
+		}
+		for i := range names {
+			if got[i] != names[i] {
+				t.Errorf("%s algorithm %d: %s, want %s", coll, i, got[i], names[i])
+			}
+		}
+	}
+	desc := DescribeRegistry()
+	for _, needle := range []string{"rabenseifner", "scatter_ring", "aliases:"} {
+		if !strings.Contains(desc, needle) {
+			t.Errorf("DescribeRegistry misses %q", needle)
+		}
+	}
+}
+
+func TestCanonicalAlgorithmAliases(t *testing.T) {
+	cases := []struct {
+		coll Collective
+		in   string
+		want string
+	}{
+		{CollAllgather, "Ring", "ring"},
+		{CollAllgather, "rd", "recursive_doubling"},
+		{CollAllgather, "Recursive-Doubling", "recursive_doubling"},
+		{CollAllreduce, "raben", "rabenseifner"},
+		{CollBcast, "scatter-ring", "scatter_ring"},
+		{CollBcast, "tree", "binomial"},
+		{CollAlltoall, "pair", "pairwise"},
+		{CollReduceScatter, "halving", "recursive_halving"},
+	}
+	for _, c := range cases {
+		got, err := CanonicalAlgorithm(c.coll, c.in)
+		if err != nil {
+			t.Errorf("%s %q: %v", c.coll, c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s %q resolved to %q, want %q", c.coll, c.in, got, c.want)
+		}
+	}
+	if _, err := CanonicalAlgorithm(CollBcast, "ring"); err == nil {
+		t.Error("bcast has no ring algorithm; lookup should fail")
+	}
+	if _, err := ParseCollective("reduce-scatter"); err != nil {
+		t.Errorf("reduce-scatter alias: %v", err)
+	}
+	if _, err := ParseCollective("gather"); err == nil {
+		t.Error("gather has no selectable algorithms; parse should fail")
+	}
+}
+
+func TestPolicyForcedOverride(t *testing.T) {
+	// Forced names bypass the thresholds entirely (MV2_*_ALGORITHM).
+	pol := Policy{Forced: map[Collective]string{CollAllgather: "ring"}}
+	a, err := pol.Select(CollAllgather, Selection{CommSize: 4, Bytes: 1})
+	if err != nil || a.Name != "ring" {
+		t.Fatalf("forced ring: got %v, %v", a, err)
+	}
+	// Aliases resolve in forced entries too.
+	pol = Policy{Forced: map[Collective]string{CollAllgather: "rd"}}
+	if a, err = pol.Select(CollAllgather, Selection{CommSize: 8, Bytes: 1 << 20}); err != nil || a.Name != "recursive_doubling" {
+		t.Fatalf("forced rd: got %v, %v", a, err)
+	}
+	// Forcing an infeasible algorithm is an error, not a silent fallback.
+	if _, err = pol.Select(CollAllgather, Selection{CommSize: 6, Bytes: 8}); err == nil {
+		t.Fatal("recursive doubling on 6 ranks must be rejected")
+	}
+	if _, err = (Policy{Forced: map[Collective]string{CollBcast: "nope"}}).Select(
+		CollBcast, Selection{CommSize: 4, Bytes: 8}); err == nil {
+		t.Fatal("unknown forced algorithm must be rejected")
+	}
+}
+
+// TestWorldForcedAlgorithm proves a Config.Algorithms override reaches the
+// wire: ring allgather sends p*(p-1) messages where the default recursive
+// doubling sends p*log2(p).
+func TestWorldForcedAlgorithm(t *testing.T) {
+	const p, n = 8, 64
+	run := func(forced map[Collective]string) (int, [][]byte) {
+		place, err := topologyPlacement(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewTrace()
+		w, err := NewWorld(Config{
+			Placement: place, Model: fronteraModelForTest(),
+			CarryData: true, Trace: tr, Algorithms: forced,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs := make([][]byte, p)
+		err = w.Run(func(pr *Proc) error {
+			c := pr.CommWorld()
+			rbuf := make([]byte, p*n)
+			if err := c.Allgather(pattern(pr.Rank(), n), rbuf); err != nil {
+				return err
+			}
+			outs[pr.Rank()] = rbuf
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Summarize().Messages, outs
+	}
+	defMsgs, defOut := run(nil)
+	ringMsgs, ringOut := run(map[Collective]string{CollAllgather: "ring"})
+	if defMsgs != p*3 {
+		t.Errorf("default allgather sent %d msgs, want %d", defMsgs, p*3)
+	}
+	if ringMsgs != p*(p-1) {
+		t.Errorf("forced ring sent %d msgs, want %d", ringMsgs, p*(p-1))
+	}
+	for r := 0; r < p; r++ {
+		if string(defOut[r]) != string(ringOut[r]) {
+			t.Fatalf("rank %d: forced ring changed the result", r)
+		}
+	}
+}
+
+func TestNewWorldRejectsUnknownAlgorithm(t *testing.T) {
+	place, err := topologyPlacement(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewWorld(Config{
+		Placement: place, Model: fronteraModelForTest(), CarryData: true,
+		Algorithms: map[Collective]string{CollAllgather: "warp_drive"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "warp_drive") {
+		t.Fatalf("unknown algorithm must fail NewWorld, got %v", err)
+	}
+}
+
+// TestForcedInfeasibleSurfacesAtCall: an infeasible forced algorithm fails
+// the collective call with a clear error rather than hanging or corrupting.
+func TestForcedInfeasibleSurfacesAtCall(t *testing.T) {
+	const p = 6 // not a power of two
+	place, err := topologyPlacement(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(Config{
+		Placement: place, Model: fronteraModelForTest(), CarryData: true,
+		Algorithms: map[Collective]string{CollAllgather: "recursive_doubling"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		return c.AllgatherN(nil, 8, nil)
+	})
+	if err == nil || !strings.Contains(err.Error(), "infeasible") {
+		t.Fatalf("infeasible forced algorithm: got %v", err)
+	}
+}

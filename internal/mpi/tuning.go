@@ -1,11 +1,17 @@
 package mpi
 
-// Tuning exposes the collective algorithm-selection thresholds, like
-// MVAPICH2's MV2_* environment knobs. The defaults mirror the library's
-// shipped tuning tables; the ablation benchmarks override individual knobs
-// to quantify each design choice (DESIGN.md section 4). Zero fields keep
-// the defaults; negative values disable the corresponding algorithm
-// (e.g. AllgatherRDMaxTotal: -1 forces Bruck or ring).
+// Tuning is the threshold half of the algorithm-selection Policy: the
+// Applicable predicates of the registered algorithms (see registry.go)
+// compare these fields against the Selection, like MVAPICH2's MV2_*
+// environment knobs parameterise its tuning tables. The defaults mirror
+// the library's shipped tables; the ablation benchmarks override
+// individual knobs to quantify each design choice (DESIGN.md section 4).
+// Zero fields keep the defaults. Negative values disable an algorithm:
+// for the *Max* fields the bounded algorithm can never be selected
+// (e.g. AllgatherRDMaxTotal: -1 forces Bruck or ring); for the *Min*
+// fields every size is at or above the switch point, so the small-message
+// algorithm is disabled wherever the large one is applicable
+// (e.g. BcastScatterRingMin: -1 disables the binomial tree on >2 ranks).
 type Tuning struct {
 	// BcastScatterRingMin is the message size at which Bcast switches from
 	// the binomial tree to scatter + ring allgather.
@@ -55,4 +61,4 @@ func (t Tuning) withDefaults() Tuning {
 }
 
 // tuning returns the world's effective thresholds.
-func (p *Proc) tuning() Tuning { return p.world.tuning }
+func (p *Proc) tuning() Tuning { return p.world.policy.Tuning }

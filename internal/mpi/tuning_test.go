@@ -42,6 +42,63 @@ func TestTuningDefaults(t *testing.T) {
 	}
 }
 
+// TestTuningNegativeDisablesEveryField exercises the documented negative
+// semantics of each threshold field through the selection policy: a
+// negative *Max* bound makes the bounded algorithm unselectable, a
+// negative *Min* switch point disables the small-message algorithm
+// wherever the large one is applicable.
+func TestTuningNegativeDisablesEveryField(t *testing.T) {
+	sel := func(coll Collective, s Selection, tu Tuning) string {
+		t.Helper()
+		a, err := Policy{Tuning: tu}.Select(coll, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.Name
+	}
+	cases := []struct {
+		field  string
+		tuning Tuning
+		coll   Collective
+		sel    Selection
+		want   string
+	}{
+		// BcastScatterRingMin: -1 disables the binomial tree on >2 ranks,
+		// even for a 1-byte broadcast...
+		{"BcastScatterRingMin", Tuning{BcastScatterRingMin: -1},
+			CollBcast, Selection{CommSize: 8, Bytes: 1}, "scatter_ring"},
+		// ...but 2-rank broadcasts have no scatter+ring and stay binomial.
+		{"BcastScatterRingMin(p=2)", Tuning{BcastScatterRingMin: -1},
+			CollBcast, Selection{CommSize: 2, Bytes: 1 << 20}, "binomial"},
+		// AllreduceRabenseifnerMin: -1 disables recursive doubling wherever
+		// Rabenseifner is applicable (>=4 ranks, enough elements)...
+		{"AllreduceRabenseifnerMin", Tuning{AllreduceRabenseifnerMin: -1},
+			CollAllreduce, Selection{CommSize: 8, Bytes: 64, Elems: 16}, "rabenseifner"},
+		// ...while small groups still fall back to recursive doubling.
+		{"AllreduceRabenseifnerMin(p=2)", Tuning{AllreduceRabenseifnerMin: -1},
+			CollAllreduce, Selection{CommSize: 2, Bytes: 64, Elems: 16}, "recursive_doubling"},
+		// AllgatherRDMaxTotal: -1 disables recursive doubling even on a
+		// power-of-two group with a tiny total.
+		{"AllgatherRDMaxTotal", Tuning{AllgatherRDMaxTotal: -1},
+			CollAllgather, Selection{CommSize: 8, Bytes: 1}, "bruck"},
+		// AllgatherBruckMaxTotal: -1 disables Bruck (non-power-of-two group
+		// so recursive doubling is out anyway): ring takes over.
+		{"AllgatherBruckMaxTotal", Tuning{AllgatherBruckMaxTotal: -1},
+			CollAllgather, Selection{CommSize: 6, Bytes: 1}, "ring"},
+		// Both allgather bounds negative: ring everywhere.
+		{"Allgather(both)", Tuning{AllgatherRDMaxTotal: -1, AllgatherBruckMaxTotal: -1},
+			CollAllgather, Selection{CommSize: 8, Bytes: 1}, "ring"},
+		// AlltoallBruckMaxBlock: -1 disables Bruck even for 1-byte blocks.
+		{"AlltoallBruckMaxBlock", Tuning{AlltoallBruckMaxBlock: -1},
+			CollAlltoall, Selection{CommSize: 8, Bytes: 1}, "pairwise"},
+	}
+	for _, c := range cases {
+		if got := sel(c.coll, c.sel, c.tuning); got != c.want {
+			t.Errorf("%s: %s selected %s, want %s", c.field, c.coll, got, c.want)
+		}
+	}
+}
+
 // TestTuningForcesAlgorithms verifies through the trace that each override
 // actually selects the intended algorithm (distinct message complexities),
 // and that results stay correct under every forced algorithm.

@@ -1,0 +1,27 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkEngineLargeWorld is the large-world engine benchmark the perf
+// trajectory regresses against: a 256-rank timing-only allreduce sweep over
+// the rendezvous sizes (16 KiB - 256 KiB), the shape of the paper's
+// full-subscription experiments. One op is one complete core.Run, so ns/op
+// is the end-to-end wall-clock cost of simulating the whole sweep.
+func BenchmarkEngineLargeWorld(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := core.Run(core.Options{
+			Benchmark: core.Allreduce, Mode: core.ModeC,
+			Ranks: 256, PPN: 32, TimingOnly: true,
+			MinSize: 16 * 1024, MaxSize: 256 * 1024,
+			Iters: 20, Warmup: 2, LargeIters: 10, LargeWarmup: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

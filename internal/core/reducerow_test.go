@@ -1,0 +1,42 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/pybuf"
+)
+
+// TestRowReduceFusionUnchanged proves the satellite claim behind the fused
+// min/sum/max aggregation: because every message size is clock-isolated
+// (barrier + ResetClock before each size), the aggregation protocol runs
+// outside anything that is measured, so collapsing three reduce rounds into
+// one changes no reported number. The legacy three-round path is kept only
+// for this comparison.
+func TestRowReduceFusionUnchanged(t *testing.T) {
+	configs := []Options{
+		{Benchmark: Latency, Mode: ModeC, Ranks: 2, PPN: 1,
+			MinSize: 1, MaxSize: 64 * 1024, Iters: 10, Warmup: 2, LargeIters: 4, LargeWarmup: 1},
+		{Benchmark: Allreduce, Mode: ModePy, Buffer: pybuf.NumPy, Ranks: 12, PPN: 4,
+			MinSize: 4, MaxSize: 64 * 1024, Iters: 10, Warmup: 2, LargeIters: 4, LargeWarmup: 1},
+		{Benchmark: Bandwidth, Mode: ModeC, Ranks: 2, PPN: 1, Window: 16,
+			MinSize: 1024, MaxSize: 64 * 1024, Iters: 10, Warmup: 2, LargeIters: 4, LargeWarmup: 1},
+	}
+	defer func() { fuseRowReduce = true }()
+	for _, opts := range configs {
+		fuseRowReduce = true
+		fused, err := Run(opts)
+		if err != nil {
+			t.Fatalf("%s fused: %v", opts.Benchmark, err)
+		}
+		fuseRowReduce = false
+		legacy, err := Run(opts)
+		if err != nil {
+			t.Fatalf("%s legacy: %v", opts.Benchmark, err)
+		}
+		if !reflect.DeepEqual(fused.Series, legacy.Series) {
+			t.Errorf("%s: fused aggregation changed reported rows\nfused:  %+v\nlegacy: %+v",
+				opts.Benchmark, fused.Series, legacy.Series)
+		}
+	}
+}

@@ -71,6 +71,15 @@ func Run(opts Options) (*Report, error) {
 			if err := o.setup(size, sf, rf); err != nil {
 				return err
 			}
+			// Isolate sizes from each other: after a collective barrier the
+			// ranks rewind their clocks and wire-busy state to zero, so each
+			// row depends only on the configuration and the size — clock
+			// skew from the previous size's loop and aggregation traffic
+			// cannot leak into this one.
+			if err := o.barrier(); err != nil {
+				return err
+			}
+			p.ResetClock()
 			row, err := runSize(opts, o, size)
 			if err != nil {
 				return fmt.Errorf("size %d: %w", size, err)
@@ -317,10 +326,42 @@ func (o *ops) exchange(peer int) error {
 	}
 }
 
+// fuseRowReduce selects the single-message row aggregation; the test that
+// proves fusion leaves every reported number unchanged flips it to compare
+// against the legacy three-reduce path.
+var fuseRowReduce = true
+
 // reduceRow aggregates the local latency across ranks: average of averages,
 // global min and max. Aggregation runs on the raw runtime (outside the
-// timed section, like OMB's MPI_Reduce of elapsed times).
+// timed section, like OMB's MPI_Reduce of elapsed times) as one 3-element
+// vector reduce with the fused min/sum/max operator — one message round
+// where the legacy path took three. Sizes are clock-isolated (see Run), so
+// the aggregation protocol cannot affect any reported latency; the legacy
+// path is kept only for the test asserting exactly that.
 func reduceRow(c *mpi.Comm, size int, localLat, mbps float64) (stats.Row, error) {
+	if !fuseRowReduce {
+		return reduceRowUnfused(c, size, localLat, mbps)
+	}
+	out := make([]byte, 24)
+	self := mpi.EncodeFloat64s([]float64{localLat, localLat, localLat})
+	if err := c.Reduce(self, out, mpi.Float64, mpi.OpMinSumMax, 0); err != nil {
+		return stats.Row{}, err
+	}
+	if c.Rank() != 0 {
+		return stats.Row{}, nil
+	}
+	vals := mpi.DecodeFloat64s(out)
+	return stats.Row{
+		Size:  size,
+		AvgUs: vals[1] / float64(c.Size()),
+		MinUs: vals[0],
+		MaxUs: vals[2],
+		MBps:  mbps,
+	}, nil
+}
+
+// reduceRowUnfused is the legacy three-round aggregation.
+func reduceRowUnfused(c *mpi.Comm, size int, localLat, mbps float64) (stats.Row, error) {
 	avg := make([]byte, 8)
 	minv := make([]byte, 8)
 	maxv := make([]byte, 8)

@@ -1,0 +1,114 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/topology"
+)
+
+// Engine micro-benchmarks: the per-message fast path of the simulated-MPI
+// data plane. These are the numbers scripts/bench.sh records into
+// BENCH_PR*.json so perf regressions on the hot path are visible in review.
+// One op is one full protocol round (a ping-pong, an exchange, a collective
+// invocation), so allocs/op directly counts engine allocations per round.
+
+// benchWorld builds a Frontera world for the engine benchmarks.
+func benchWorld(b *testing.B, ranks, ppn int, carry bool) *World {
+	b.Helper()
+	place, err := topology.NewPlacement(&topology.Frontera, ranks, ppn, topology.Block, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWorld(Config{
+		Placement: place,
+		Model:     netmodel.MustNew(&topology.Frontera, netmodel.MVAPICH2),
+		CarryData: carry,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkEagerSendRecv is the eager fast path: a 1 KiB intra-node
+// ping-pong (two eager messages with payload copies per op).
+func BenchmarkEagerSendRecv(b *testing.B) {
+	w := benchWorld(b, 2, 2, true)
+	const n = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		buf := make([]byte, n)
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				if err := c.Send(buf, 1, 1); err != nil {
+					return err
+				}
+				if _, err := c.Recv(buf, 1, 1); err != nil {
+					return err
+				}
+			} else {
+				if _, err := c.Recv(buf, 0, 1); err != nil {
+					return err
+				}
+				if err := c.Send(buf, 0, 1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRendezvousExchange is the rendezvous path: both ranks exchange
+// 64 KiB inter-node messages (above the eager limit) per op.
+func BenchmarkRendezvousExchange(b *testing.B) {
+	w := benchWorld(b, 2, 1, true)
+	const n = 64 * 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		peer := 1 - c.Rank()
+		sbuf := make([]byte, n)
+		rbuf := make([]byte, n)
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Sendrecv(sbuf, peer, 2, rbuf, peer, 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAllreduce64 runs a 4 KiB float32 allreduce across 64 ranks with
+// payloads carried, exercising mailbox matching, the collective staging
+// buffers and the reduction kernels together.
+func BenchmarkAllreduce64(b *testing.B) {
+	w := benchWorld(b, 64, 8, true)
+	const n = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		sbuf := make([]byte, n)
+		rbuf := make([]byte, n)
+		for i := 0; i < b.N; i++ {
+			if err := c.Allreduce(sbuf, rbuf, Float32, OpSum); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

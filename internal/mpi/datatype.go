@@ -82,6 +82,12 @@ const (
 	OpBXor
 	OpLAnd
 	OpLOr
+	// OpMinSumMax reduces a float vector of consecutive (min, sum, max)
+	// triples: element 3k takes the minimum, 3k+1 the sum, 3k+2 the
+	// maximum. It fuses the three aggregation reductions of a benchmark row
+	// into one message round; buffers must hold whole triples and be
+	// reduced as whole vectors (no windowed algorithms).
+	OpMinSumMax
 )
 
 // String implements fmt.Stringer.
@@ -105,6 +111,8 @@ func (o Op) String() string {
 		return "land"
 	case OpLOr:
 		return "lor"
+	case OpMinSumMax:
+		return "min_sum_max"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -234,6 +242,9 @@ func reduceInt(dst, src []byte, op Op, width int) error {
 }
 
 func reduceFloat(dst, src []byte, op Op, width int) error {
+	if op == OpMinSumMax && (len(dst)/width)%3 != 0 {
+		return fmt.Errorf("mpi: op %v needs whole (min, sum, max) triples, got %d elements", op, len(dst)/width)
+	}
 	for off := 0; off < len(dst); off += width {
 		var a, b float64
 		if width == 4 {
@@ -253,6 +264,15 @@ func reduceFloat(dst, src []byte, op Op, width int) error {
 			r = math.Min(a, b)
 		case OpMax:
 			r = math.Max(a, b)
+		case OpMinSumMax:
+			switch (off / width) % 3 {
+			case 0:
+				r = math.Min(a, b)
+			case 1:
+				r = a + b
+			default:
+				r = math.Max(a, b)
+			}
 		case OpLAnd:
 			r = float64(boolByte(a != 0 && b != 0))
 		case OpLOr:

@@ -216,7 +216,12 @@ func (p *Proc) CommWorld() *Comm {
 func (p *Proc) pyMode() bool  { return p.world.cfg.PyMode }
 func (p *Proc) fullSub() bool { return p.world.fullSub }
 
-// ResetClock rewinds the rank clock to zero. Benchmark harnesses call this
-// between repetitions (collectively, after a barrier) so virtual timestamps
-// stay small; it must never be called while messages are in flight.
-func (p *Proc) ResetClock() { p.clock.Set(0) }
+// ResetClock rewinds the rank clock to zero and frees this rank's wires
+// (the per-destination link-busy state). Benchmark harnesses call this
+// between message sizes (collectively, after a barrier) so every size is
+// measured from an identical timing state; it must never be called while
+// messages are in flight.
+func (p *Proc) ResetClock() {
+	p.clock.Set(0)
+	clear(p.linkBusy)
+}

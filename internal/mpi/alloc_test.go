@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"testing"
+)
+
+// Allocation-regression tests pinning the zero-allocation fast path. Each
+// measured run builds a fresh world, so runs carry a fixed construction
+// cost (mailboxes, goroutines, pool warm-up); the tests therefore compare
+// runs of k and 2k operations and bound the *marginal* allocations per
+// operation, which is exactly the steady-state cost the pools are supposed
+// to hold at zero. The pre-pooling engine spent ~4 allocs per eager
+// message and tens per collective invocation, so these budgets fail loudly
+// if pooling rots.
+
+// marginalAllocsPerOp returns (allocs(2k ops) - allocs(k ops)) / k.
+func marginalAllocsPerOp(t *testing.T, k int, run func(iters int)) float64 {
+	t.Helper()
+	base := testing.AllocsPerRun(3, func() { run(k) })
+	double := testing.AllocsPerRun(3, func() { run(2 * k) })
+	return (double - base) / float64(k)
+}
+
+func TestEagerSendRecvAllocs(t *testing.T) {
+	pingPong := func(iters int) {
+		w := testWorld(t, 2, 2)
+		err := w.Run(func(p *Proc) error {
+			c := p.CommWorld()
+			buf := make([]byte, 1024)
+			for i := 0; i < iters; i++ {
+				if c.Rank() == 0 {
+					if err := c.Send(buf, 1, 1); err != nil {
+						return err
+					}
+					if _, err := c.Recv(buf, 1, 1); err != nil {
+						return err
+					}
+				} else {
+					if _, err := c.Recv(buf, 0, 1); err != nil {
+						return err
+					}
+					if err := c.Send(buf, 0, 1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	// Steady state is zero allocations per round trip (two eager 1 KiB
+	// messages with payload copies); the pre-pooling engine measured ~4.
+	if per := marginalAllocsPerOp(t, 200, pingPong); per > 0.5 {
+		t.Errorf("eager ping-pong allocates %.2f allocs/op, want <= 0.5", per)
+	}
+}
+
+func TestAllreduceAllocs(t *testing.T) {
+	allreduce := func(iters int) {
+		w := testWorld(t, 8, 4)
+		err := w.Run(func(p *Proc) error {
+			c := p.CommWorld()
+			sbuf := make([]byte, 4096)
+			rbuf := make([]byte, 4096)
+			for i := 0; i < iters; i++ {
+				if err := c.Allreduce(sbuf, rbuf, Float32, OpSum); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	// 8 ranks used to cost tens of allocations per invocation (staging
+	// buffers, schedules, envelopes); pooled steady state is zero.
+	if per := marginalAllocsPerOp(t, 100, allreduce); per > 1.0 {
+		t.Errorf("8-rank allreduce allocates %.2f allocs/op, want <= 1.0", per)
+	}
+}

@@ -103,11 +103,12 @@ func (c *Comm) allgatherBruck(rbuf []byte, n int) error {
 	p := len(c.group)
 	var stage []byte
 	if rbuf != nil {
-		stage = make([]byte, p*n)
+		stage = c.scratch(p * n)
 		copy(stage[:n], rbuf[c.rank*n:(c.rank+1)*n])
+		defer c.release(stage)
 	}
 	have := 1
-	for _, s := range collective.BruckSchedule(c.rank, p) {
+	for _, s := range c.bruckSchedule(p) {
 		cnt := s.BlockCount
 		if cnt > have {
 			cnt = have // final partial round sends what exists

@@ -82,7 +82,8 @@ func (c *Comm) allreduceRecDoubling(acc []byte, n int, dt DType, op Op) error {
 	fold := collective.NewPof2Fold(c.rank, p)
 	var tmp []byte
 	if acc != nil {
-		tmp = make([]byte, n)
+		tmp = c.scratch(n)
+		defer c.release(tmp)
 	}
 
 	switch fold.Role {
@@ -101,7 +102,7 @@ func (c *Comm) allreduceRecDoubling(acc []byte, n int, dt DType, op Op) error {
 	}
 
 	if fold.Role != collective.FoldSender {
-		for _, peerNew := range collective.RecursiveDoublingPeers(fold.NewRank, fold.Pof2) {
+		for _, peerNew := range c.rdPeersFor(fold.NewRank, fold.Pof2) {
 			peer := fold.OldRank(peerNew, p)
 			if _, err := c.sendrecvRaw(acc, n, peer, tagAllreduce, tmp, n, peer, tagAllreduce); err != nil {
 				return err
@@ -135,7 +136,8 @@ func (c *Comm) allreduceRabenseifner(acc []byte, n int, dt DType, op Op) error {
 	fold := collective.NewPof2Fold(c.rank, p)
 	var tmp []byte
 	if acc != nil {
-		tmp = make([]byte, n)
+		tmp = c.scratch(n)
+		defer c.release(tmp)
 	}
 
 	switch fold.Role {
@@ -155,9 +157,9 @@ func (c *Comm) allreduceRabenseifner(acc []byte, n int, dt DType, op Op) error {
 
 	if fold.Role != collective.FoldSender {
 		pof2 := fold.Pof2
-		bounds := blockBounds(n, pof2, dt.Size())
+		bounds := c.blockBoundsFor(n, pof2, dt.Size())
 		// Reduce-scatter phase: recursive halving.
-		for _, s := range collective.RecursiveHalvingSchedule(fold.NewRank, pof2) {
+		for _, s := range c.halvingSchedule(fold.NewRank, pof2) {
 			peer := fold.OldRank(s.Peer, p)
 			sLo, sHi := bounds[s.SendLo], bounds[s.SendHi]
 			kLo, kHi := bounds[s.KeepLo], bounds[s.KeepHi]
@@ -175,7 +177,7 @@ func (c *Comm) allreduceRabenseifner(acc []byte, n int, dt DType, op Op) error {
 			}
 		}
 		// Allgather phase: recursive doubling over the same windows.
-		for _, s := range collective.RecursiveDoublingAllgatherSchedule(fold.NewRank, pof2) {
+		for _, s := range c.allgatherSchedule(fold.NewRank, pof2) {
 			peer := fold.OldRank(s.Peer, p)
 			hLo, hHi := bounds[s.HaveLo], bounds[s.HaveHi]
 			gLo, gHi := bounds[s.GetLo], bounds[s.GetHi]

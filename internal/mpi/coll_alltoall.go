@@ -103,21 +103,24 @@ func (c *Comm) alltoallBruck(sbuf []byte, n int, rbuf []byte) error {
 	// Phase 1: local rotation. stage[i] = block for rank (rank+i)%p.
 	var stage, packS, packR []byte
 	if carry {
-		stage = make([]byte, p*n)
+		stage = c.scratch(p * n)
 		for i := 0; i < p; i++ {
 			src := (c.rank + i) % p
 			copy(stage[i*n:(i+1)*n], sbuf[src*n:(src+1)*n])
 		}
-		packS = make([]byte, p*n)
-		packR = make([]byte, p*n)
+		packS = c.scratch(p * n)
+		packR = c.scratch(p * n)
+		defer c.release(stage, packS, packR)
 	}
 
 	// Phase 2: for each bit, send the blocks whose index has that bit set
 	// to rank+2^k, receive the same set from rank-2^k.
+	idxBuf := c.scratchInts(p)
+	defer c.releaseInts(idxBuf)
 	for k := 1; k < p; k *= 2 {
 		sendTo := (c.rank + k) % p
 		recvFrom := (c.rank - k + p) % p
-		var idx []int
+		idx := idxBuf[:0]
 		for i := 1; i < p; i++ {
 			if i&k != 0 {
 				idx = append(idx, i)

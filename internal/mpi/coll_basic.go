@@ -20,7 +20,7 @@ func (c *Comm) Barrier() error {
 	if p == 1 {
 		return nil
 	}
-	sendTo, recvFrom := collective.DisseminationPeers(c.rank, p)
+	sendTo, recvFrom := c.dissPeers(p)
 	for k := range sendTo {
 		if _, err := c.sendrecvRaw(nil, 0, sendTo[k], tagBarrier, nil, 0, recvFrom[k], tagBarrier); err != nil {
 			return fmt.Errorf("mpi: Barrier round %d: %w", k, err)
@@ -82,7 +82,7 @@ func (c *Comm) bcastBinomial(buf []byte, n, root int) error {
 			return fmt.Errorf("mpi: Bcast recv: %w", err)
 		}
 	}
-	for _, child := range collective.BinomialChildren(c.rank, root, p) {
+	for _, child := range c.binomialChildren(root, p) {
 		c.completeSend(c.postSend(child, tagBcast, buf, n))
 	}
 	return nil
@@ -92,7 +92,7 @@ func (c *Comm) bcastBinomial(buf []byte, n, root int) error {
 // of blocks followed by a ring allgather.
 func (c *Comm) bcastScatterRing(buf []byte, n, root int) error {
 	p := len(c.group)
-	bounds := blockBounds(n, p, 1)
+	bounds := c.blockBoundsFor(n, p, 1)
 	// Relative rank r owns block r after the scatter.
 	rel := (c.rank - root + p) % p
 
@@ -106,7 +106,7 @@ func (c *Comm) bcastScatterRing(buf []byte, n, root int) error {
 			return fmt.Errorf("mpi: Bcast scatter recv: %w", err)
 		}
 	}
-	for _, child := range collective.BinomialChildren(c.rank, root, p) {
+	for _, child := range c.binomialChildren(root, p) {
 		crel := (child - root + p) % p
 		sub := subtreeSize(crel, p)
 		lo, hi := bounds[crel], bounds[min(crel+sub, p)]
@@ -162,18 +162,16 @@ func (c *Comm) ReduceN(sbuf, rbuf []byte, n int, dt DType, op Op, root int) erro
 	}
 	p := len(c.group)
 	// Accumulator starts as a copy of the local contribution.
-	var acc []byte
+	var acc, tmp []byte
 	if sbuf != nil {
-		acc = make([]byte, n)
+		acc = c.scratch(n)
 		copy(acc, sbuf[:n])
-	}
-	var tmp []byte
-	if acc != nil {
-		tmp = make([]byte, n)
+		tmp = c.scratch(n)
+		defer c.release(acc, tmp)
 	}
 	// Children are received in reverse binomial order (deepest subtrees
 	// last) so that reductions happen as data arrives.
-	children := collective.BinomialChildren(c.rank, root, p)
+	children := c.binomialChildren(root, p)
 	for i := len(children) - 1; i >= 0; i-- {
 		if _, err := c.recvBytes(children[i], tagReduce, tmp, n); err != nil {
 			return fmt.Errorf("mpi: Reduce recv: %w", err)
@@ -217,10 +215,11 @@ func (c *Comm) GatherN(sbuf []byte, n int, rbuf []byte, root int) error {
 	sub := subtreeSize(rel, p)
 	var stage []byte
 	if sbuf != nil {
-		stage = make([]byte, sub*n)
+		stage = c.scratch(sub * n)
 		copy(stage[:n], sbuf[:n])
+		defer c.release(stage)
 	}
-	children := collective.BinomialChildren(c.rank, root, p)
+	children := c.binomialChildren(root, p)
 	for _, child := range children {
 		crel := (child - root + p) % p
 		csub := subtreeSize(crel, p)
@@ -261,10 +260,11 @@ func (c *Comm) ScatterN(sbuf, rbuf []byte, n, root int) error {
 	rel := (c.rank - root + p) % p
 	sub := subtreeSize(rel, p)
 	var stage []byte
+	defer func() { c.release(stage) }()
 	if c.rank == root {
 		if sbuf != nil {
 			// Stage in relative order so subtree blocks are contiguous.
-			stage = make([]byte, p*n)
+			stage = c.scratch(p * n)
 			for r := 0; r < p; r++ {
 				abs := (r + root) % p
 				copy(stage[r*n:(r+1)*n], sbuf[abs*n:(abs+1)*n])
@@ -272,13 +272,13 @@ func (c *Comm) ScatterN(sbuf, rbuf []byte, n, root int) error {
 		}
 	} else if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
 		if c.wantsData(rbuf) {
-			stage = make([]byte, sub*n)
+			stage = c.scratch(sub * n)
 		}
 		if _, err := c.recvBytes(parent, tagScatter, stage, sub*n); err != nil {
 			return fmt.Errorf("mpi: Scatter recv: %w", err)
 		}
 	}
-	for _, child := range collective.BinomialChildren(c.rank, root, p) {
+	for _, child := range c.binomialChildren(root, p) {
 		crel := (child - root + p) % p
 		csub := subtreeSize(crel, p)
 		off := (crel - rel) * n

@@ -41,7 +41,8 @@ func (c *Comm) ReduceScatterBlockN(sbuf, rbuf []byte, n int, dt DType, op Op) er
 		return fmt.Errorf("mpi: ReduceScatter block %d not a multiple of %s", n, dt)
 	}
 	p := len(c.group)
-	counts := make([]int, p)
+	counts := c.scratchInts(p)
+	defer c.releaseInts(counts)
 	for i := range counts {
 		counts[i] = n
 	}
@@ -94,17 +95,20 @@ func (c *Comm) ReduceScatterN(sbuf, rbuf []byte, counts []int, dt DType, op Op) 
 // reduceScatterHalving: recursive halving over rank-count-aligned windows.
 func (c *Comm) reduceScatterHalving(sbuf, rbuf []byte, counts []int, total int, dt DType, op Op) error {
 	p := len(c.group)
-	offs := make([]int, p+1)
+	offs := c.scratchInts(p + 1)
+	defer c.releaseInts(offs)
+	offs[0] = 0
 	for r := 0; r < p; r++ {
 		offs[r+1] = offs[r] + counts[r]
 	}
 	var acc, tmp []byte
 	if sbuf != nil {
-		acc = make([]byte, total)
+		acc = c.scratch(total)
 		copy(acc, sbuf[:total])
-		tmp = make([]byte, total)
+		tmp = c.scratch(total)
+		defer c.release(acc, tmp)
 	}
-	for _, s := range collective.RecursiveHalvingSchedule(c.rank, p) {
+	for _, s := range c.halvingSchedule(c.rank, p) {
 		sLo, sHi := offs[s.SendLo], offs[s.SendHi]
 		kLo, kHi := offs[s.KeepLo], offs[s.KeepHi]
 		if _, err := c.sendrecvRaw(
@@ -130,7 +134,9 @@ func (c *Comm) reduceScatterHalving(sbuf, rbuf []byte, counts []int, total int, 
 // destined for rank+k and receives (and reduces) its own block from rank-k.
 func (c *Comm) reduceScatterPairwise(sbuf, rbuf []byte, counts []int, total int, dt DType, op Op) error {
 	p := len(c.group)
-	offs := make([]int, p+1)
+	offs := c.scratchInts(p + 1)
+	defer c.releaseInts(offs)
+	offs[0] = 0
 	for r := 0; r < p; r++ {
 		offs[r+1] = offs[r] + counts[r]
 	}
@@ -138,7 +144,8 @@ func (c *Comm) reduceScatterPairwise(sbuf, rbuf []byte, counts []int, total int,
 	var tmp []byte
 	if sbuf != nil && rbuf != nil {
 		copy(rbuf[:mine], sbuf[offs[c.rank]:offs[c.rank]+mine])
-		tmp = make([]byte, mine)
+		tmp = c.scratch(mine)
+		defer c.release(tmp)
 	}
 	for k := 1; k < p; k++ {
 		dst := (c.rank + k) % p

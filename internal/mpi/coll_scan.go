@@ -48,10 +48,11 @@ func (c *Comm) scan(sbuf, rbuf []byte, n int, dt DType, op Op, exclusive bool) e
 	var acc, partial, tmp []byte
 	var havePartial bool
 	if carry {
-		acc = make([]byte, n)
+		acc = c.scratch(n)
 		copy(acc, sbuf[:n])
-		partial = make([]byte, n)
-		tmp = make([]byte, n)
+		partial = c.scratch(n)
+		tmp = c.scratch(n)
+		defer c.release(acc, partial, tmp)
 	}
 	if !exclusive {
 		if carry {
@@ -63,7 +64,7 @@ func (c *Comm) scan(sbuf, rbuf []byte, n int, dt DType, op Op, exclusive bool) e
 	for k := 1; k < p; k *= 2 {
 		dst := c.rank + k
 		src := c.rank - k
-		var ps *pendingSend
+		var ps *rendezvous
 		if dst < p {
 			ps = c.postSendScan(acc, n, dst)
 		}
@@ -101,6 +102,6 @@ func (c *Comm) scan(sbuf, rbuf []byte, n int, dt DType, op Op, exclusive bool) e
 }
 
 // postSend helper with the scan tag (acc may be nil in timing-only mode).
-func (c *Comm) postSendScan(acc []byte, n, dst int) *pendingSend {
+func (c *Comm) postSendScan(acc []byte, n, dst int) *rendezvous {
 	return c.postSend(dst, tagScan, acc, n)
 }

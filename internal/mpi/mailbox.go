@@ -1,0 +1,272 @@
+package mpi
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// This file implements the indexed, allocation-free mailbox at the heart of
+// the message engine. Senders are identified at post time, so pending
+// messages are bucketed by (context, source): the common exact-match receive
+// scans only the messages pending from that one source, while wildcard
+// receives (AnySource) pick the earliest-delivered match across buckets by
+// delivery sequence number — reproducing the old single-queue FIFO scan
+// exactly, envelope for envelope. Buckets are growable ring buffers (O(1)
+// head removal, shorter-side shift on mid-queue extraction), and envelopes
+// and payload staging buffers are recycled through per-mailbox freelists, so
+// steady-state traffic allocates nothing.
+
+// envelope is a message in flight. Eager messages carry their payload copy
+// and arrival timestamp; rendezvous messages carry a handshake. Envelopes
+// are owned by the receiving mailbox's freelist: deliver draws one under the
+// mailbox lock and the receiver hands it back (with its payload) on its next
+// mailbox operation.
+type envelope struct {
+	src, tag, ctx int
+	size          int
+	seq           uint64       // mailbox-local delivery order
+	data          []byte       // payload copy (eager, CarryData worlds)
+	arrival       vtime.Micros // eager arrival instant
+	rdv           *rendezvous  // non-nil for rendezvous messages
+	// wire and recvOver are the receive-side costs, priced once by the
+	// sender (the cost model is symmetric in the endpoints) so the receiver
+	// does not re-run link classification and pricing per message.
+	wire, recvOver vtime.Micros
+}
+
+// envRing is a FIFO of envelopes on a growable circular buffer whose
+// capacity is always a power of two (indexing masks instead of dividing).
+// Removal keeps delivery order; extracting from the middle (tag mismatch
+// ahead of the match) shifts whichever side is shorter.
+type envRing struct {
+	buf        []*envelope
+	head, size int
+}
+
+func (r *envRing) at(i int) *envelope { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *envRing) push(e *envelope) {
+	if r.size == len(r.buf) {
+		grown := make([]*envelope, max(8, 2*len(r.buf)))
+		for i := 0; i < r.size; i++ {
+			grown[i] = r.at(i)
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = e
+	r.size++
+}
+
+// removeAt extracts the i-th queued envelope.
+func (r *envRing) removeAt(i int) {
+	mask := len(r.buf) - 1
+	if i < r.size-1-i {
+		for k := i; k > 0; k-- {
+			r.buf[(r.head+k)&mask] = r.buf[(r.head+k-1)&mask]
+		}
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) & mask
+	} else {
+		for k := i; k < r.size-1; k++ {
+			r.buf[(r.head+k)&mask] = r.buf[(r.head+k+1)&mask]
+		}
+		r.buf[(r.head+r.size-1)&mask] = nil
+	}
+	r.size--
+}
+
+// srcQueues holds one context's pending messages indexed by sender rank.
+type srcQueues struct {
+	bySrc []envRing
+}
+
+// mailbox is the per-rank message store with tag matching.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	seq  uint64
+	// waiting marks the owner rank as parked in match/peek; deliver only
+	// pays for Signal when somebody is actually listening.
+	waiting bool
+	// ctxs indexes pending messages by communicator context id. It grows
+	// with the highest context ever used and is not reclaimed: contexts in
+	// this runtime are few and long-lived (CommWorld plus the occasional
+	// Dup/Split), and an empty srcQueues is just the index itself.
+	ctxs []*srcQueues
+
+	// freelists, guarded by mu: consumed envelopes and the payload staging
+	// buffers they carried (the byte half of a scratchArena, sharing its
+	// power-of-two capacity classes).
+	envFree []*envelope
+	pay     scratchArena
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// ring returns the (ctx, src) bucket, growing the index as needed.
+func (mb *mailbox) ring(ctx, src int) *envRing {
+	for len(mb.ctxs) <= ctx {
+		mb.ctxs = append(mb.ctxs, nil)
+	}
+	q := mb.ctxs[ctx]
+	if q == nil {
+		q = &srcQueues{}
+		mb.ctxs[ctx] = q
+	}
+	for len(q.bySrc) <= src {
+		q.bySrc = append(q.bySrc, envRing{})
+	}
+	return &q.bySrc[src]
+}
+
+// deliver queues a message. When data is non-nil the payload is staged into
+// a pooled buffer (the copy is the receive side's only view of the bytes,
+// so the sender may reuse data immediately); the staged buffer lands on the
+// envelope for eager messages and on the handshake for rendezvous ones.
+// The copy itself runs outside the mailbox lock so concurrent senders to
+// one rank overlap their copies instead of serializing on the mutex. wire
+// and recvOver are the receive-side costs priced by the sender.
+func (mb *mailbox) deliver(src, tag, ctx, size int, data []byte, arrival, wire, recvOver vtime.Micros, rdv *rendezvous) {
+	var payload []byte
+	if data != nil {
+		mb.mu.Lock()
+		payload = mb.pay.getRaw(size) // fully overwritten by the copy below
+		mb.mu.Unlock()
+		copy(payload, data[:size])
+	}
+	mb.mu.Lock()
+	e := mb.getEnvelope()
+	e.src, e.tag, e.ctx, e.size = src, tag, ctx, size
+	e.seq = mb.seq
+	e.arrival, e.wire, e.recvOver = arrival, wire, recvOver
+	e.rdv = rdv
+	if rdv != nil {
+		rdv.payload = payload
+	} else {
+		e.data = payload
+	}
+	mb.seq++
+	mb.ring(ctx, src).push(e)
+	wake := mb.waiting
+	mb.mu.Unlock()
+	// Each rank is single-threaded, so a mailbox never has more than one
+	// waiter (its owner rank): Signal suffices, and only when it is parked.
+	if wake {
+		mb.cond.Signal()
+	}
+}
+
+// match blocks until a message matching (src, tag, ctx) is queued and
+// removes it. Matching is FIFO per (source, tag) pair, which together with
+// single-threaded ranks gives MPI's non-overtaking guarantee. A previously
+// consumed envelope may be passed in for recycling under the same lock.
+func (mb *mailbox) match(src, tag, ctx int, recycle *envelope) *envelope {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if recycle != nil {
+		mb.pay.put(recycle.data)
+		recycle.data = nil
+		mb.envFree = append(mb.envFree, recycle)
+	}
+	yielded := false
+	for {
+		if e := mb.take(src, tag, ctx); e != nil {
+			return e
+		}
+		// Yield once before parking: the sender this rank is waiting on is
+		// usually runnable, so handing it the CPU gets the message queued
+		// without paying for a full park/wakeup cycle. Park only when the
+		// yield did not help.
+		if !yielded {
+			yielded = true
+			mb.mu.Unlock()
+			runtime.Gosched()
+			mb.mu.Lock()
+			continue
+		}
+		mb.waiting = true
+		mb.cond.Wait()
+		mb.waiting = false
+	}
+}
+
+// peek blocks until a message matching (src, tag, ctx) is queued and
+// returns it without removing it.
+func (mb *mailbox) peek(src, tag, ctx int) *envelope {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if _, ring, i := mb.find(src, tag, ctx); ring != nil {
+			return ring.at(i)
+		}
+		mb.waiting = true
+		mb.cond.Wait()
+		mb.waiting = false
+	}
+}
+
+// take removes and returns the earliest-delivered match, or nil.
+func (mb *mailbox) take(src, tag, ctx int) *envelope {
+	e, ring, i := mb.find(src, tag, ctx)
+	if ring != nil {
+		ring.removeAt(i)
+	}
+	return e
+}
+
+// find locates the earliest-delivered matching envelope. For an exact
+// source that is the first tag match in one bucket; for AnySource it is the
+// lowest delivery seq among every bucket's first tag match, which is
+// exactly the envelope the old single-queue scan would have returned.
+func (mb *mailbox) find(src, tag, ctx int) (*envelope, *envRing, int) {
+	if ctx >= len(mb.ctxs) || mb.ctxs[ctx] == nil {
+		return nil, nil, 0
+	}
+	q := mb.ctxs[ctx]
+	if src != AnySource {
+		if src >= len(q.bySrc) {
+			return nil, nil, 0
+		}
+		ring := &q.bySrc[src]
+		for i := 0; i < ring.size; i++ {
+			if e := ring.at(i); tag == AnyTag || e.tag == tag {
+				return e, ring, i
+			}
+		}
+		return nil, nil, 0
+	}
+	var (
+		best     *envelope
+		bestRing *envRing
+		bestIdx  int
+	)
+	for s := range q.bySrc {
+		ring := &q.bySrc[s]
+		for i := 0; i < ring.size; i++ {
+			e := ring.at(i)
+			if tag != AnyTag && e.tag != tag {
+				continue
+			}
+			if best == nil || e.seq < best.seq {
+				best, bestRing, bestIdx = e, ring, i
+			}
+			break // a bucket's first match is its earliest
+		}
+	}
+	return best, bestRing, bestIdx
+}
+
+func (mb *mailbox) getEnvelope() *envelope {
+	if n := len(mb.envFree); n > 0 {
+		e := mb.envFree[n-1]
+		mb.envFree = mb.envFree[:n-1]
+		return e
+	}
+	return &envelope{}
+}

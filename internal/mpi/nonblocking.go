@@ -19,8 +19,9 @@ import "fmt"
 // Request tracks an outstanding nonblocking operation.
 type Request struct {
 	comm *Comm
-	// send side
-	ps   *pendingSend
+	// send side: the rendezvous handshake (nil for eager sends, which
+	// complete at post time).
+	ps   *rendezvous
 	sent bool
 	// recv side
 	buf      []byte

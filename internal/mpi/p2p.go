@@ -2,7 +2,7 @@ package mpi
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
 
 	"repro/internal/vtime"
 )
@@ -30,115 +30,32 @@ type Status struct {
 	Count  int // bytes received
 }
 
-// envelope is a message in flight. Eager messages carry their payload and
-// arrival timestamp; rendezvous messages carry a handshake.
-type envelope struct {
-	src, tag, ctx int
-	size          int
-	data          []byte       // payload copy (eager, CarryData worlds)
-	arrival       vtime.Micros // eager arrival instant
-	rdv           *rendezvous  // non-nil for rendezvous messages
-}
-
 // rendezvous carries the RTS state of a large message. The payload is
 // staged at post time; the receiver computes the transfer completion instant
 // (it knows both ready times and the wire cost) and reports it back on done,
 // so neither side ever waits on the other's *next* operation -- which is
 // what keeps symmetric exchanges (Sendrecv, recursive doubling) live.
+// Handshakes (and their channels) are recycled through the sending rank's
+// freelist; a nil *rendezvous is the completed-at-post eager send handle.
 type rendezvous struct {
 	senderReady vtime.Micros      // sender clock when the RTS was posted
 	payload     []byte            // staged payload (nil in timing-only worlds)
 	done        chan vtime.Micros // receiver -> sender: transfer completion
 }
 
-// mailbox is the per-rank unexpected-message queue with tag matching.
-type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []*envelope
-}
-
-func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
-}
-
-func (mb *mailbox) deliver(e *envelope) {
-	mb.mu.Lock()
-	mb.queue = append(mb.queue, e)
-	mb.mu.Unlock()
-	mb.cond.Broadcast()
-}
-
-// match blocks until a message matching (src, tag, ctx) is queued and
-// removes it. Matching is FIFO per (source, tag) pair, which together with
-// single-threaded ranks gives MPI's non-overtaking guarantee.
-func (mb *mailbox) match(src, tag, ctx int) *envelope {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		for i, e := range mb.queue {
-			if e.ctx != ctx {
-				continue
-			}
-			if src != AnySource && e.src != src {
-				continue
-			}
-			if tag != AnyTag && e.tag != tag {
-				continue
-			}
-			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-			return e
-		}
-		mb.cond.Wait()
-	}
-}
-
-// peek blocks until a message matching (src, tag, ctx) is queued and
-// returns it without removing it.
-func (mb *mailbox) peek(src, tag, ctx int) *envelope {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		for _, e := range mb.queue {
-			if e.ctx != ctx {
-				continue
-			}
-			if src != AnySource && e.src != src {
-				continue
-			}
-			if tag != AnyTag && e.tag != tag {
-				continue
-			}
-			return e
-		}
-		mb.cond.Wait()
-	}
-}
-
-// pendingSend tracks a posted-but-incomplete send. Eager sends complete at
-// post time and have a nil handle. Rendezvous sends complete when the
-// receiver's CTS arrives; splitting post from completion is what lets
-// Sendrecv (and the collectives built on it) exchange large messages
-// between two ranks without deadlock.
-type pendingSend struct {
-	rdv *rendezvous
-}
-
 // postSend injects a message toward communicator rank dst and returns a
-// handle that must be passed to completeSend. The payload is copied at post
-// time (or only sized, in timing-only worlds).
-func (c *Comm) postSend(dst, tag int, data []byte, size int) *pendingSend {
+// handle that must be passed to completeSend (nil for eager sends, which
+// complete at post time). The payload is staged into the destination
+// mailbox's buffer pool at post time (or only sized, in timing-only
+// worlds), so the caller may reuse data immediately.
+func (c *Comm) postSend(dst, tag int, data []byte, size int) *rendezvous {
 	p := c.proc
 	w := p.world
 	gdst := c.group[dst]
-	link := w.cfg.Placement.Link(p.rank, gdst)
-	py, fullSub := p.pyMode(), p.fullSub()
-	cost := w.cfg.Model.PtPt(link, size, py, fullSub)
-	if py {
+	link, cost := p.priceTo(gdst, size)
+	if p.pyMode() {
 		internal := tag > MaxUserTag
-		p.clock.Advance(w.cfg.Model.PyOpLock(link, size, internal, fullSub))
+		p.clock.Advance(w.cfg.Model.PyOpLock(link, size, internal, p.fullSub()))
 	}
 	p.clock.Advance(cost.SendOverhead)
 
@@ -146,47 +63,54 @@ func (c *Comm) postSend(dst, tag int, data []byte, size int) *pendingSend {
 	// timing-only worlds (CarryData false) drop payloads above ctlCarryMax
 	// so huge-scale experiments never materialise terabytes. Control-plane
 	// traffic (Split, Dup) stays below the limit and therefore always works.
-	var payload []byte
-	if data != nil && (w.cfg.CarryData || size <= ctlCarryMax) {
-		payload = make([]byte, size)
-		copy(payload, data[:size])
+	carried := data
+	if data != nil && !(w.cfg.CarryData || size <= ctlCarryMax) {
+		carried = nil
 	}
-	w.cfg.Trace.record(Event{
-		Kind: EventSend, Rank: p.rank, Peer: gdst, Tag: tag, Bytes: size,
-		Link: link, Time: p.clock.Now(), Eager: cost.Eager,
-	})
+	if w.cfg.Trace != nil {
+		w.cfg.Trace.record(Event{
+			Kind: EventSend, Rank: p.rank, Peer: gdst, Tag: tag, Bytes: size,
+			Link: link, Time: p.clock.Now(), Eager: cost.Eager,
+		})
+	}
 	if cost.Eager {
 		// Injection waits for the wire to this peer to free; the message
 		// then occupies it for its transmit time.
 		if p.linkBusy == nil {
-			p.linkBusy = make(map[int]vtime.Micros)
+			p.linkBusy = make([]vtime.Micros, w.size)
 		}
 		start := vtime.Max(p.clock.Now(), p.linkBusy[gdst])
 		p.linkBusy[gdst] = start + cost.Transmit
-		w.mailboxes[gdst].deliver(&envelope{
-			src: c.rank, tag: tag, ctx: c.ctx, size: size,
-			data: payload, arrival: start + cost.Wire,
-		})
+		w.mailboxes[gdst].deliver(c.rank, tag, c.ctx, size, carried,
+			start+cost.Wire, 0, cost.RecvOverhead, nil)
 		return nil
 	}
-	rdv := &rendezvous{
-		senderReady: p.clock.Now(),
-		payload:     payload,
-		done:        make(chan vtime.Micros, 1),
-	}
-	w.mailboxes[gdst].deliver(&envelope{
-		src: c.rank, tag: tag, ctx: c.ctx, size: size, rdv: rdv,
-	})
-	return &pendingSend{rdv: rdv}
+	rdv := p.getRendezvous()
+	rdv.senderReady = p.clock.Now()
+	w.mailboxes[gdst].deliver(c.rank, tag, c.ctx, size, carried,
+		0, cost.Wire, cost.RecvOverhead, rdv)
+	return rdv
 }
 
 // completeSend blocks until the rendezvous transfer finishes and advances
 // the sender clock to its completion instant. It is a no-op for eager sends.
-func (c *Comm) completeSend(ps *pendingSend) {
-	if ps == nil {
+func (c *Comm) completeSend(rdv *rendezvous) {
+	if rdv == nil {
 		return
 	}
-	c.proc.clock.AdvanceTo(<-ps.rdv.done)
+	var done vtime.Micros
+	select {
+	case done = <-rdv.done:
+	default:
+		// The receiver has not reported yet; hand it the CPU once before
+		// parking on the channel (see mailbox.match).
+		runtime.Gosched()
+		done = <-rdv.done
+	}
+	c.proc.clock.AdvanceTo(done)
+	// The receiver has read payload and senderReady before reporting done,
+	// so the handshake can be reused for the next large message.
+	c.proc.putRendezvous(rdv)
 }
 
 // recvBytes implements blocking receive on a communicator. src is a
@@ -195,12 +119,14 @@ func (c *Comm) completeSend(ps *pendingSend) {
 func (c *Comm) recvBytes(src, tag int, buf []byte, max int) (Status, error) {
 	p := c.proc
 	w := p.world
-	e := w.mailboxes[p.rank].match(src, tag, c.ctx)
-	gsrc := c.group[e.src]
-	link := w.cfg.Placement.Link(p.rank, gsrc)
-	py, fullSub := p.pyMode(), p.fullSub()
-	cost := w.cfg.Model.PtPt(link, e.size, py, fullSub)
-
+	mb := w.mailboxes[p.rank]
+	// The previously consumed envelope rides along and is recycled (with
+	// its payload buffer) under the lock match takes anyway.
+	spent := p.spent
+	p.spent = nil
+	e := mb.match(src, tag, c.ctx, spent)
+	// The receive-side costs were priced by the sender (the model is
+	// symmetric in the endpoints) and ride on the envelope.
 	var payload []byte
 	if e.rdv == nil {
 		p.clock.AdvanceTo(e.arrival)
@@ -209,29 +135,35 @@ func (c *Comm) recvBytes(src, tag int, buf []byte, max int) (Status, error) {
 		// The transfer starts when both sides are ready and occupies the
 		// wire for the modelled duration; the receiver reports completion
 		// back so the blocking sender can advance its clock too.
-		done := vtime.Max(e.rdv.senderReady, p.clock.Now()) + cost.Wire
+		done := vtime.Max(e.rdv.senderReady, p.clock.Now()) + e.wire
 		p.clock.AdvanceTo(done)
 		payload = e.rdv.payload
 		e.rdv.done <- done
 	}
-	p.clock.Advance(cost.RecvOverhead)
-	w.cfg.Trace.record(Event{
-		Kind: EventRecv, Rank: p.rank, Peer: gsrc, Tag: e.tag, Bytes: e.size,
-		Link: link, Time: p.clock.Now(), Eager: e.rdv == nil,
-	})
+	p.clock.Advance(e.recvOver)
+	if w.cfg.Trace != nil {
+		gsrc := c.group[e.src]
+		w.cfg.Trace.record(Event{
+			Kind: EventRecv, Rank: p.rank, Peer: gsrc, Tag: e.tag, Bytes: e.size,
+			Link: p.linkTo(gsrc), Time: p.clock.Now(), Eager: e.rdv == nil,
+		})
+	}
 
 	st := Status{Source: e.src, Tag: e.tag, Count: e.size}
+	var err error
+	n := e.size
 	if e.size > max {
-		st.Count = max
-		if payload != nil && buf != nil {
-			copy(buf[:max], payload[:max])
-		}
-		return st, &ErrTruncate{Posted: max, Actual: e.size, Source: e.src, Tag: e.tag}
+		n, st.Count = max, max
+		err = &ErrTruncate{Posted: max, Actual: e.size, Source: e.src, Tag: e.tag}
 	}
 	if payload != nil && buf != nil {
-		copy(buf[:e.size], payload[:e.size])
+		copy(buf[:n], payload[:n])
 	}
-	return st, nil
+	// Stash the consumed envelope (carrying the payload regardless of
+	// protocol) for recycling on this rank's next receive.
+	e.data, e.rdv = payload, nil
+	p.spent = e
+	return st, err
 }
 
 // Send performs a blocking standard-mode send of buf to communicator rank
@@ -337,9 +269,9 @@ func (c *Comm) Sendrecv(sbuf []byte, dst, stag int, rbuf []byte, src, rtag int) 
 			return Status{}, err
 		}
 	}
-	ps := c.postSend(dst, stag, sbuf, len(sbuf))
+	rdv := c.postSend(dst, stag, sbuf, len(sbuf))
 	st, err := c.recvBytes(src, rtag, rbuf, len(rbuf))
-	c.completeSend(ps)
+	c.completeSend(rdv)
 	return st, err
 }
 
@@ -368,9 +300,9 @@ func (c *Comm) SendrecvN(sbuf []byte, sn, dst, stag int, rbuf []byte, rn, src, r
 // sendrecvRaw is the internal exchange used by collectives: explicit sizes,
 // reserved tags, no validation.
 func (c *Comm) sendrecvRaw(sbuf []byte, ssize, dst, stag int, rbuf []byte, rsize, src, rtag int) (Status, error) {
-	ps := c.postSend(dst, stag, sbuf, ssize)
+	rdv := c.postSend(dst, stag, sbuf, ssize)
 	st, err := c.recvBytes(src, rtag, rbuf, rsize)
-	c.completeSend(ps)
+	c.completeSend(rdv)
 	return st, err
 }
 

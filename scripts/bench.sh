@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the engine benchmark suite and emits a JSON results file.
+#
+#   scripts/bench.sh [output.json] [micro-benchtime] [largeworld-benchtime]
+#
+# Defaults: BENCH.json, 2s for the internal/mpi micro-benchmarks, 10x for
+# the 256-rank large-world benchmark. CI's smoke job passes 1x 1x so the
+# suite runs once and the JSON artifact is uploaded without burning
+# minutes; BENCH_PR*.json files committed to the repo are generated with
+# the defaults and carry the pre-change baseline alongside.
+set -euo pipefail
+
+out="${1:-BENCH.json}"
+micro_time="${2:-2s}"
+large_time="${3:-10x}"
+
+cd "$(dirname "$0")/.."
+
+micro=$(go test ./internal/mpi -run '^$' \
+	-bench 'BenchmarkEagerSendRecv|BenchmarkRendezvousExchange|BenchmarkAllreduce64' \
+	-benchmem -benchtime="$micro_time" -count=1)
+large=$(go test . -run '^$' -bench 'BenchmarkEngineLargeWorld' \
+	-benchmem -benchtime="$large_time" -count=1)
+
+printf '%s\n%s\n' "$micro" "$large" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^goos:/ { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	rows[n++] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+		name, $2, $3, $5, $7)
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"go\": \"%s/%s\",\n", goos, goarch
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++)
+		printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' >"$out"
+
+echo "wrote $out"

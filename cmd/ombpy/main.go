@@ -11,6 +11,7 @@
 //	ombpy -bench bw -mode pickle
 //	ombpy -bench allgather -ranks 16 -algorithm ring
 //	ombpy -bench allreduce -ranks 16 -algorithm all -parallel 4
+//	ombpy -bench iallreduce -mode c -ranks 16      # overlap benchmark
 //	ombpy -algorithm list
 //	ombpy -list
 package main
@@ -64,6 +65,8 @@ func main() {
 		fmt.Println("blocking collectives:  allgather allreduce alltoall barrier bcast")
 		fmt.Println("                       gather reduce_scatter reduce scatter")
 		fmt.Println("vector collectives:    allgatherv alltoallv gatherv scatterv")
+		fmt.Println("overlap (nonblocking): iallreduce ibcast igather iallgather")
+		fmt.Println("                       ialltoall ireduce_scatter iscan  (-mode c)")
 		return
 	}
 

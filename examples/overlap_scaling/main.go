@@ -1,0 +1,47 @@
+// Overlap scaling: how much Iallreduce communication can injected compute
+// hide as the job grows? For each rank count the osu_iallreduce-style
+// overlap benchmark posts the collective, injects a compute block calibrated
+// to the pure communication time, waits, and reports pure-comm time, total
+// time and overlap percentage per message size. Run with:
+//
+//	go run ./examples/overlap_scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	sizes := []int{1024, 8 * 1024, 64 * 1024}
+	for _, ranks := range []int{4, 8, 16, 32} {
+		rep, err := core.Run(core.Options{
+			Benchmark: core.IAllreduce,
+			Cluster:   "frontera",
+			Mode:      core.ModeC,
+			Ranks:     ranks,
+			PPN:       4,
+			MinSize:   sizes[0],
+			MaxSize:   sizes[len(sizes)-1],
+			Iters:     20,
+			Warmup:    2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# iallreduce overlap, %d ranks (ppn 4)\n", ranks)
+		fmt.Printf("%-10s %12s %12s %12s\n", "size", "comm(us)", "total(us)", "overlap(%)")
+		for _, want := range sizes {
+			row, ok := rep.Series.Get(want)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-10s %12.2f %12.2f %12.1f\n",
+				stats.HumanBytes(row.Size), row.CommUs, row.AvgUs, row.OverlapPct)
+		}
+		fmt.Println()
+	}
+}

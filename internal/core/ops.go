@@ -7,6 +7,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpi4py"
 	"repro/internal/pybuf"
+	"repro/internal/vtime"
 )
 
 // ops adapts one rank's benchmark body to the mode under test: ModeC calls
@@ -86,11 +87,11 @@ func (o *ops) setup(size, sendFactor, recvFactor int) error {
 // buffersFor returns the (sendFactor, recvFactor) of a benchmark on p ranks.
 func buffersFor(b Benchmark, p int) (int, int) {
 	switch b {
-	case Gather, Gatherv, Allgather, Allgatherv:
+	case Gather, Gatherv, Allgather, Allgatherv, IGather, IAllgather:
 		return 1, p
-	case Scatter, Scatterv, ReduceScatter:
+	case Scatter, Scatterv, ReduceScatter, IReduceScatter:
 		return p, 1
-	case Alltoall, Alltoallv:
+	case Alltoall, Alltoallv, IAlltoall:
 		return p, p
 	default:
 		return 1, 1
@@ -322,6 +323,38 @@ func (o *ops) collectivePickle(b Benchmark) error {
 		return fmt.Errorf("core: pickle mode does not support %s", b)
 	}
 }
+
+// icollective posts the nonblocking collective of an overlap benchmark and
+// returns its request. Overlap benchmarks run in C mode only, so the post
+// always goes through the raw runtime.
+func (o *ops) icollective(b Benchmark) (*mpi.Request, error) {
+	var s, r []byte
+	if !o.opts.TimingOnly {
+		s, r = o.sraw, o.rraw
+	}
+	switch b {
+	case IAllreduce:
+		return o.c.IallreduceN(s, r, o.n, o.opts.DType, mpi.OpSum)
+	case IBcast:
+		return o.c.IbcastN(s, o.n, 0)
+	case IGather:
+		return o.c.IgatherN(s, o.n, r, 0)
+	case IAllgather:
+		return o.c.IallgatherN(s, o.n, r)
+	case IAlltoall:
+		return o.c.IalltoallN(s, o.n, r)
+	case IReduceScatter:
+		return o.c.IreduceScatterBlockN(s, r, o.n, o.opts.DType, mpi.OpSum)
+	case IScan:
+		return o.c.IscanN(s, r, o.n, o.opts.DType, mpi.OpSum)
+	default:
+		return nil, fmt.Errorf("core: %s is not an overlap benchmark", b)
+	}
+}
+
+// compute injects d microseconds of virtual computation between the post
+// and the Wait of an overlap iteration.
+func (o *ops) compute(d vtime.Micros) { o.c.ChargeCompute(d) }
 
 func uniform(p, n int) []int {
 	counts := make([]int, p)

@@ -86,6 +86,18 @@ const (
 	Alltoallv  Benchmark = "alltoallv"
 	Gatherv    Benchmark = "gatherv"
 	Scatterv   Benchmark = "scatterv"
+
+	// Overlap benchmarks (osu_iallreduce style, beyond the paper's first
+	// release): post the nonblocking collective, inject calibrated virtual
+	// compute, Wait, and report pure-communication time, total time and
+	// the communication/computation overlap percentage.
+	IAllreduce     Benchmark = "iallreduce"
+	IBcast         Benchmark = "ibcast"
+	IGather        Benchmark = "igather"
+	IAllgather     Benchmark = "iallgather"
+	IAlltoall      Benchmark = "ialltoall"
+	IReduceScatter Benchmark = "ireduce_scatter"
+	IScan          Benchmark = "iscan"
 )
 
 // Benchmarks lists every supported benchmark, grouped as in Table II.
@@ -95,6 +107,8 @@ func Benchmarks() []Benchmark {
 		Allgather, Allreduce, Alltoall, Barrier, Bcast, Gather,
 		ReduceScatter, Reduce, Scatter,
 		Allgatherv, Alltoallv, Gatherv, Scatterv,
+		IAllreduce, IBcast, IGather, IAllgather, IAlltoall,
+		IReduceScatter, IScan,
 	}
 }
 
@@ -106,6 +120,8 @@ const (
 	KindPtPt Kind = iota
 	KindCollective
 	KindVector
+	// KindOverlap marks the nonblocking-collective overlap benchmarks.
+	KindOverlap
 )
 
 // Kind returns the benchmark's class.
@@ -115,6 +131,8 @@ func (b Benchmark) Kind() Kind {
 		return KindPtPt
 	case Allgatherv, Alltoallv, Gatherv, Scatterv:
 		return KindVector
+	case IAllreduce, IBcast, IGather, IAllgather, IAlltoall, IReduceScatter, IScan:
+		return KindOverlap
 	default:
 		return KindCollective
 	}
@@ -248,15 +266,15 @@ func (o Options) mpiAlgorithms() (map[mpi.Collective]string, error) {
 // benchmark exercises, if it has selectable algorithms.
 func (b Benchmark) Collective() (mpi.Collective, bool) {
 	switch b {
-	case Bcast:
+	case Bcast, IBcast:
 		return mpi.CollBcast, true
-	case Allreduce:
+	case Allreduce, IAllreduce:
 		return mpi.CollAllreduce, true
-	case Allgather:
+	case Allgather, IAllgather:
 		return mpi.CollAllgather, true
-	case Alltoall:
+	case Alltoall, IAlltoall:
 		return mpi.CollAlltoall, true
-	case ReduceScatter:
+	case ReduceScatter, IReduceScatter:
 		return mpi.CollReduceScatter, true
 	}
 	return "", false
@@ -314,7 +332,11 @@ func (o Options) withDefaults() Options {
 
 // reduces reports whether the benchmark applies a reduction operator.
 func (b Benchmark) reduces() bool {
-	return b == Allreduce || b == Reduce || b == ReduceScatter
+	switch b {
+	case Allreduce, Reduce, ReduceScatter, IAllreduce, IReduceScatter, IScan:
+		return true
+	}
+	return false
 }
 
 // validate rejects inconsistent configurations.
@@ -337,6 +359,9 @@ func (o Options) validate() error {
 	}
 	if o.Mode == ModePickle && o.Benchmark.Kind() != KindPtPt && o.Benchmark != Allreduce && o.Benchmark != Bcast {
 		return fmt.Errorf("core: pickle mode supports latency, bw, bibw, multi_lat, bcast and allreduce, not %s", o.Benchmark)
+	}
+	if o.Benchmark.Kind() == KindOverlap && o.Mode != ModeC {
+		return fmt.Errorf("core: overlap benchmark %s runs in C mode only (the binding layer has no nonblocking API)", o.Benchmark)
 	}
 	if o.UseGPU && o.Mode != ModeC && !o.Buffer.OnGPU() {
 		return fmt.Errorf("core: GPU runs need a GPU buffer library, got %v", o.Buffer)

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Tests for the nonblocking-collective overlap benchmark family.
+
+func overlapOpts(b Benchmark) Options {
+	return Options{
+		Benchmark: b, Mode: ModeC, Ranks: 8, PPN: 4,
+		MinSize: 64, MaxSize: 16 * 1024,
+		Iters: 10, Warmup: 2, LargeIters: 4, LargeWarmup: 1,
+	}
+}
+
+// TestOverlapBenchmarksRun smokes every overlap benchmark and sanity-checks
+// the reported columns.
+func TestOverlapBenchmarksRun(t *testing.T) {
+	for _, b := range Benchmarks() {
+		if b.Kind() != KindOverlap {
+			continue
+		}
+		rep, err := Run(overlapOpts(b))
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if len(rep.Series.Rows) == 0 {
+			t.Fatalf("%s: no rows", b)
+		}
+		for _, row := range rep.Series.Rows {
+			if row.CommUs <= 0 {
+				t.Errorf("%s size %d: pure comm time %.3f, want > 0", b, row.Size, row.CommUs)
+			}
+			if row.ComputeUs <= 0 {
+				t.Errorf("%s size %d: compute time %.3f, want > 0", b, row.Size, row.ComputeUs)
+			}
+			if row.OverlapPct < 0 || row.OverlapPct > 100 {
+				t.Errorf("%s size %d: overlap %.2f%% outside [0,100]", b, row.Size, row.OverlapPct)
+			}
+			// Total time covers at least the injected compute, and at most
+			// compute + pure comm (serialization), with rounding slack.
+			if row.AvgUs < row.ComputeUs*0.99 || row.AvgUs > (row.ComputeUs+row.CommUs)*1.01 {
+				t.Errorf("%s size %d: total %.3f outside [compute, compute+comm] = [%.3f, %.3f]",
+					b, row.Size, row.AvgUs, row.ComputeUs, row.ComputeUs+row.CommUs)
+			}
+		}
+	}
+}
+
+// TestOverlapDeterministic pins that the overlap report is identical across
+// repeated runs: virtual-time results must not depend on goroutine
+// scheduling even though the schedules advance incrementally.
+func TestOverlapDeterministic(t *testing.T) {
+	opts := overlapOpts(IAllreduce)
+	first, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Series, again.Series) {
+			t.Fatalf("run %d diverged:\nfirst %+v\nagain %+v", i, first.Series, again.Series)
+		}
+	}
+}
+
+// TestOverlapParallelSweepMatchesSerial pins bit-identical overlap rows
+// between a serial and a parallel algorithm sweep.
+func TestOverlapParallelSweepMatchesSerial(t *testing.T) {
+	base := overlapOpts(IAllreduce)
+	variants, err := AlgorithmVariants(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := (Sweep{Base: base, Variants: variants, Workers: 1}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (Sweep{Base: base, Variants: variants, Workers: 4}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Reports {
+		if !reflect.DeepEqual(serial.Reports[i].Series, parallel.Reports[i].Series) {
+			t.Fatalf("variant %d diverged between serial and parallel sweeps", i)
+		}
+	}
+}
+
+// TestOverlapRequiresCMode pins the validation: the binding layer has no
+// nonblocking API, so overlap benchmarks reject Py/Pickle modes.
+func TestOverlapRequiresCMode(t *testing.T) {
+	opts := overlapOpts(IAllreduce)
+	opts.Mode = ModePy
+	if _, err := Run(opts); err == nil {
+		t.Fatal("overlap benchmark in Py mode should fail validation")
+	}
+}

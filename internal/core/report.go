@@ -27,6 +27,10 @@ type rowJSON struct {
 	MinUs float64 `json:"min_us"`
 	MaxUs float64 `json:"max_us"`
 	MBps  float64 `json:"mbps,omitempty"`
+	// Overlap-benchmark columns (omitted elsewhere).
+	CommUs     float64 `json:"comm_us,omitempty"`
+	ComputeUs  float64 `json:"compute_us,omitempty"`
+	OverlapPct float64 `json:"overlap_pct,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler with a stable, documented schema.
@@ -47,6 +51,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		out.Rows = append(out.Rows, rowJSON{
 			Size: row.Size, AvgUs: row.AvgUs, MinUs: row.MinUs,
 			MaxUs: row.MaxUs, MBps: row.MBps,
+			CommUs: row.CommUs, ComputeUs: row.ComputeUs, OverlapPct: row.OverlapPct,
 		})
 	}
 	return json.Marshal(out)
@@ -58,15 +63,24 @@ func (r *Report) Text() string {
 	fmt.Fprintf(&sb, "# %s (%s) on %s, %d ranks x (ppn %d)\n",
 		r.Options.Benchmark, r.Series.Name, r.Options.Cluster, r.Options.Ranks, r.Options.PPN)
 	bw := r.Options.Benchmark == Bandwidth || r.Options.Benchmark == BiBandwidth
-	if bw {
+	overlap := r.Options.Benchmark.Kind() == KindOverlap
+	switch {
+	case bw:
 		fmt.Fprintf(&sb, "%-12s %14s\n", "# Size(B)", "Bandwidth(MB/s)")
-	} else {
+	case overlap:
+		fmt.Fprintf(&sb, "%-12s %12s %12s %12s %12s\n",
+			"# Size(B)", "Comm(us)", "Compute(us)", "Total(us)", "Overlap(%)")
+	default:
 		fmt.Fprintf(&sb, "%-12s %12s %12s %12s\n", "# Size(B)", "Avg(us)", "Min(us)", "Max(us)")
 	}
 	for _, row := range r.Series.Rows {
-		if bw {
+		switch {
+		case bw:
 			fmt.Fprintf(&sb, "%-12d %14.2f\n", row.Size, row.MBps)
-		} else {
+		case overlap:
+			fmt.Fprintf(&sb, "%-12s %12.2f %12.2f %12.2f %12.2f\n",
+				stats.HumanBytes(row.Size), row.CommUs, row.ComputeUs, row.AvgUs, row.OverlapPct)
+		default:
 			fmt.Fprintf(&sb, "%-12s %12.2f %12.2f %12.2f\n",
 				stats.HumanBytes(row.Size), row.AvgUs, row.MinUs, row.MaxUs)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/mpi"
@@ -130,6 +131,9 @@ func runSize(opts Options, o *ops, size int) (stats.Row, error) {
 	case MultiLatency:
 		return runMultiLatency(o, size, iters, warmup)
 	default:
+		if opts.Benchmark.Kind() == KindOverlap {
+			return runOverlap(o, opts.Benchmark, size, iters, warmup)
+		}
 		return runCollective(o, opts.Benchmark, size, iters, warmup)
 	}
 }
@@ -296,6 +300,85 @@ func runCollective(o *ops, b Benchmark, size, iters, warmup int) (stats.Row, err
 	}
 	lat := float64(elapsed) / float64(iters)
 	return reduceRow(c, size, lat, 0)
+}
+
+// runOverlap is the osu_iallreduce-style overlap benchmark. Phase one
+// measures the pure post+Wait latency of the nonblocking collective. Phase
+// two calibrates a per-rank virtual compute block to that latency (OSU's
+// dummy_compute calibration) and times post → compute → Wait. The row
+// reports the total time (avg/min/max across ranks), the pure-communication
+// and compute times, and the overlap percentage
+//
+//	overlap% = 100 * (1 - (t_total - t_compute) / t_pure)
+//
+// clamped to [0, 100]: 100 means the compute fully hid the communication,
+// 0 means they serialized. Everything is virtual time, so the numbers are
+// deterministic across runs and under parallel sweeps.
+func runOverlap(o *ops, b Benchmark, size, iters, warmup int) (stats.Row, error) {
+	c := o.c
+	p := c.Proc()
+	if err := o.barrier(); err != nil {
+		return stats.Row{}, err
+	}
+	// Phase 1: pure communication.
+	var start vtime.Micros
+	for i := 0; i < warmup+iters; i++ {
+		if i == warmup {
+			start = p.Wtime()
+		}
+		req, err := o.icollective(b)
+		if err != nil {
+			return stats.Row{}, err
+		}
+		if _, err := req.Wait(); err != nil {
+			return stats.Row{}, err
+		}
+	}
+	pureUs := float64(p.Wtime()-start) / float64(iters)
+	// Per-rank calibrated compute block: the rank's own mean pure latency.
+	computeBlock := vtime.Micros(pureUs)
+	// Phase 2: post, inject compute, Wait.
+	if err := o.barrier(); err != nil {
+		return stats.Row{}, err
+	}
+	for i := 0; i < warmup+iters; i++ {
+		if i == warmup {
+			start = p.Wtime()
+		}
+		req, err := o.icollective(b)
+		if err != nil {
+			return stats.Row{}, err
+		}
+		o.compute(computeBlock)
+		if _, err := req.Wait(); err != nil {
+			return stats.Row{}, err
+		}
+	}
+	totalUs := float64(p.Wtime()-start) / float64(iters)
+	computeUs := float64(computeBlock)
+	overlap := 0.0
+	if pureUs > 0 {
+		overlap = 100 * (1 - (totalUs-computeUs)/pureUs)
+		overlap = math.Max(0, math.Min(100, overlap))
+	}
+	row, err := reduceRow(c, size, totalUs, 0)
+	if err != nil {
+		return stats.Row{}, err
+	}
+	// Second aggregation round: rank averages of the pure-communication
+	// time, the injected compute and the overlap percentage.
+	sums := make([]byte, 24)
+	self := mpi.EncodeFloat64s([]float64{pureUs, computeUs, overlap})
+	if err := c.Reduce(self, sums, mpi.Float64, mpi.OpSum, 0); err != nil {
+		return stats.Row{}, err
+	}
+	if c.Rank() != 0 {
+		return stats.Row{}, nil
+	}
+	v := mpi.DecodeFloat64s(sums)
+	np := float64(c.Size())
+	row.CommUs, row.ComputeUs, row.OverlapPct = v[0]/np, v[1]/np, v[2]/np
+	return row, nil
 }
 
 // exchange is the bidirectional transfer of the bibw test.

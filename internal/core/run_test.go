@@ -135,6 +135,9 @@ func TestAllCollectivesRunBothModes(t *testing.T) {
 			continue
 		}
 		for _, mode := range []Mode{ModeC, ModePy} {
+			if b.Kind() == KindOverlap && mode != ModeC {
+				continue // overlap benchmarks are C-mode only
+			}
 			opts := quickOpts(b, mode)
 			opts.Ranks, opts.PPN = 8, 4
 			opts.MaxSize = 16 * 1024

@@ -57,6 +57,82 @@ func TestEagerSendRecvAllocs(t *testing.T) {
 	}
 }
 
+func TestIsendIrecvWindowAllocs(t *testing.T) {
+	const window, n = 16, 1024
+	windowed := func(iters int) {
+		w := testWorld(t, 2, 2)
+		err := w.Run(func(p *Proc) error {
+			c := p.CommWorld()
+			buf := make([]byte, n)
+			reqs := make([]*Request, window)
+			// The osu_bw shape, ack included: without the per-window ack an
+			// all-eager sender runs unboundedly ahead of the receiver and
+			// the in-flight envelope population never reaches steady state.
+			for i := 0; i < iters; i++ {
+				for k := range reqs {
+					var err error
+					if c.Rank() == 0 {
+						reqs[k], err = c.Isend(buf, 1, 2)
+					} else {
+						reqs[k], err = c.Irecv(buf, 0, 2)
+					}
+					if err != nil {
+						return err
+					}
+				}
+				if err := Waitall(reqs); err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					if _, err := c.RecvN(nil, 4, 1, 3); err != nil {
+						return err
+					}
+				} else if err := c.SendN(nil, 4, 0, 3); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	// One op is a full window of Isend/Irecv + Waitall; pooled Requests
+	// make the steady state allocation-free.
+	if per := marginalAllocsPerOp(t, 100, windowed); per > 0.5 {
+		t.Errorf("Isend/Irecv window allocates %.2f allocs/op, want <= 0.5", per)
+	}
+}
+
+func TestIallreduceAllocs(t *testing.T) {
+	iallreduce := func(iters int) {
+		w := testWorld(t, 8, 4)
+		err := w.Run(func(p *Proc) error {
+			c := p.CommWorld()
+			sbuf := make([]byte, 4096)
+			rbuf := make([]byte, 4096)
+			for i := 0; i < iters; i++ {
+				req, err := c.Iallreduce(sbuf, rbuf, Float32, OpSum)
+				if err != nil {
+					return err
+				}
+				if _, err := req.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	// Collective Requests and their compiled schedules ride the per-rank
+	// freelists and the scratch arena: zero marginal allocations per op.
+	if per := marginalAllocsPerOp(t, 100, iallreduce); per > 1.0 {
+		t.Errorf("8-rank Iallreduce allocates %.2f allocs/op, want <= 1.0", per)
+	}
+}
+
 func TestAllreduceAllocs(t *testing.T) {
 	allreduce := func(iters int) {
 		w := testWorld(t, 8, 4)

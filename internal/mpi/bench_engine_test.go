@@ -112,3 +112,33 @@ func BenchmarkAllreduce64(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkIallreduceOverlap is the overlap fast path: post a 4 KiB
+// nonblocking allreduce across 16 ranks, inject virtual compute, Wait. One
+// op is a full post+compute+Wait cycle through the schedule engine, so
+// allocs/op counts the pooled Request/schedule machinery (steady state 0).
+func BenchmarkIallreduceOverlap(b *testing.B) {
+	w := benchWorld(b, 16, 8, true)
+	const n = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		sbuf := make([]byte, n)
+		rbuf := make([]byte, n)
+		for i := 0; i < b.N; i++ {
+			req, err := c.Iallreduce(sbuf, rbuf, Float32, OpSum)
+			if err != nil {
+				return err
+			}
+			c.ChargeCompute(10) // 10 us of virtual compute between post and Wait
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -23,27 +23,21 @@ func init() {
 			return collective.IsPof2(s.CommSize) && s.Total() <= s.Tuning.AllgatherRDMaxTotal
 		},
 		Feasible: func(s Selection) bool { return collective.IsPof2(s.CommSize) },
-		run: func(c *Comm, call collCall) error {
-			return c.allgatherRecDoubling(call.rbuf, call.n)
-		},
+		build:    buildAllgatherRecDoubling,
 	})
 	registerAlgorithm(Algorithm{
 		Name:       "bruck",
 		Collective: CollAllgather,
 		Summary:    "Bruck log-round accumulation (small totals, any group)",
 		Applicable: func(s Selection) bool { return s.Total() <= s.Tuning.AllgatherBruckMaxTotal },
-		run: func(c *Comm, call collCall) error {
-			return c.allgatherBruck(call.rbuf, call.n)
-		},
+		build:      buildAllgatherBruck,
 	})
 	registerAlgorithm(Algorithm{
 		Name:       "ring",
 		Collective: CollAllgather,
 		Summary:    "neighbour ring (large totals)",
 		Applicable: func(Selection) bool { return true },
-		run: func(c *Comm, call collCall) error {
-			return c.allgatherRing(call.rbuf, call.n)
-		},
+		build:      buildAllgatherRing,
 	})
 }
 
@@ -56,30 +50,54 @@ func (c *Comm) Allgather(sbuf, rbuf []byte) error {
 // AllgatherN is Allgather with an explicit per-rank byte count; buffers may
 // be nil in timing-only worlds.
 func (c *Comm) AllgatherN(sbuf []byte, n int, rbuf []byte) error {
-	p := len(c.group)
-	if rbuf != nil && len(rbuf) < p*n {
-		return fmt.Errorf("mpi: Allgather recv buffer %d < %d", len(rbuf), p*n)
+	s, err := c.allgatherStart(sbuf, n, rbuf)
+	if err != nil || s == nil {
+		return err
 	}
-	if sbuf != nil && rbuf != nil {
-		copy(rbuf[c.rank*n:(c.rank+1)*n], sbuf[:n])
-	}
-	if p == 1 {
-		return nil
-	}
-	alg, err := c.algorithm(CollAllgather, Selection{CommSize: p, Bytes: n})
-	if err != nil {
-		return fmt.Errorf("mpi: Allgather: %w", err)
-	}
-	if err := alg.run(c, collCall{rbuf: rbuf, n: n}); err != nil {
+	if err := c.driveSched(s); err != nil {
 		return fmt.Errorf("mpi: Allgather: %w", err)
 	}
 	return nil
 }
 
-// allgatherRecDoubling: at round k (mask 2^k) each rank exchanges its
+// Iallgather starts a nonblocking Allgather.
+func (c *Comm) Iallgather(sbuf, rbuf []byte) (*Request, error) {
+	return c.IallgatherN(sbuf, len(sbuf), rbuf)
+}
+
+// IallgatherN is Iallgather with an explicit per-rank byte count.
+func (c *Comm) IallgatherN(sbuf []byte, n int, rbuf []byte) (*Request, error) {
+	s, err := c.allgatherStart(sbuf, n, rbuf)
+	if err != nil {
+		return nil, err
+	}
+	return c.collRequest(s)
+}
+
+func (c *Comm) allgatherStart(sbuf []byte, n int, rbuf []byte) (*collSched, error) {
+	p := len(c.group)
+	if rbuf != nil && len(rbuf) < p*n {
+		return nil, fmt.Errorf("mpi: Allgather recv buffer %d < %d", len(rbuf), p*n)
+	}
+	if sbuf != nil && rbuf != nil {
+		copy(rbuf[c.rank*n:(c.rank+1)*n], sbuf[:n])
+	}
+	if p == 1 {
+		return nil, nil
+	}
+	s, err := c.startColl(CollAllgather, Selection{CommSize: p, Bytes: n},
+		collCall{rbuf: rbuf, n: n})
+	if err != nil {
+		return nil, fmt.Errorf("mpi: Allgather: %w", err)
+	}
+	return s, nil
+}
+
+// buildAllgatherRecDoubling: at round k (mask 2^k) each rank exchanges its
 // accumulated 2^k blocks with rank^mask; blocks stay naturally placed
 // because partner windows are aligned.
-func (c *Comm) allgatherRecDoubling(rbuf []byte, n int) error {
+func buildAllgatherRecDoubling(c *Comm, call collCall, s *collSched) error {
+	rbuf, n := call.rbuf, call.n
 	p := len(c.group)
 	for mask := 1; mask < p; mask *= 2 {
 		peer := c.rank ^ mask
@@ -87,56 +105,48 @@ func (c *Comm) allgatherRecDoubling(rbuf []byte, n int) error {
 		peerLo := (peer / mask) * mask
 		sLo, sHi := myLo*n, (myLo+mask)*n
 		rLo, rHi := peerLo*n, (peerLo+mask)*n
-		if _, err := c.sendrecvRaw(
-			sliceOrNil(rbuf, sLo, sHi), sHi-sLo, peer, tagAllgather,
-			sliceOrNil(rbuf, rLo, rHi), rHi-rLo, peer, tagAllgather,
-		); err != nil {
-			return err
-		}
+		s.exchange(peer, sliceOrNil(rbuf, sLo, sHi), sHi-sLo,
+			peer, sliceOrNil(rbuf, rLo, rHi), rHi-rLo)
 	}
 	return nil
 }
 
-// allgatherBruck: blocks are accumulated in a rotated staging buffer
+// buildAllgatherBruck: blocks are accumulated in a rotated staging buffer
 // starting from the local block, then rotated into place at the end.
-func (c *Comm) allgatherBruck(rbuf []byte, n int) error {
+func buildAllgatherBruck(c *Comm, call collCall, s *collSched) error {
+	rbuf, n := call.rbuf, call.n
 	p := len(c.group)
 	var stage []byte
 	if rbuf != nil {
-		stage = c.scratch(p * n)
+		stage = s.scratch(p * n)
 		copy(stage[:n], rbuf[c.rank*n:(c.rank+1)*n])
-		defer c.release(stage)
 	}
 	have := 1
-	for _, s := range c.bruckSchedule(p) {
-		cnt := s.BlockCount
+	for _, st := range c.bruckSchedule(p) {
+		cnt := st.BlockCount
 		if cnt > have {
 			cnt = have // final partial round sends what exists
 		}
 		// Bruck sends the first cnt accumulated blocks to rank-k and
 		// receives cnt blocks appended after the current ones from rank+k.
-		if _, err := c.sendrecvRaw(
-			sliceOrNil(stage, 0, cnt*n), cnt*n, s.SendTo, tagAllgather,
-			sliceOrNil(stage, have*n, (have+cnt)*n), cnt*n, s.RecvFrom, tagAllgather,
-		); err != nil {
-			return err
-		}
+		s.exchange(st.SendTo, sliceOrNil(stage, 0, cnt*n), cnt*n,
+			st.RecvFrom, sliceOrNil(stage, have*n, (have+cnt)*n), cnt*n)
 		have += cnt
 	}
 	if rbuf != nil {
 		// stage[i] holds the block of rank (c.rank + i) % p.
 		for i := 0; i < p; i++ {
-			src := stage[i*n : (i+1)*n]
 			dst := ((c.rank + i) % p) * n
-			copy(rbuf[dst:dst+n], src)
+			s.copyStep(rbuf[dst:dst+n], stage[i*n:(i+1)*n], n)
 		}
 	}
 	return nil
 }
 
-// allgatherRing: p-1 rounds, each forwarding the block received in the
+// buildAllgatherRing: p-1 rounds, each forwarding the block received in the
 // previous round to the next neighbour.
-func (c *Comm) allgatherRing(rbuf []byte, n int) error {
+func buildAllgatherRing(c *Comm, call collCall, s *collSched) error {
+	rbuf, n := call.rbuf, call.n
 	p := len(c.group)
 	sendTo, recvFrom := collective.RingNeighbors(c.rank, p)
 	have := c.rank
@@ -144,12 +154,8 @@ func (c *Comm) allgatherRing(rbuf []byte, n int) error {
 		want := (have - 1 + p) % p
 		sLo, sHi := have*n, (have+1)*n
 		rLo, rHi := want*n, (want+1)*n
-		if _, err := c.sendrecvRaw(
-			sliceOrNil(rbuf, sLo, sHi), sHi-sLo, sendTo, tagAllgather,
-			sliceOrNil(rbuf, rLo, rHi), rHi-rLo, recvFrom, tagAllgather,
-		); err != nil {
-			return err
-		}
+		s.exchange(sendTo, sliceOrNil(rbuf, sLo, sHi), sHi-sLo,
+			recvFrom, sliceOrNil(rbuf, rLo, rHi), rHi-rLo)
 		have = want
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/collective"
+	"repro/internal/vtime"
 )
 
 // allreduceRabenseifnerMin is the message size at which Allreduce switches
@@ -20,18 +21,14 @@ func init() {
 			return s.Bytes >= s.Tuning.AllreduceRabenseifnerMin &&
 				s.CommSize >= 4 && s.Elems >= collective.Pof2Floor(s.CommSize)
 		},
-		run: func(c *Comm, call collCall) error {
-			return c.allreduceRabenseifner(call.rbuf, call.n, call.dt, call.op)
-		},
+		build: buildAllreduceRabenseifner,
 	})
 	registerAlgorithm(Algorithm{
 		Name:       "recursive_doubling",
 		Collective: CollAllreduce,
 		Summary:    "whole-vector recursive doubling (small messages)",
 		Applicable: func(Selection) bool { return true },
-		run: func(c *Comm, call collCall) error {
-			return c.allreduceRecDoubling(call.rbuf, call.n, call.dt, call.op)
-		},
+		build:      buildAllreduceRecDoubling,
 	})
 }
 
@@ -44,15 +41,43 @@ func (c *Comm) Allreduce(sbuf, rbuf []byte, dt DType, op Op) error {
 // AllreduceN is Allreduce with an explicit byte count; buffers may be nil in
 // timing-only worlds.
 func (c *Comm) AllreduceN(sbuf, rbuf []byte, n int, dt DType, op Op) error {
+	s, err := c.allreduceStart(sbuf, rbuf, n, dt, op)
+	if err != nil || s == nil {
+		return err
+	}
+	if err := c.driveSched(s); err != nil {
+		return fmt.Errorf("mpi: Allreduce: %w", err)
+	}
+	return nil
+}
+
+// Iallreduce starts a nonblocking Allreduce; the result is in rbuf after
+// the returned request completes.
+func (c *Comm) Iallreduce(sbuf, rbuf []byte, dt DType, op Op) (*Request, error) {
+	return c.IallreduceN(sbuf, rbuf, len(sbuf), dt, op)
+}
+
+// IallreduceN is Iallreduce with an explicit byte count.
+func (c *Comm) IallreduceN(sbuf, rbuf []byte, n int, dt DType, op Op) (*Request, error) {
+	s, err := c.allreduceStart(sbuf, rbuf, n, dt, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.collRequest(s)
+}
+
+// allreduceStart validates the call, seeds the accumulator and compiles the
+// selected algorithm's schedule (nil for the trivial single-rank case).
+func (c *Comm) allreduceStart(sbuf, rbuf []byte, n int, dt DType, op Op) (*collSched, error) {
 	if n%dt.Size() != 0 {
-		return fmt.Errorf("mpi: Allreduce size %d not a multiple of %s", n, dt)
+		return nil, fmt.Errorf("mpi: Allreduce size %d not a multiple of %s", n, dt)
 	}
 	p := len(c.group)
 	if p == 1 {
 		if rbuf != nil && sbuf != nil {
 			copy(rbuf[:n], sbuf[:n])
 		}
-		return nil
+		return nil, nil
 	}
 	// Accumulator initialised with the local contribution.
 	var acc []byte
@@ -60,12 +85,99 @@ func (c *Comm) AllreduceN(sbuf, rbuf []byte, n int, dt DType, op Op) error {
 		acc = rbuf[:n]
 		copy(acc, sbuf[:n])
 	}
-	alg, err := c.algorithm(CollAllreduce, Selection{CommSize: p, Bytes: n, Elems: n / dt.Size()})
+	s, err := c.startColl(CollAllreduce,
+		Selection{CommSize: p, Bytes: n, Elems: n / dt.Size()},
+		collCall{rbuf: acc, n: n, dt: dt, op: op})
 	if err != nil {
-		return fmt.Errorf("mpi: Allreduce: %w", err)
+		return nil, fmt.Errorf("mpi: Allreduce: %w", err)
 	}
-	if err := alg.run(c, collCall{rbuf: acc, n: n, dt: dt, op: op}); err != nil {
-		return fmt.Errorf("mpi: Allreduce: %w", err)
+	return s, nil
+}
+
+// buildAllreduceRecDoubling compiles recursive doubling with the classic
+// fold for non-power-of-two communicators.
+func buildAllreduceRecDoubling(c *Comm, call collCall, s *collSched) error {
+	acc, n := call.rbuf, call.n
+	p := len(c.group)
+	fold := collective.NewPof2Fold(c.rank, p)
+	var tmp []byte
+	if acc != nil {
+		tmp = s.scratch(n)
+	}
+
+	switch fold.Role {
+	case collective.FoldSender:
+		s.send(fold.Partner, acc, n)
+	case collective.FoldReceiver:
+		s.recv(fold.Partner, tmp, n)
+		s.reduce(acc, tmp, n)
+	}
+
+	if fold.Role != collective.FoldSender {
+		for _, peerNew := range c.rdPeersFor(fold.NewRank, fold.Pof2) {
+			peer := fold.OldRank(peerNew, p)
+			s.exchange(peer, acc, n, peer, tmp, n)
+			s.reduce(acc, tmp, n)
+		}
+	}
+
+	// Unfold: receivers hand the finished vector back to their senders.
+	switch fold.Role {
+	case collective.FoldReceiver:
+		s.send(fold.Partner, acc, n)
+	case collective.FoldSender:
+		s.recv(fold.Partner, acc, n)
+	}
+	return nil
+}
+
+// buildAllreduceRabenseifner compiles the reduce-scatter (recursive
+// halving) + allgather (recursive doubling) algorithm for large messages.
+// Non-power-of-two communicators fold whole vectors first.
+func buildAllreduceRabenseifner(c *Comm, call collCall, s *collSched) error {
+	acc, n := call.rbuf, call.n
+	p := len(c.group)
+	fold := collective.NewPof2Fold(c.rank, p)
+	var tmp []byte
+	if acc != nil {
+		tmp = s.scratch(n)
+	}
+
+	switch fold.Role {
+	case collective.FoldSender:
+		s.send(fold.Partner, acc, n)
+	case collective.FoldReceiver:
+		s.recv(fold.Partner, tmp, n)
+		s.reduce(acc, tmp, n)
+	}
+
+	if fold.Role != collective.FoldSender {
+		pof2 := fold.Pof2
+		bounds := c.blockBoundsFor(n, pof2, call.dt.Size())
+		// Reduce-scatter phase: recursive halving.
+		for _, st := range c.halvingSchedule(fold.NewRank, pof2) {
+			peer := fold.OldRank(st.Peer, p)
+			sLo, sHi := bounds[st.SendLo], bounds[st.SendHi]
+			kLo, kHi := bounds[st.KeepLo], bounds[st.KeepHi]
+			s.exchange(peer, sliceOrNil(acc, sLo, sHi), sHi-sLo,
+				peer, sliceOrNil(tmp, kLo, kHi), kHi-kLo)
+			s.reduce(sliceOrNil(acc, kLo, kHi), sliceOrNil(tmp, kLo, kHi), kHi-kLo)
+		}
+		// Allgather phase: recursive doubling over the same windows.
+		for _, st := range c.allgatherSchedule(fold.NewRank, pof2) {
+			peer := fold.OldRank(st.Peer, p)
+			hLo, hHi := bounds[st.HaveLo], bounds[st.HaveHi]
+			gLo, gHi := bounds[st.GetLo], bounds[st.GetHi]
+			s.exchange(peer, sliceOrNil(acc, hLo, hHi), hHi-hLo,
+				peer, sliceOrNil(acc, gLo, gHi), gHi-gLo)
+		}
+	}
+
+	switch fold.Role {
+	case collective.FoldReceiver:
+		s.send(fold.Partner, acc, n)
+	case collective.FoldSender:
+		s.recv(fold.Partner, acc, n)
 	}
 	return nil
 }
@@ -75,128 +187,7 @@ func (c *Comm) chargeCompute(n int) {
 	c.proc.clock.Advance(c.proc.world.cfg.Model.Compute(n, c.proc.pyMode(), c.proc.fullSub()))
 }
 
-// allreduceRecDoubling implements recursive doubling with the classic fold
-// for non-power-of-two communicators.
-func (c *Comm) allreduceRecDoubling(acc []byte, n int, dt DType, op Op) error {
-	p := len(c.group)
-	fold := collective.NewPof2Fold(c.rank, p)
-	var tmp []byte
-	if acc != nil {
-		tmp = c.scratch(n)
-		defer c.release(tmp)
-	}
-
-	switch fold.Role {
-	case collective.FoldSender:
-		c.completeSend(c.postSend(fold.Partner, tagAllreduce, acc, n))
-	case collective.FoldReceiver:
-		if _, err := c.recvBytes(fold.Partner, tagAllreduce, tmp, n); err != nil {
-			return err
-		}
-		c.chargeCompute(n)
-		if acc != nil {
-			if err := reduceInto(acc, tmp, dt, op); err != nil {
-				return err
-			}
-		}
-	}
-
-	if fold.Role != collective.FoldSender {
-		for _, peerNew := range c.rdPeersFor(fold.NewRank, fold.Pof2) {
-			peer := fold.OldRank(peerNew, p)
-			if _, err := c.sendrecvRaw(acc, n, peer, tagAllreduce, tmp, n, peer, tagAllreduce); err != nil {
-				return err
-			}
-			c.chargeCompute(n)
-			if acc != nil {
-				if err := reduceInto(acc, tmp, dt, op); err != nil {
-					return err
-				}
-			}
-		}
-	}
-
-	// Unfold: receivers hand the finished vector back to their senders.
-	switch fold.Role {
-	case collective.FoldReceiver:
-		c.completeSend(c.postSend(fold.Partner, tagAllreduce, acc, n))
-	case collective.FoldSender:
-		if _, err := c.recvBytes(fold.Partner, tagAllreduce, acc, n); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// allreduceRabenseifner implements the reduce-scatter (recursive halving) +
-// allgather (recursive doubling) algorithm for large messages. Non-power-of
-// -two communicators fold whole vectors first, as in allreduceRecDoubling.
-func (c *Comm) allreduceRabenseifner(acc []byte, n int, dt DType, op Op) error {
-	p := len(c.group)
-	fold := collective.NewPof2Fold(c.rank, p)
-	var tmp []byte
-	if acc != nil {
-		tmp = c.scratch(n)
-		defer c.release(tmp)
-	}
-
-	switch fold.Role {
-	case collective.FoldSender:
-		c.completeSend(c.postSend(fold.Partner, tagAllreduce, acc, n))
-	case collective.FoldReceiver:
-		if _, err := c.recvBytes(fold.Partner, tagAllreduce, tmp, n); err != nil {
-			return err
-		}
-		c.chargeCompute(n)
-		if acc != nil {
-			if err := reduceInto(acc, tmp, dt, op); err != nil {
-				return err
-			}
-		}
-	}
-
-	if fold.Role != collective.FoldSender {
-		pof2 := fold.Pof2
-		bounds := c.blockBoundsFor(n, pof2, dt.Size())
-		// Reduce-scatter phase: recursive halving.
-		for _, s := range c.halvingSchedule(fold.NewRank, pof2) {
-			peer := fold.OldRank(s.Peer, p)
-			sLo, sHi := bounds[s.SendLo], bounds[s.SendHi]
-			kLo, kHi := bounds[s.KeepLo], bounds[s.KeepHi]
-			if _, err := c.sendrecvRaw(
-				sliceOrNil(acc, sLo, sHi), sHi-sLo, peer, tagAllreduce,
-				sliceOrNil(tmp, kLo, kHi), kHi-kLo, peer, tagAllreduce,
-			); err != nil {
-				return err
-			}
-			c.chargeCompute(kHi - kLo)
-			if acc != nil {
-				if err := reduceInto(acc[kLo:kHi], tmp[kLo:kHi], dt, op); err != nil {
-					return err
-				}
-			}
-		}
-		// Allgather phase: recursive doubling over the same windows.
-		for _, s := range c.allgatherSchedule(fold.NewRank, pof2) {
-			peer := fold.OldRank(s.Peer, p)
-			hLo, hHi := bounds[s.HaveLo], bounds[s.HaveHi]
-			gLo, gHi := bounds[s.GetLo], bounds[s.GetHi]
-			if _, err := c.sendrecvRaw(
-				sliceOrNil(acc, hLo, hHi), hHi-hLo, peer, tagAllreduce,
-				sliceOrNil(acc, gLo, gHi), gHi-gLo, peer, tagAllreduce,
-			); err != nil {
-				return err
-			}
-		}
-	}
-
-	switch fold.Role {
-	case collective.FoldReceiver:
-		c.completeSend(c.postSend(fold.Partner, tagAllreduce, acc, n))
-	case collective.FoldSender:
-		if _, err := c.recvBytes(fold.Partner, tagAllreduce, acc, n); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// ChargeCompute advances the rank clock by d microseconds of virtual local
+// computation — the analogue of the dummy compute loop the OSU nonblocking
+// overlap tests inject between posting a collective and waiting on it.
+func (c *Comm) ChargeCompute(d vtime.Micros) { c.proc.clock.Advance(d) }

@@ -18,18 +18,14 @@ func init() {
 		Applicable: func(s Selection) bool {
 			return s.Bytes <= s.Tuning.AlltoallBruckMaxBlock && s.CommSize > 2
 		},
-		run: func(c *Comm, call collCall) error {
-			return c.alltoallBruck(call.sbuf, call.n, call.rbuf)
-		},
+		build: buildAlltoallBruck,
 	})
 	registerAlgorithm(Algorithm{
 		Name:       "pairwise",
 		Collective: CollAlltoall,
 		Summary:    "balanced pairwise exchange rounds (large blocks)",
 		Applicable: func(Selection) bool { return true },
-		run: func(c *Comm, call collCall) error {
-			return c.alltoallPairwise(call.sbuf, call.n, call.rbuf)
-		},
+		build:      buildAlltoallPairwise,
 	})
 }
 
@@ -46,29 +42,57 @@ func (c *Comm) Alltoall(sbuf, rbuf []byte) error {
 // AlltoallN is Alltoall with an explicit per-destination block size n;
 // buffers may be nil in timing-only worlds.
 func (c *Comm) AlltoallN(sbuf []byte, n int, rbuf []byte) error {
-	p := len(c.group)
-	if rbuf != nil && len(rbuf) < p*n {
-		return fmt.Errorf("mpi: Alltoall recv buffer %d < %d", len(rbuf), p*n)
+	s, err := c.alltoallStart(sbuf, n, rbuf)
+	if err != nil || s == nil {
+		return err
 	}
-	if sbuf != nil && rbuf != nil {
-		copy(rbuf[c.rank*n:(c.rank+1)*n], sbuf[c.rank*n:(c.rank+1)*n])
-	}
-	if p == 1 {
-		return nil
-	}
-	alg, err := c.algorithm(CollAlltoall, Selection{CommSize: p, Bytes: n})
-	if err != nil {
-		return fmt.Errorf("mpi: Alltoall: %w", err)
-	}
-	if err := alg.run(c, collCall{sbuf: sbuf, rbuf: rbuf, n: n}); err != nil {
+	if err := c.driveSched(s); err != nil {
 		return fmt.Errorf("mpi: Alltoall: %w", err)
 	}
 	return nil
 }
 
-// alltoallPairwise runs p-1 balanced exchange rounds (XOR schedule for even
-// p, shifted schedule otherwise).
-func (c *Comm) alltoallPairwise(sbuf []byte, n int, rbuf []byte) error {
+// Ialltoall starts a nonblocking Alltoall.
+func (c *Comm) Ialltoall(sbuf, rbuf []byte) (*Request, error) {
+	p := len(c.group)
+	if len(sbuf)%p != 0 {
+		return nil, fmt.Errorf("mpi: Alltoall send buffer %d not divisible by %d ranks", len(sbuf), p)
+	}
+	return c.IalltoallN(sbuf, len(sbuf)/p, rbuf)
+}
+
+// IalltoallN is Ialltoall with an explicit per-destination block size.
+func (c *Comm) IalltoallN(sbuf []byte, n int, rbuf []byte) (*Request, error) {
+	s, err := c.alltoallStart(sbuf, n, rbuf)
+	if err != nil {
+		return nil, err
+	}
+	return c.collRequest(s)
+}
+
+func (c *Comm) alltoallStart(sbuf []byte, n int, rbuf []byte) (*collSched, error) {
+	p := len(c.group)
+	if rbuf != nil && len(rbuf) < p*n {
+		return nil, fmt.Errorf("mpi: Alltoall recv buffer %d < %d", len(rbuf), p*n)
+	}
+	if sbuf != nil && rbuf != nil {
+		copy(rbuf[c.rank*n:(c.rank+1)*n], sbuf[c.rank*n:(c.rank+1)*n])
+	}
+	if p == 1 {
+		return nil, nil
+	}
+	s, err := c.startColl(CollAlltoall, Selection{CommSize: p, Bytes: n},
+		collCall{sbuf: sbuf, rbuf: rbuf, n: n})
+	if err != nil {
+		return nil, fmt.Errorf("mpi: Alltoall: %w", err)
+	}
+	return s, nil
+}
+
+// buildAlltoallPairwise compiles p-1 balanced exchange rounds (XOR schedule
+// for even p, shifted schedule otherwise).
+func buildAlltoallPairwise(c *Comm, call collCall, s *collSched) error {
+	sbuf, rbuf, n := call.sbuf, call.rbuf, call.n
 	p := len(c.group)
 	// Even p: XOR schedule, rounds 1..p-1. Odd p: shifted schedule needs
 	// rounds 0..p-1 (each rank self-pairs, i.e. idles, in exactly one).
@@ -83,34 +107,33 @@ func (c *Comm) alltoallPairwise(sbuf []byte, n int, rbuf []byte) error {
 		}
 		sLo, sHi := peer*n, (peer+1)*n
 		rLo, rHi := peer*n, (peer+1)*n
-		if _, err := c.sendrecvRaw(
-			sliceOrNil(sbuf, sLo, sHi), sHi-sLo, peer, tagAlltoall,
-			sliceOrNil(rbuf, rLo, rHi), rHi-rLo, peer, tagAlltoall,
-		); err != nil {
-			return err
-		}
+		s.exchange(peer, sliceOrNil(sbuf, sLo, sHi), sHi-sLo,
+			peer, sliceOrNil(rbuf, rLo, rHi), rHi-rLo)
 	}
 	return nil
 }
 
-// alltoallBruck implements Bruck's alltoall: a local rotation, ceil(log2 p)
-// packed exchanges selected by the bits of the block index, and a final
-// inverse rotation with block reversal.
-func (c *Comm) alltoallBruck(sbuf []byte, n int, rbuf []byte) error {
+// buildAlltoallBruck compiles Bruck's alltoall: a local rotation,
+// ceil(log2 p) packed exchanges selected by the bits of the block index,
+// and a final inverse rotation with block reversal. The pack/unpack block
+// moves between rounds are emitted as copy steps so they interleave with
+// the exchanges exactly as the monolithic implementation did.
+func buildAlltoallBruck(c *Comm, call collCall, s *collSched) error {
+	sbuf, rbuf, n := call.sbuf, call.rbuf, call.n
 	p := len(c.group)
 	carry := sbuf != nil && rbuf != nil
 
-	// Phase 1: local rotation. stage[i] = block for rank (rank+i)%p.
+	// Phase 1: local rotation. stage[i] = block for rank (rank+i)%p. The
+	// rotation reads the user send buffer, so it runs at build (post) time.
 	var stage, packS, packR []byte
 	if carry {
-		stage = c.scratch(p * n)
+		stage = s.scratch(p * n)
 		for i := 0; i < p; i++ {
 			src := (c.rank + i) % p
 			copy(stage[i*n:(i+1)*n], sbuf[src*n:(src+1)*n])
 		}
-		packS = c.scratch(p * n)
-		packR = c.scratch(p * n)
-		defer c.release(stage, packS, packR)
+		packS = s.scratch(p * n)
+		packR = s.scratch(p * n)
 	}
 
 	// Phase 2: for each bit, send the blocks whose index has that bit set
@@ -129,28 +152,24 @@ func (c *Comm) alltoallBruck(sbuf []byte, n int, rbuf []byte) error {
 		bytes := len(idx) * n
 		if carry {
 			for j, i := range idx {
-				copy(packS[j*n:(j+1)*n], stage[i*n:(i+1)*n])
+				s.copyStep(packS[j*n:(j+1)*n], stage[i*n:(i+1)*n], n)
 			}
 		}
-		if _, err := c.sendrecvRaw(
-			sliceOrNil(packS, 0, bytes), bytes, sendTo, tagAlltoall,
-			sliceOrNil(packR, 0, bytes), bytes, recvFrom, tagAlltoall,
-		); err != nil {
-			return err
-		}
+		s.exchange(sendTo, sliceOrNil(packS, 0, bytes), bytes,
+			recvFrom, sliceOrNil(packR, 0, bytes), bytes)
 		if carry {
 			for j, i := range idx {
-				copy(stage[i*n:(i+1)*n], packR[j*n:(j+1)*n])
+				s.copyStep(stage[i*n:(i+1)*n], packR[j*n:(j+1)*n], n)
 			}
 		}
 	}
 
-	// Phase 3: inverse rotation with reversal: the block now at stage[i]
-	// originated at rank (rank-i+p)%p and is destined for rbuf[(rank-i)%p].
+	// Phase 3: inverse rotation with reversal: the block finishing at
+	// stage[i] is destined for rbuf[(rank-i)%p].
 	if carry {
 		for i := 0; i < p; i++ {
 			dst := (c.rank - i + p) % p
-			copy(rbuf[dst*n:(dst+1)*n], stage[i*n:(i+1)*n])
+			s.copyStep(rbuf[dst*n:(dst+1)*n], stage[i*n:(i+1)*n], n)
 		}
 	}
 	return nil

@@ -7,26 +7,42 @@ import (
 )
 
 // This file implements Barrier, Bcast and the rooted tree collectives
-// (Reduce, Gather, Scatter). Algorithm selection mirrors MVAPICH2: binomial
-// trees for rooted small/medium operations, scatter + ring-allgather for
-// large broadcasts. Every collective has an N-suffixed form taking explicit
-// byte sizes with nil-tolerant buffers (used by the timing-only huge-scale
+// (Reduce, Gather, Scatter) as schedule builders over the engine in
+// collsched.go. Algorithm selection mirrors MVAPICH2: binomial trees for
+// rooted small/medium operations, scatter + ring-allgather for large
+// broadcasts. Every collective has an N-suffixed form taking explicit byte
+// sizes with nil-tolerant buffers (used by the timing-only huge-scale
 // experiments); the plain forms derive sizes from the slices.
 
 // Barrier blocks until every rank of the communicator has entered it,
 // using the dissemination algorithm (ceil(log2 p) zero-byte rounds).
 func (c *Comm) Barrier() error {
+	s := c.barrierStart()
+	if s == nil {
+		return nil
+	}
+	if err := c.driveSched(s); err != nil {
+		return fmt.Errorf("mpi: Barrier: %w", err)
+	}
+	return nil
+}
+
+// Ibarrier starts a nonblocking barrier.
+func (c *Comm) Ibarrier() (*Request, error) {
+	return c.collRequest(c.barrierStart())
+}
+
+func (c *Comm) barrierStart() *collSched {
 	p := len(c.group)
 	if p == 1 {
 		return nil
 	}
+	s := c.getSched()
 	sendTo, recvFrom := c.dissPeers(p)
 	for k := range sendTo {
-		if _, err := c.sendrecvRaw(nil, 0, sendTo[k], tagBarrier, nil, 0, recvFrom[k], tagBarrier); err != nil {
-			return fmt.Errorf("mpi: Barrier round %d: %w", k, err)
-		}
+		s.exchange(sendTo[k], nil, 0, recvFrom[k], nil, 0)
 	}
-	return nil
+	return s
 }
 
 // bcastLargeMin is the message size at which Bcast switches from the
@@ -41,18 +57,14 @@ func init() {
 		Applicable: func(s Selection) bool {
 			return s.Bytes >= s.Tuning.BcastScatterRingMin && s.CommSize > 2
 		},
-		run: func(c *Comm, call collCall) error {
-			return c.bcastScatterRing(call.sbuf, call.n, call.root)
-		},
+		build: buildBcastScatterRing,
 	})
 	registerAlgorithm(Algorithm{
 		Name:       "binomial",
 		Collective: CollBcast,
 		Summary:    "binomial tree (small and medium messages)",
 		Applicable: func(Selection) bool { return true },
-		run: func(c *Comm, call collCall) error {
-			return c.bcastBinomial(call.sbuf, call.n, call.root)
-		},
+		build:      buildBcastBinomial,
 	})
 }
 
@@ -61,36 +73,62 @@ func (c *Comm) Bcast(buf []byte, root int) error { return c.BcastN(buf, len(buf)
 
 // BcastN broadcasts n bytes from root; buf may be nil in timing-only worlds.
 func (c *Comm) BcastN(buf []byte, n, root int) error {
-	if err := c.checkRank(root, "Bcast root"); err != nil {
+	s, err := c.bcastStart(buf, n, root)
+	if err != nil || s == nil {
 		return err
 	}
-	p := len(c.group)
-	if p == 1 {
-		return nil
-	}
-	alg, err := c.algorithm(CollBcast, Selection{CommSize: p, Bytes: n})
-	if err != nil {
+	if err := c.driveSched(s); err != nil {
 		return fmt.Errorf("mpi: Bcast: %w", err)
-	}
-	return alg.run(c, collCall{sbuf: buf, n: n, root: root})
-}
-
-func (c *Comm) bcastBinomial(buf []byte, n, root int) error {
-	p := len(c.group)
-	if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
-		if _, err := c.recvBytes(parent, tagBcast, buf, n); err != nil {
-			return fmt.Errorf("mpi: Bcast recv: %w", err)
-		}
-	}
-	for _, child := range c.binomialChildren(root, p) {
-		c.completeSend(c.postSend(child, tagBcast, buf, n))
 	}
 	return nil
 }
 
-// bcastScatterRing implements the large-message broadcast: binomial scatter
-// of blocks followed by a ring allgather.
-func (c *Comm) bcastScatterRing(buf []byte, n, root int) error {
+// Ibcast starts a nonblocking broadcast of buf from root.
+func (c *Comm) Ibcast(buf []byte, root int) (*Request, error) {
+	return c.IbcastN(buf, len(buf), root)
+}
+
+// IbcastN is Ibcast with an explicit byte count.
+func (c *Comm) IbcastN(buf []byte, n, root int) (*Request, error) {
+	s, err := c.bcastStart(buf, n, root)
+	if err != nil {
+		return nil, err
+	}
+	return c.collRequest(s)
+}
+
+func (c *Comm) bcastStart(buf []byte, n, root int) (*collSched, error) {
+	if err := c.checkRank(root, "Bcast root"); err != nil {
+		return nil, err
+	}
+	p := len(c.group)
+	if p == 1 {
+		return nil, nil
+	}
+	s, err := c.startColl(CollBcast, Selection{CommSize: p, Bytes: n},
+		collCall{sbuf: buf, n: n, root: root})
+	if err != nil {
+		return nil, fmt.Errorf("mpi: Bcast: %w", err)
+	}
+	return s, nil
+}
+
+func buildBcastBinomial(c *Comm, call collCall, s *collSched) error {
+	buf, n, root := call.sbuf, call.n, call.root
+	p := len(c.group)
+	if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
+		s.recv(parent, buf, n)
+	}
+	for _, child := range c.binomialChildren(root, p) {
+		s.send(child, buf, n)
+	}
+	return nil
+}
+
+// buildBcastScatterRing compiles the large-message broadcast: binomial
+// scatter of blocks followed by a ring allgather.
+func buildBcastScatterRing(c *Comm, call collCall, s *collSched) error {
+	buf, n, root := call.sbuf, call.n, call.root
 	p := len(c.group)
 	bounds := c.blockBoundsFor(n, p, 1)
 	// Relative rank r owns block r after the scatter.
@@ -101,16 +139,13 @@ func (c *Comm) bcastScatterRing(buf []byte, n, root int) error {
 	if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
 		sub := subtreeSize(rel, p)
 		lo, hi := bounds[rel], bounds[min(rel+sub, p)]
-		dst := sliceOrNil(buf, lo, hi)
-		if _, err := c.recvBytes(parent, tagBcast, dst, hi-lo); err != nil {
-			return fmt.Errorf("mpi: Bcast scatter recv: %w", err)
-		}
+		s.recv(parent, sliceOrNil(buf, lo, hi), hi-lo)
 	}
 	for _, child := range c.binomialChildren(root, p) {
 		crel := (child - root + p) % p
 		sub := subtreeSize(crel, p)
 		lo, hi := bounds[crel], bounds[min(crel+sub, p)]
-		c.completeSend(c.postSend(child, tagBcast, sliceOrNil(buf, lo, hi), hi-lo))
+		s.send(child, sliceOrNil(buf, lo, hi), hi-lo)
 	}
 
 	// Ring allgather of the p blocks (in relative-rank order).
@@ -121,12 +156,8 @@ func (c *Comm) bcastScatterRing(buf []byte, n, root int) error {
 		want := (have - 1 + p) % p // block arriving this step (relative index)
 		sLo, sHi := bounds[have], bounds[have+1]
 		rLo, rHi := bounds[want], bounds[want+1]
-		if _, err := c.sendrecvRaw(
-			sliceOrNil(buf, sLo, sHi), sHi-sLo, sendTo, tagBcast,
-			sliceOrNil(buf, rLo, rHi), rHi-rLo, recvFrom, tagBcast,
-		); err != nil {
-			return fmt.Errorf("mpi: Bcast ring step %d: %w", step, err)
-		}
+		s.exchange(sendTo, sliceOrNil(buf, sLo, sHi), sHi-sLo,
+			recvFrom, sliceOrNil(buf, rLo, rHi), rHi-rLo)
 		have = want
 	}
 	return nil
@@ -154,43 +185,48 @@ func (c *Comm) Reduce(sbuf, rbuf []byte, dt DType, op Op, root int) error {
 // ReduceN is Reduce with an explicit byte count; buffers may be nil in
 // timing-only worlds.
 func (c *Comm) ReduceN(sbuf, rbuf []byte, n int, dt DType, op Op, root int) error {
-	if err := c.checkRank(root, "Reduce root"); err != nil {
+	s, err := c.reduceStart(sbuf, rbuf, n, dt, op, root)
+	if err != nil || s == nil {
 		return err
 	}
+	if err := c.driveSched(s); err != nil {
+		return fmt.Errorf("mpi: Reduce: %w", err)
+	}
+	return nil
+}
+
+func (c *Comm) reduceStart(sbuf, rbuf []byte, n int, dt DType, op Op, root int) (*collSched, error) {
+	if err := c.checkRank(root, "Reduce root"); err != nil {
+		return nil, err
+	}
 	if n%dt.Size() != 0 {
-		return fmt.Errorf("mpi: Reduce size %d not a multiple of %s", n, dt)
+		return nil, fmt.Errorf("mpi: Reduce size %d not a multiple of %s", n, dt)
 	}
 	p := len(c.group)
+	s := c.getSched()
+	s.dt, s.op = dt, op
 	// Accumulator starts as a copy of the local contribution.
 	var acc, tmp []byte
 	if sbuf != nil {
-		acc = c.scratch(n)
+		acc = s.scratch(n)
 		copy(acc, sbuf[:n])
-		tmp = c.scratch(n)
-		defer c.release(acc, tmp)
+		tmp = s.scratch(n)
 	}
 	// Children are received in reverse binomial order (deepest subtrees
 	// last) so that reductions happen as data arrives.
 	children := c.binomialChildren(root, p)
 	for i := len(children) - 1; i >= 0; i-- {
-		if _, err := c.recvBytes(children[i], tagReduce, tmp, n); err != nil {
-			return fmt.Errorf("mpi: Reduce recv: %w", err)
-		}
-		c.proc.clock.Advance(c.proc.world.cfg.Model.Compute(n, c.proc.pyMode(), c.proc.fullSub()))
-		if acc != nil {
-			if err := reduceInto(acc, tmp, dt, op); err != nil {
-				return err
-			}
-		}
+		s.recv(children[i], tmp, n)
+		s.reduce(acc, tmp, n)
 	}
 	if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
-		c.completeSend(c.postSend(parent, tagReduce, acc, n))
-		return nil
+		s.send(parent, acc, n)
+		return s, nil
 	}
 	if rbuf != nil && acc != nil {
-		copy(rbuf[:n], acc)
+		s.copyStep(rbuf[:n], acc, n)
 	}
-	return nil
+	return s, nil
 }
 
 // Gather collects sbuf from every rank into rbuf at root, ordered by rank.
@@ -201,13 +237,39 @@ func (c *Comm) Gather(sbuf, rbuf []byte, root int) error {
 
 // GatherN is Gather with an explicit per-rank byte count.
 func (c *Comm) GatherN(sbuf []byte, n int, rbuf []byte, root int) error {
-	if err := c.checkRank(root, "Gather root"); err != nil {
+	s, err := c.gatherStart(sbuf, n, rbuf, root)
+	if err != nil || s == nil {
 		return err
+	}
+	if err := c.driveSched(s); err != nil {
+		return fmt.Errorf("mpi: Gather: %w", err)
+	}
+	return nil
+}
+
+// Igather starts a nonblocking Gather.
+func (c *Comm) Igather(sbuf, rbuf []byte, root int) (*Request, error) {
+	return c.IgatherN(sbuf, len(sbuf), rbuf, root)
+}
+
+// IgatherN is Igather with an explicit per-rank byte count.
+func (c *Comm) IgatherN(sbuf []byte, n int, rbuf []byte, root int) (*Request, error) {
+	s, err := c.gatherStart(sbuf, n, rbuf, root)
+	if err != nil {
+		return nil, err
+	}
+	return c.collRequest(s)
+}
+
+func (c *Comm) gatherStart(sbuf []byte, n int, rbuf []byte, root int) (*collSched, error) {
+	if err := c.checkRank(root, "Gather root"); err != nil {
+		return nil, err
 	}
 	p := len(c.group)
 	if c.rank == root && rbuf != nil && len(rbuf) < p*n {
-		return fmt.Errorf("mpi: Gather recv buffer %d < %d", len(rbuf), p*n)
+		return nil, fmt.Errorf("mpi: Gather recv buffer %d < %d", len(rbuf), p*n)
 	}
+	s := c.getSched()
 	// Binomial gather in relative-rank space: each node accumulates the
 	// blocks of its subtree contiguously (relative order), then root
 	// rotates to absolute order.
@@ -215,31 +277,26 @@ func (c *Comm) GatherN(sbuf []byte, n int, rbuf []byte, root int) error {
 	sub := subtreeSize(rel, p)
 	var stage []byte
 	if sbuf != nil {
-		stage = c.scratch(sub * n)
+		stage = s.scratch(sub * n)
 		copy(stage[:n], sbuf[:n])
-		defer c.release(stage)
 	}
-	children := c.binomialChildren(root, p)
-	for _, child := range children {
+	for _, child := range c.binomialChildren(root, p) {
 		crel := (child - root + p) % p
 		csub := subtreeSize(crel, p)
 		off := (crel - rel) * n
-		dst := sliceOrNil(stage, off, off+csub*n)
-		if _, err := c.recvBytes(child, tagGather, dst, csub*n); err != nil {
-			return fmt.Errorf("mpi: Gather recv: %w", err)
-		}
+		s.recv(child, sliceOrNil(stage, off, off+csub*n), csub*n)
 	}
 	if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
-		c.completeSend(c.postSend(parent, tagGather, stage, sub*n))
-		return nil
+		s.send(parent, stage, sub*n)
+		return s, nil
 	}
 	if rbuf != nil && stage != nil {
 		for r := 0; r < p; r++ {
 			abs := (r + root) % p
-			copy(rbuf[abs*n:(abs+1)*n], stage[r*n:(r+1)*n])
+			s.copyStep(rbuf[abs*n:(abs+1)*n], stage[r*n:(r+1)*n], n)
 		}
 	}
-	return nil
+	return s, nil
 }
 
 // Scatter distributes p consecutive blocks of sbuf at root to the ranks.
@@ -250,21 +307,32 @@ func (c *Comm) Scatter(sbuf, rbuf []byte, root int) error {
 
 // ScatterN is Scatter with an explicit per-rank byte count.
 func (c *Comm) ScatterN(sbuf, rbuf []byte, n, root int) error {
-	if err := c.checkRank(root, "Scatter root"); err != nil {
+	s, err := c.scatterStart(sbuf, rbuf, n, root)
+	if err != nil || s == nil {
 		return err
+	}
+	if err := c.driveSched(s); err != nil {
+		return fmt.Errorf("mpi: Scatter: %w", err)
+	}
+	return nil
+}
+
+func (c *Comm) scatterStart(sbuf, rbuf []byte, n, root int) (*collSched, error) {
+	if err := c.checkRank(root, "Scatter root"); err != nil {
+		return nil, err
 	}
 	p := len(c.group)
 	if c.rank == root && sbuf != nil && len(sbuf) < p*n {
-		return fmt.Errorf("mpi: Scatter send buffer %d < %d", len(sbuf), p*n)
+		return nil, fmt.Errorf("mpi: Scatter send buffer %d < %d", len(sbuf), p*n)
 	}
+	s := c.getSched()
 	rel := (c.rank - root + p) % p
 	sub := subtreeSize(rel, p)
 	var stage []byte
-	defer func() { c.release(stage) }()
 	if c.rank == root {
 		if sbuf != nil {
 			// Stage in relative order so subtree blocks are contiguous.
-			stage = c.scratch(p * n)
+			stage = s.scratch(p * n)
 			for r := 0; r < p; r++ {
 				abs := (r + root) % p
 				copy(stage[r*n:(r+1)*n], sbuf[abs*n:(abs+1)*n])
@@ -272,22 +340,20 @@ func (c *Comm) ScatterN(sbuf, rbuf []byte, n, root int) error {
 		}
 	} else if parent := collective.BinomialParent(c.rank, root, p); parent >= 0 {
 		if c.wantsData(rbuf) {
-			stage = c.scratch(sub * n)
+			stage = s.scratch(sub * n)
 		}
-		if _, err := c.recvBytes(parent, tagScatter, stage, sub*n); err != nil {
-			return fmt.Errorf("mpi: Scatter recv: %w", err)
-		}
+		s.recv(parent, stage, sub*n)
 	}
 	for _, child := range c.binomialChildren(root, p) {
 		crel := (child - root + p) % p
 		csub := subtreeSize(crel, p)
 		off := (crel - rel) * n
-		c.completeSend(c.postSend(child, tagScatter, sliceOrNil(stage, off, off+csub*n), csub*n))
+		s.send(child, sliceOrNil(stage, off, off+csub*n), csub*n)
 	}
 	if rbuf != nil && stage != nil {
-		copy(rbuf[:n], stage[:n])
+		s.copyStep(rbuf[:n], stage[:n], n)
 	}
-	return nil
+	return s, nil
 }
 
 // wantsData reports whether local staging buffers should be materialised.

@@ -13,18 +13,14 @@ func init() {
 		Summary:    "recursive halving over aligned windows (power-of-two groups)",
 		Applicable: func(s Selection) bool { return collective.IsPof2(s.CommSize) },
 		Feasible:   func(s Selection) bool { return collective.IsPof2(s.CommSize) },
-		run: func(c *Comm, call collCall) error {
-			return c.reduceScatterHalving(call.sbuf, call.rbuf, call.counts, call.total, call.dt, call.op)
-		},
+		build:      buildReduceScatterHalving,
 	})
 	registerAlgorithm(Algorithm{
 		Name:       "pairwise",
 		Collective: CollReduceScatter,
 		Summary:    "pairwise exchange-and-reduce rounds (any group)",
 		Applicable: func(Selection) bool { return true },
-		run: func(c *Comm, call collCall) error {
-			return c.reduceScatterPairwise(call.sbuf, call.rbuf, call.counts, call.total, call.dt, call.op)
-		},
+		build:      buildReduceScatterPairwise,
 	})
 }
 
@@ -37,16 +33,40 @@ func (c *Comm) ReduceScatterBlock(sbuf, rbuf []byte, dt DType, op Op) error {
 // ReduceScatterBlockN is ReduceScatterBlock with an explicit per-rank byte
 // count; buffers may be nil in timing-only worlds.
 func (c *Comm) ReduceScatterBlockN(sbuf, rbuf []byte, n int, dt DType, op Op) error {
-	if n%dt.Size() != 0 {
-		return fmt.Errorf("mpi: ReduceScatter block %d not a multiple of %s", n, dt)
+	counts, err := c.blockCounts(n, dt)
+	if err != nil {
+		return err
 	}
-	p := len(c.group)
-	counts := c.scratchInts(p)
 	defer c.releaseInts(counts)
+	return c.ReduceScatterN(sbuf, rbuf, counts, dt, op)
+}
+
+// IreduceScatterBlock starts a nonblocking ReduceScatterBlock.
+func (c *Comm) IreduceScatterBlock(sbuf, rbuf []byte, dt DType, op Op) (*Request, error) {
+	return c.IreduceScatterBlockN(sbuf, rbuf, len(rbuf), dt, op)
+}
+
+// IreduceScatterBlockN is IreduceScatterBlock with an explicit per-rank
+// byte count.
+func (c *Comm) IreduceScatterBlockN(sbuf, rbuf []byte, n int, dt DType, op Op) (*Request, error) {
+	counts, err := c.blockCounts(n, dt)
+	if err != nil {
+		return nil, err
+	}
+	defer c.releaseInts(counts)
+	return c.IreduceScatter(sbuf, rbuf, counts, dt, op)
+}
+
+// blockCounts builds the uniform per-rank count vector of the Block forms.
+func (c *Comm) blockCounts(n int, dt DType) ([]int, error) {
+	if n%dt.Size() != 0 {
+		return nil, fmt.Errorf("mpi: ReduceScatter block %d not a multiple of %s", n, dt)
+	}
+	counts := c.scratchInts(len(c.group))
 	for i := range counts {
 		counts[i] = n
 	}
-	return c.ReduceScatterN(sbuf, rbuf, counts, dt, op)
+	return counts, nil
 }
 
 // ReduceScatter reduces sbuf across ranks and scatters it by counts (bytes
@@ -59,41 +79,63 @@ func (c *Comm) ReduceScatter(sbuf, rbuf []byte, counts []int, dt DType, op Op) e
 // recursive halving on power-of-two groups with block-aligned windows, and
 // a pairwise exchange otherwise.
 func (c *Comm) ReduceScatterN(sbuf, rbuf []byte, counts []int, dt DType, op Op) error {
-	p := len(c.group)
-	if len(counts) != p {
-		return fmt.Errorf("mpi: ReduceScatter counts length %d != %d ranks", len(counts), p)
+	s, err := c.reduceScatterStart(sbuf, rbuf, counts, dt, op)
+	if err != nil || s == nil {
+		return err
 	}
-	total := 0
-	for r, cnt := range counts {
-		if cnt < 0 || cnt%dt.Size() != 0 {
-			return fmt.Errorf("mpi: ReduceScatter count[%d]=%d invalid for %s", r, cnt, dt)
-		}
-		total += cnt
-	}
-	if sbuf != nil && len(sbuf) < total {
-		return fmt.Errorf("mpi: ReduceScatter send buffer %d < %d", len(sbuf), total)
-	}
-	if rbuf != nil && len(rbuf) < counts[c.rank] {
-		return fmt.Errorf("mpi: ReduceScatter recv buffer %d < %d", len(rbuf), counts[c.rank])
-	}
-	if p == 1 {
-		if sbuf != nil && rbuf != nil {
-			copy(rbuf[:total], sbuf[:total])
-		}
-		return nil
-	}
-	alg, err := c.algorithm(CollReduceScatter, Selection{CommSize: p, Bytes: total, Elems: total / dt.Size()})
-	if err != nil {
-		return fmt.Errorf("mpi: ReduceScatter: %w", err)
-	}
-	if err := alg.run(c, collCall{sbuf: sbuf, rbuf: rbuf, counts: counts, total: total, dt: dt, op: op}); err != nil {
+	if err := c.driveSched(s); err != nil {
 		return fmt.Errorf("mpi: ReduceScatter: %w", err)
 	}
 	return nil
 }
 
-// reduceScatterHalving: recursive halving over rank-count-aligned windows.
-func (c *Comm) reduceScatterHalving(sbuf, rbuf []byte, counts []int, total int, dt DType, op Op) error {
+// IreduceScatter starts a nonblocking ReduceScatter. The counts slice is
+// captured at post time and may be reused immediately.
+func (c *Comm) IreduceScatter(sbuf, rbuf []byte, counts []int, dt DType, op Op) (*Request, error) {
+	s, err := c.reduceScatterStart(sbuf, rbuf, counts, dt, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.collRequest(s)
+}
+
+func (c *Comm) reduceScatterStart(sbuf, rbuf []byte, counts []int, dt DType, op Op) (*collSched, error) {
+	p := len(c.group)
+	if len(counts) != p {
+		return nil, fmt.Errorf("mpi: ReduceScatter counts length %d != %d ranks", len(counts), p)
+	}
+	total := 0
+	for r, cnt := range counts {
+		if cnt < 0 || cnt%dt.Size() != 0 {
+			return nil, fmt.Errorf("mpi: ReduceScatter count[%d]=%d invalid for %s", r, cnt, dt)
+		}
+		total += cnt
+	}
+	if sbuf != nil && len(sbuf) < total {
+		return nil, fmt.Errorf("mpi: ReduceScatter send buffer %d < %d", len(sbuf), total)
+	}
+	if rbuf != nil && len(rbuf) < counts[c.rank] {
+		return nil, fmt.Errorf("mpi: ReduceScatter recv buffer %d < %d", len(rbuf), counts[c.rank])
+	}
+	if p == 1 {
+		if sbuf != nil && rbuf != nil {
+			copy(rbuf[:total], sbuf[:total])
+		}
+		return nil, nil
+	}
+	s, err := c.startColl(CollReduceScatter,
+		Selection{CommSize: p, Bytes: total, Elems: total / dt.Size()},
+		collCall{sbuf: sbuf, rbuf: rbuf, counts: counts, total: total, dt: dt, op: op})
+	if err != nil {
+		return nil, fmt.Errorf("mpi: ReduceScatter: %w", err)
+	}
+	return s, nil
+}
+
+// buildReduceScatterHalving: recursive halving over rank-count-aligned
+// windows.
+func buildReduceScatterHalving(c *Comm, call collCall, s *collSched) error {
+	sbuf, rbuf, counts, total := call.sbuf, call.rbuf, call.counts, call.total
 	p := len(c.group)
 	offs := c.scratchInts(p + 1)
 	defer c.releaseInts(offs)
@@ -103,36 +145,28 @@ func (c *Comm) reduceScatterHalving(sbuf, rbuf []byte, counts []int, total int, 
 	}
 	var acc, tmp []byte
 	if sbuf != nil {
-		acc = c.scratch(total)
+		acc = s.scratch(total)
 		copy(acc, sbuf[:total])
-		tmp = c.scratch(total)
-		defer c.release(acc, tmp)
+		tmp = s.scratch(total)
 	}
-	for _, s := range c.halvingSchedule(c.rank, p) {
-		sLo, sHi := offs[s.SendLo], offs[s.SendHi]
-		kLo, kHi := offs[s.KeepLo], offs[s.KeepHi]
-		if _, err := c.sendrecvRaw(
-			sliceOrNil(acc, sLo, sHi), sHi-sLo, s.Peer, tagReduceScatter,
-			sliceOrNil(tmp, kLo, kHi), kHi-kLo, s.Peer, tagReduceScatter,
-		); err != nil {
-			return err
-		}
-		c.chargeCompute(kHi - kLo)
-		if acc != nil {
-			if err := reduceInto(acc[kLo:kHi], tmp[kLo:kHi], dt, op); err != nil {
-				return err
-			}
-		}
+	for _, st := range c.halvingSchedule(c.rank, p) {
+		sLo, sHi := offs[st.SendLo], offs[st.SendHi]
+		kLo, kHi := offs[st.KeepLo], offs[st.KeepHi]
+		s.exchange(st.Peer, sliceOrNil(acc, sLo, sHi), sHi-sLo,
+			st.Peer, sliceOrNil(tmp, kLo, kHi), kHi-kLo)
+		s.reduce(sliceOrNil(acc, kLo, kHi), sliceOrNil(tmp, kLo, kHi), kHi-kLo)
 	}
 	if rbuf != nil && acc != nil {
-		copy(rbuf[:counts[c.rank]], acc[offs[c.rank]:offs[c.rank+1]])
+		s.copyStep(rbuf[:counts[c.rank]], acc[offs[c.rank]:offs[c.rank+1]], counts[c.rank])
 	}
 	return nil
 }
 
-// reduceScatterPairwise: p-1 rounds; in round k each rank sends the block
-// destined for rank+k and receives (and reduces) its own block from rank-k.
-func (c *Comm) reduceScatterPairwise(sbuf, rbuf []byte, counts []int, total int, dt DType, op Op) error {
+// buildReduceScatterPairwise: p-1 rounds; in round k each rank sends the
+// block destined for rank+k and receives (and reduces) its own block from
+// rank-k.
+func buildReduceScatterPairwise(c *Comm, call collCall, s *collSched) error {
+	sbuf, rbuf, counts := call.sbuf, call.rbuf, call.counts
 	p := len(c.group)
 	offs := c.scratchInts(p + 1)
 	defer c.releaseInts(offs)
@@ -144,25 +178,14 @@ func (c *Comm) reduceScatterPairwise(sbuf, rbuf []byte, counts []int, total int,
 	var tmp []byte
 	if sbuf != nil && rbuf != nil {
 		copy(rbuf[:mine], sbuf[offs[c.rank]:offs[c.rank]+mine])
-		tmp = c.scratch(mine)
-		defer c.release(tmp)
+		tmp = s.scratch(mine)
 	}
 	for k := 1; k < p; k++ {
 		dst := (c.rank + k) % p
 		src := (c.rank - k + p) % p
 		sLo, sHi := offs[dst], offs[dst+1]
-		if _, err := c.sendrecvRaw(
-			sliceOrNil(sbuf, sLo, sHi), sHi-sLo, dst, tagReduceScatter,
-			tmp, mine, src, tagReduceScatter,
-		); err != nil {
-			return err
-		}
-		c.chargeCompute(mine)
-		if rbuf != nil && tmp != nil {
-			if err := reduceInto(rbuf[:mine], tmp, dt, op); err != nil {
-				return err
-			}
-		}
+		s.exchange(dst, sliceOrNil(sbuf, sLo, sHi), sHi-sLo, src, tmp, mine)
+		s.reduce(sliceOrNil(rbuf, 0, mine), tmp, mine)
 	}
 	return nil
 }

@@ -18,7 +18,20 @@ func (c *Comm) ScanN(sbuf, rbuf []byte, n int, dt DType, op Op) error {
 	if n%dt.Size() != 0 {
 		return fmt.Errorf("mpi: Scan size %d not a multiple of %s", n, dt)
 	}
-	return c.scan(sbuf, rbuf, n, dt, op, false)
+	return c.driveScan(sbuf, rbuf, n, dt, op, false)
+}
+
+// Iscan starts a nonblocking inclusive prefix reduction.
+func (c *Comm) Iscan(sbuf, rbuf []byte, dt DType, op Op) (*Request, error) {
+	return c.IscanN(sbuf, rbuf, len(sbuf), dt, op)
+}
+
+// IscanN is Iscan with an explicit byte count.
+func (c *Comm) IscanN(sbuf, rbuf []byte, n int, dt DType, op Op) (*Request, error) {
+	if n%dt.Size() != 0 {
+		return nil, fmt.Errorf("mpi: Scan size %d not a multiple of %s", n, dt)
+	}
+	return c.collRequest(c.scanStart(sbuf, rbuf, n, dt, op, false))
 }
 
 // Exscan leaves op(sbuf_0, ..., sbuf_{rank-1}) in rbuf on each rank;
@@ -32,27 +45,37 @@ func (c *Comm) ExscanN(sbuf, rbuf []byte, n int, dt DType, op Op) error {
 	if n%dt.Size() != 0 {
 		return fmt.Errorf("mpi: Exscan size %d not a multiple of %s", n, dt)
 	}
-	return c.scan(sbuf, rbuf, n, dt, op, true)
+	return c.driveScan(sbuf, rbuf, n, dt, op, true)
 }
 
-// scan implements the distance-doubling prefix reduction: in round k, rank
-// r sends its accumulated value to r+2^k and receives from r-2^k, folding
-// the received partial into both its running total and (for ranks that
-// will still send) its outgoing value.
-func (c *Comm) scan(sbuf, rbuf []byte, n int, dt DType, op Op, exclusive bool) error {
+func (c *Comm) driveScan(sbuf, rbuf []byte, n int, dt DType, op Op, exclusive bool) error {
+	if err := c.driveSched(c.scanStart(sbuf, rbuf, n, dt, op, exclusive)); err != nil {
+		return fmt.Errorf("mpi: Scan: %w", err)
+	}
+	return nil
+}
+
+// scanStart compiles the distance-doubling prefix reduction: in round k,
+// rank r sends its accumulated value to r+2^k and receives from r-2^k,
+// folding the received partial into both its running total and (for ranks
+// that will still send) its outgoing value. Each round posts the send
+// first, then receives, then drains the send — the deadlock-free ordering
+// of the monolithic implementation.
+func (c *Comm) scanStart(sbuf, rbuf []byte, n int, dt DType, op Op, exclusive bool) *collSched {
 	p := len(c.group)
 	carry := sbuf != nil && rbuf != nil
+	s := c.getSched()
+	s.dt, s.op = dt, op
 
 	// acc: the value this rank forwards (op of a contiguous rank window
 	// ending at this rank). partial: the prefix result under construction.
 	var acc, partial, tmp []byte
 	var havePartial bool
 	if carry {
-		acc = c.scratch(n)
+		acc = s.scratch(n)
 		copy(acc, sbuf[:n])
-		partial = c.scratch(n)
-		tmp = c.scratch(n)
-		defer c.release(acc, partial, tmp)
+		partial = s.scratch(n)
+		tmp = s.scratch(n)
 	}
 	if !exclusive {
 		if carry {
@@ -64,44 +87,34 @@ func (c *Comm) scan(sbuf, rbuf []byte, n int, dt DType, op Op, exclusive bool) e
 	for k := 1; k < p; k *= 2 {
 		dst := c.rank + k
 		src := c.rank - k
-		var ps *rendezvous
+		posted := false
 		if dst < p {
-			ps = c.postSendScan(acc, n, dst)
+			s.post(dst, acc, n)
+			posted = true
 		}
 		if src >= 0 {
-			if _, err := c.recvBytes(src, tagScan, tmp, n); err != nil {
-				return err
-			}
-			c.chargeCompute(n)
+			s.recv(src, tmp, n)
+			// Fold into the forwarded accumulator (one compute charge per
+			// received block, as in the blocking path).
+			s.reduce(acc, tmp, n)
+			// Fold into (or seed) the prefix result. tmp holds
+			// op(sbuf_{src-k+1..src}) = the block immediately left of
+			// everything already in partial.
 			if carry {
-				// Fold into the forwarded accumulator.
-				if err := reduceInto(acc, tmp, dt, op); err != nil {
-					return err
-				}
-				// Fold into (or seed) the prefix result. tmp holds
-				// op(sbuf_{src-k+1..src}) = the block immediately left of
-				// everything already in partial.
 				if havePartial {
-					if err := reduceInto(partial, tmp, dt, op); err != nil {
-						return err
-					}
+					s.reduceNC(partial, tmp, n)
 				} else {
-					copy(partial, tmp)
+					s.copyStep(partial, tmp, n)
 				}
 			}
 			havePartial = true
 		}
-		if ps != nil {
-			c.completeSend(ps)
+		if posted {
+			s.waitSend()
 		}
 	}
 	if carry && havePartial && !(exclusive && c.rank == 0) {
-		copy(rbuf[:n], partial)
+		s.copyStep(rbuf[:n], partial, n)
 	}
-	return nil
-}
-
-// postSend helper with the scan tag (acc may be nil in timing-only mode).
-func (c *Comm) postSendScan(acc []byte, n, dst int) *rendezvous {
-	return c.postSend(dst, tagScan, acc, n)
+	return s
 }

@@ -2,11 +2,12 @@ package mpi
 
 import "fmt"
 
-// Vector-variant collectives (Gatherv, Scatterv, Allgatherv, Alltoallv).
-// Like MPICH and MVAPICH2, these use linear algorithms: with per-rank counts
-// the tree optimisations give little and the reference implementations keep
-// them linear, so the benchmark shapes match. Counts and displacements are
-// in bytes. Buffers may be nil in timing-only worlds.
+// Vector-variant collectives (Gatherv, Scatterv, Allgatherv, Alltoallv),
+// compiled as schedules like every other collective. Like MPICH and
+// MVAPICH2, these use linear algorithms: with per-rank counts the tree
+// optimisations give little and the reference implementations keep them
+// linear, so the benchmark shapes match. Counts and displacements are in
+// bytes. Buffers may be nil in timing-only worlds.
 
 func checkVector(counts, displs []int, p int, what string) error {
 	if len(counts) != p {
@@ -42,11 +43,13 @@ func (c *Comm) Gatherv(sbuf []byte, rbuf []byte, counts, displs []int, root int)
 		return err
 	}
 	p := len(c.group)
+	s := c.getSched()
 	if c.rank != root {
-		c.completeSend(c.postSend(root, tagVector, sbuf, len(sbuf)))
-		return nil
+		s.send(root, sbuf, len(sbuf))
+		return c.driveSched(s)
 	}
 	if err := checkVector(counts, displs, p, "Gatherv"); err != nil {
+		s.finish()
 		return err
 	}
 	if displs == nil {
@@ -59,10 +62,10 @@ func (c *Comm) Gatherv(sbuf []byte, rbuf []byte, counts, displs []int, root int)
 		if r == root {
 			continue
 		}
-		dst := sliceOrNil(rbuf, displs[r], displs[r]+counts[r])
-		if _, err := c.recvBytes(r, tagVector, dst, counts[r]); err != nil {
-			return fmt.Errorf("mpi: Gatherv recv from %d: %w", r, err)
-		}
+		s.recv(r, sliceOrNil(rbuf, displs[r], displs[r]+counts[r]), counts[r])
+	}
+	if err := c.driveSched(s); err != nil {
+		return fmt.Errorf("mpi: Gatherv: %w", err)
 	}
 	return nil
 }
@@ -74,20 +77,23 @@ func (c *Comm) GathervN(n int, rbuf []byte, counts, displs []int, root int) erro
 		return err
 	}
 	p := len(c.group)
+	s := c.getSched()
 	if c.rank != root {
-		c.completeSend(c.postSend(root, tagVector, nil, n))
-		return nil
+		s.send(root, nil, n)
+		return c.driveSched(s)
 	}
 	if err := checkVector(counts, displs, p, "Gatherv"); err != nil {
+		s.finish()
 		return err
 	}
 	for r := 0; r < p; r++ {
 		if r == root {
 			continue
 		}
-		if _, err := c.recvBytes(r, tagVector, nil, counts[r]); err != nil {
-			return fmt.Errorf("mpi: Gatherv recv from %d: %w", r, err)
-		}
+		s.recv(r, nil, counts[r])
+	}
+	if err := c.driveSched(s); err != nil {
+		return fmt.Errorf("mpi: Gatherv: %w", err)
 	}
 	return nil
 }
@@ -99,13 +105,16 @@ func (c *Comm) Scatterv(sbuf []byte, counts, displs []int, rbuf []byte, root int
 		return err
 	}
 	p := len(c.group)
+	s := c.getSched()
 	if c.rank != root {
-		if _, err := c.recvBytes(root, tagVector, rbuf, len(rbuf)); err != nil {
-			return fmt.Errorf("mpi: Scatterv recv: %w", err)
+		s.recv(root, rbuf, len(rbuf))
+		if err := c.driveSched(s); err != nil {
+			return fmt.Errorf("mpi: Scatterv: %w", err)
 		}
 		return nil
 	}
 	if err := checkVector(counts, displs, p, "Scatterv"); err != nil {
+		s.finish()
 		return err
 	}
 	if displs == nil {
@@ -115,11 +124,13 @@ func (c *Comm) Scatterv(sbuf []byte, counts, displs []int, rbuf []byte, root int
 		if r == root {
 			continue
 		}
-		src := sliceOrNil(sbuf, displs[r], displs[r]+counts[r])
-		c.completeSend(c.postSend(r, tagVector, src, counts[r]))
+		s.send(r, sliceOrNil(sbuf, displs[r], displs[r]+counts[r]), counts[r])
 	}
 	if sbuf != nil && rbuf != nil {
-		copy(rbuf[:counts[root]], sbuf[displs[root]:displs[root]+counts[root]])
+		s.copyStep(rbuf[:counts[root]], sbuf[displs[root]:displs[root]+counts[root]], counts[root])
+	}
+	if err := c.driveSched(s); err != nil {
+		return fmt.Errorf("mpi: Scatterv: %w", err)
 	}
 	return nil
 }
@@ -131,20 +142,26 @@ func (c *Comm) ScattervN(counts []int, n, root int) error {
 		return err
 	}
 	p := len(c.group)
+	s := c.getSched()
 	if c.rank != root {
-		if _, err := c.recvBytes(root, tagVector, nil, n); err != nil {
-			return fmt.Errorf("mpi: Scatterv recv: %w", err)
+		s.recv(root, nil, n)
+		if err := c.driveSched(s); err != nil {
+			return fmt.Errorf("mpi: Scatterv: %w", err)
 		}
 		return nil
 	}
 	if err := checkVector(counts, nil, p, "Scatterv"); err != nil {
+		s.finish()
 		return err
 	}
 	for r := 0; r < p; r++ {
 		if r == root {
 			continue
 		}
-		c.completeSend(c.postSend(r, tagVector, nil, counts[r]))
+		s.send(r, nil, counts[r])
+	}
+	if err := c.driveSched(s); err != nil {
+		return fmt.Errorf("mpi: Scatterv: %w", err)
 	}
 	return nil
 }
@@ -166,20 +183,18 @@ func (c *Comm) Allgatherv(sbuf []byte, rbuf []byte, counts, displs []int) error 
 	if p == 1 {
 		return nil
 	}
+	s := c.getSched()
 	sendTo := (c.rank + 1) % p
 	recvFrom := (c.rank - 1 + p) % p
 	have := c.rank
 	for step := 0; step < p-1; step++ {
 		want := (have - 1 + p) % p
-		sBlk := sliceOrNil(rbuf, displs[have], displs[have]+counts[have])
-		rBlk := sliceOrNil(rbuf, displs[want], displs[want]+counts[want])
-		if _, err := c.sendrecvRaw(
-			sBlk, counts[have], sendTo, tagVector,
-			rBlk, counts[want], recvFrom, tagVector,
-		); err != nil {
-			return fmt.Errorf("mpi: Allgatherv ring step %d: %w", step, err)
-		}
+		s.exchange(sendTo, sliceOrNil(rbuf, displs[have], displs[have]+counts[have]), counts[have],
+			recvFrom, sliceOrNil(rbuf, displs[want], displs[want]+counts[want]), counts[want])
 		have = want
+	}
+	if err := c.driveSched(s); err != nil {
+		return fmt.Errorf("mpi: Allgatherv: %w", err)
 	}
 	return nil
 }
@@ -204,17 +219,18 @@ func (c *Comm) Alltoallv(sbuf []byte, scounts, sdispls []int, rbuf []byte, rcoun
 		copy(rbuf[rdispls[c.rank]:rdispls[c.rank]+rcounts[c.rank]],
 			sbuf[sdispls[c.rank]:sdispls[c.rank]+scounts[c.rank]])
 	}
+	if p == 1 {
+		return nil
+	}
+	s := c.getSched()
 	for k := 1; k < p; k++ {
 		dst := (c.rank + k) % p
 		src := (c.rank - k + p) % p
-		sBlk := sliceOrNil(sbuf, sdispls[dst], sdispls[dst]+scounts[dst])
-		rBlk := sliceOrNil(rbuf, rdispls[src], rdispls[src]+rcounts[src])
-		if _, err := c.sendrecvRaw(
-			sBlk, scounts[dst], dst, tagVector,
-			rBlk, rcounts[src], src, tagVector,
-		); err != nil {
-			return fmt.Errorf("mpi: Alltoallv round %d: %w", k, err)
-		}
+		s.exchange(dst, sliceOrNil(sbuf, sdispls[dst], sdispls[dst]+scounts[dst]), scounts[dst],
+			src, sliceOrNil(rbuf, rdispls[src], rdispls[src]+rcounts[src]), rcounts[src])
+	}
+	if err := c.driveSched(s); err != nil {
+		return fmt.Errorf("mpi: Alltoallv: %w", err)
 	}
 	return nil
 }

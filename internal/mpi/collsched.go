@@ -1,0 +1,376 @@
+package mpi
+
+// This file implements the schedule-driven collective execution engine.
+// Every collective algorithm compiles, at call time, into a flat sequence of
+// primitive steps (post a send, drain a handshake, receive, reduce locally,
+// copy locally) over buffers fixed at build time. Blocking collectives build
+// the schedule and drive it to completion in place; the nonblocking I*
+// collectives return the schedule wrapped in a Request and advance it
+// incrementally through Test/Wait and the rank's Progress hook. Because the
+// executor performs exactly the primitive calls the old monolithic
+// collectives made, in exactly the same order, a blocking drive reproduces
+// the legacy virtual-time numbers bit for bit.
+//
+// Schedules, their step slices and their staging buffers are pooled on the
+// owning Proc (steps and schedules in freelists, buffers in the scratch
+// arena), so steady-state collective traffic allocates nothing.
+
+// collOp enumerates the primitive step kinds of a compiled schedule.
+type collOp uint8
+
+const (
+	// opPost injects a send toward a peer (postSend): eager sends complete
+	// at post time, rendezvous sends leave a handshake for opWaitSend.
+	opPost collOp = iota
+	// opWaitSend drains the handshake left by the last opPost; it is a
+	// no-op after an eager post.
+	opWaitSend
+	// opRecv consumes the peer's message of this collective into dst.
+	opRecv
+	// opReduce charges the local-reduction compute cost for n bytes and
+	// folds src into dst (the fold is skipped in timing-only worlds, the
+	// charge never is — exactly like the monolithic implementations).
+	opReduce
+	// opReduceNC folds src into dst without charging compute: the second
+	// fold of a Scan round rides on the first fold's charge.
+	opReduceNC
+	// opCopy moves n bytes from src to dst locally (block placement,
+	// rotations); skipped when either side is nil.
+	opCopy
+)
+
+// collStep is one primitive step. Buffer views are resolved at build time.
+type collStep struct {
+	op       collOp
+	peer     int
+	n        int
+	dst, src []byte
+}
+
+// collSched is a compiled collective invocation: the step list, the
+// execution cursor, and the staging buffers to release on completion.
+type collSched struct {
+	c     *Comm
+	tag   int
+	dt    DType
+	op    Op
+	steps []collStep
+	pc    int
+
+	// pending is the handshake of the last opPost (nil after an eager
+	// post); pendingSet distinguishes "eager post outstanding" from "no
+	// post outstanding" so builder bugs trip the panic below.
+	pending    *rendezvous
+	pendingSet bool
+
+	// owner is the Request driving this schedule, nil for blocking drives.
+	owner *Request
+
+	// bufs and ints are arena staging allocations released by finish.
+	bufs [][]byte
+	ints [][]int
+}
+
+// getSched draws a pooled schedule, stamps it with the communicator's next
+// per-invocation collective tag, and resets its cursor and freelists.
+func (c *Comm) getSched() *collSched {
+	p := c.proc
+	var s *collSched
+	if n := len(p.schedFree); n > 0 {
+		s = p.schedFree[n-1]
+		p.schedFree[n-1] = nil
+		p.schedFree = p.schedFree[:n-1]
+	} else {
+		s = &collSched{}
+	}
+	s.c = c
+	s.tag = c.nextCollTag()
+	s.dt, s.op = 0, 0
+	s.steps = s.steps[:0]
+	s.pc = 0
+	s.pending, s.pendingSet = nil, false
+	s.owner = nil
+	return s
+}
+
+// finish releases the schedule's staging buffers to the rank's arena, drops
+// buffer references held by the steps, unregisters it from the rank's
+// progress list and returns it to the pool.
+func (s *collSched) finish() {
+	p := s.c.proc
+	for i, b := range s.bufs {
+		p.arena.put(b)
+		s.bufs[i] = nil
+	}
+	s.bufs = s.bufs[:0]
+	for i, b := range s.ints {
+		p.arena.putInts(b)
+		s.ints[i] = nil
+	}
+	s.ints = s.ints[:0]
+	for i := range s.steps {
+		s.steps[i].dst, s.steps[i].src = nil, nil
+	}
+	for i, act := range p.activeScheds {
+		if act == s {
+			p.activeScheds = append(p.activeScheds[:i], p.activeScheds[i+1:]...)
+			break
+		}
+	}
+	s.owner = nil
+	p.schedFree = append(p.schedFree, s)
+}
+
+// scratch draws an arena staging buffer owned by the schedule (released by
+// finish, i.e. when the collective completes).
+func (s *collSched) scratch(n int) []byte {
+	b := s.c.proc.arena.get(n)
+	s.bufs = append(s.bufs, b)
+	return b
+}
+
+// Step emitters. send and exchange mirror the blocking primitives the
+// monolithic collectives were written in: send = post+waitSend, exchange =
+// post+recv+waitSend (the deadlock-free Sendrecv ordering).
+
+func (s *collSched) emit(st collStep) { s.steps = append(s.steps, st) }
+
+func (s *collSched) post(peer int, buf []byte, n int) {
+	s.emit(collStep{op: opPost, peer: peer, src: buf, n: n})
+}
+
+func (s *collSched) waitSend() { s.emit(collStep{op: opWaitSend}) }
+
+func (s *collSched) send(peer int, buf []byte, n int) {
+	s.post(peer, buf, n)
+	s.waitSend()
+}
+
+func (s *collSched) recv(peer int, buf []byte, n int) {
+	s.emit(collStep{op: opRecv, peer: peer, dst: buf, n: n})
+}
+
+func (s *collSched) exchange(dst int, sbuf []byte, sn int, src int, rbuf []byte, rn int) {
+	s.post(dst, sbuf, sn)
+	s.recv(src, rbuf, rn)
+	s.waitSend()
+}
+
+func (s *collSched) reduce(dst, src []byte, n int) {
+	s.emit(collStep{op: opReduce, dst: dst, src: src, n: n})
+}
+
+func (s *collSched) reduceNC(dst, src []byte, n int) {
+	s.emit(collStep{op: opReduceNC, dst: dst, src: src, n: n})
+}
+
+func (s *collSched) copyStep(dst, src []byte, n int) {
+	s.emit(collStep{op: opCopy, dst: dst, src: src, n: n})
+}
+
+// execStep runs steps[pc]. With block set it waits for receives and
+// handshakes like the blocking primitives; without it, it reports false
+// when the step cannot complete right now (nothing is consumed or charged
+// in that case, so the step can be retried).
+func (s *collSched) execStep(block bool) (bool, error) {
+	c := s.c
+	st := &s.steps[s.pc]
+	switch st.op {
+	case opPost:
+		if s.pendingSet {
+			panic("mpi: collective schedule posted twice without waitSend")
+		}
+		s.pending = c.postSend(st.peer, s.tag, st.src, st.n)
+		s.pendingSet = true
+	case opWaitSend:
+		if !s.pendingSet {
+			panic("mpi: collective schedule waitSend without post")
+		}
+		if s.pending != nil {
+			if block {
+				c.completeSend(s.pending)
+			} else {
+				select {
+				case done := <-s.pending.done:
+					c.proc.clock.AdvanceTo(done)
+					c.proc.putRendezvous(s.pending)
+				default:
+					return false, nil
+				}
+			}
+		}
+		s.pending, s.pendingSet = nil, false
+	case opRecv:
+		if block {
+			if _, err := c.recvBytes(st.peer, s.tag, st.dst, st.n); err != nil {
+				s.drainPending()
+				return false, err
+			}
+		} else {
+			_, ok, err := c.tryRecvBytes(st.peer, s.tag, st.dst, st.n)
+			if err != nil {
+				s.drainPending()
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	case opReduce:
+		c.chargeCompute(st.n)
+		if st.dst != nil && st.src != nil {
+			if err := reduceInto(st.dst[:st.n], st.src[:st.n], s.dt, s.op); err != nil {
+				return false, err
+			}
+		}
+	case opReduceNC:
+		if st.dst != nil && st.src != nil {
+			if err := reduceInto(st.dst[:st.n], st.src[:st.n], s.dt, s.op); err != nil {
+				return false, err
+			}
+		}
+	case opCopy:
+		if st.dst != nil && st.src != nil {
+			copy(st.dst[:st.n], st.src[:st.n])
+		}
+	}
+	s.pc++
+	return true, nil
+}
+
+// drainPending completes an outstanding posted send after a failed receive
+// step, mirroring sendrecvRaw's error path: the message was already
+// injected, so its handshake must be drained (and recycled) even though
+// the schedule is being abandoned.
+func (s *collSched) drainPending() {
+	if s.pendingSet && s.pending != nil {
+		s.c.completeSend(s.pending)
+	}
+	s.pending, s.pendingSet = nil, false
+}
+
+// driveSched executes the remaining steps with blocking semantics and
+// releases the schedule. This is the whole execution of a blocking
+// collective and the tail of a collective Request's Wait.
+func (c *Comm) driveSched(s *collSched) error {
+	for s.pc < len(s.steps) {
+		if _, err := s.execStep(true); err != nil {
+			s.finish()
+			return err
+		}
+	}
+	s.finish()
+	return nil
+}
+
+// advancePrefix executes the deterministic prefix of a schedule: local
+// steps and message injections, stopping before the first step whose
+// completion depends on another rank (a receive, or draining a rendezvous
+// handshake). Running it at I*-post time is what lets eager rounds overlap
+// with compute injected before Wait, while keeping the virtual-time outcome
+// independent of real-time goroutine interleaving.
+func (s *collSched) advancePrefix() error {
+	for s.pc < len(s.steps) {
+		st := &s.steps[s.pc]
+		if st.op == opRecv || (st.op == opWaitSend && s.pending != nil) {
+			return nil
+		}
+		if _, err := s.execStep(true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tryDrive advances the schedule as far as possible without blocking and
+// reports whether it ran to completion. It does not release the schedule.
+func (s *collSched) tryDrive() (bool, error) {
+	for s.pc < len(s.steps) {
+		ok, err := s.execStep(false)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Collective messages are stamped with a per-invocation tag above
+// MaxUserTag: the communicator's k-th collective uses tagCollBase+k on
+// every member (collective calls are collectively ordered, so the counters
+// agree across ranks). Distinct invocations therefore never share a tag,
+// which keeps the posted prefix of a later nonblocking collective from
+// overtaking an earlier one's traffic, and keeps collective traffic from
+// ever matching a user-tag receive.
+const tagCollBase = MaxUserTag + 1
+
+// nextCollTag returns the tag of the communicator's next collective.
+func (c *Comm) nextCollTag() int {
+	t := tagCollBase + c.collSeq
+	c.collSeq++
+	return t
+}
+
+// startColl selects the algorithm for one collective invocation, compiles
+// its schedule and returns it ready to drive.
+func (c *Comm) startColl(coll Collective, sel Selection, call collCall) (*collSched, error) {
+	alg, err := c.algorithm(coll, sel)
+	if err != nil {
+		return nil, err
+	}
+	s := c.getSched()
+	s.dt, s.op = call.dt, call.op
+	if err := alg.build(c, call, s); err != nil {
+		s.finish()
+		return nil, err
+	}
+	return s, nil
+}
+
+// collRequest wraps a compiled schedule (nil for a trivially complete
+// collective) into a Request, executes the deterministic prefix, and
+// registers the schedule with the rank's progress list.
+func (c *Comm) collRequest(s *collSched) (*Request, error) {
+	r := c.proc.getRequest()
+	r.comm = c
+	if s == nil {
+		r.complete(Status{}, nil)
+		return r, nil
+	}
+	r.sched = s
+	s.owner = r
+	if err := s.advancePrefix(); err != nil {
+		s.finish()
+		r.sched = nil
+		r.complete(Status{}, err)
+		r.release() // the caller never sees this request
+		return nil, err
+	}
+	if s.pc == len(s.steps) {
+		s.finish()
+		r.sched = nil
+		r.complete(Status{}, nil)
+		return r, nil
+	}
+	c.proc.activeScheds = append(c.proc.activeScheds, s)
+	return r, nil
+}
+
+// Progress gives every outstanding nonblocking collective on this rank a
+// chance to advance without blocking, the analogue of an MPI progress-engine
+// poll. Completion (or an execution error) is recorded on the owning
+// Request and surfaced by its Test/Wait.
+func (p *Proc) Progress() {
+	for i := len(p.activeScheds) - 1; i >= 0; i-- {
+		s := p.activeScheds[i]
+		done, err := s.tryDrive()
+		if done || err != nil {
+			r := s.owner
+			s.finish()
+			r.sched = nil
+			r.complete(Status{}, err)
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// Tests for the schedule-driven collective engine: nonblocking collectives
+// must produce byte-identical results AND bit-identical virtual time to
+// their blocking counterparts, and collective traffic must stay invisible
+// to user-tag receives.
+
+// collRun runs body in a fresh world and returns each rank's result buffer
+// and final virtual time.
+func collRun(t *testing.T, ranks, ppn int, forced map[Collective]string,
+	body func(c *Comm, rank int) ([]byte, error)) ([][]byte, []vtime.Micros) {
+	t.Helper()
+	w := testWorldForced(t, ranks, ppn, forced)
+	bufs := make([][]byte, ranks)
+	times := make([]vtime.Micros, ranks)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		out, err := body(c, p.Rank())
+		if err != nil {
+			return err
+		}
+		bufs[p.Rank()] = out
+		times[p.Rank()] = p.Wtime()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bufs, times
+}
+
+// testWorldForced is testWorld with forced per-collective algorithms.
+func testWorldForced(t *testing.T, n, ppn int, forced map[Collective]string) *World {
+	t.Helper()
+	w := testWorld(t, n, ppn)
+	if forced != nil {
+		var err error
+		w, err = NewWorld(Config{
+			Placement:  w.cfg.Placement,
+			Model:      w.cfg.Model,
+			CarryData:  true,
+			Algorithms: forced,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// TestIallreduceParityWithBlocking pins, for every registered allreduce
+// algorithm, that Iallreduce+Wait yields byte-identical result buffers and
+// bit-identical final virtual time to blocking Allreduce.
+func TestIallreduceParityWithBlocking(t *testing.T) {
+	for _, algo := range AlgorithmNames(CollAllreduce) {
+		for _, ranks := range []int{8, 12} { // power-of-two and folded groups
+			for _, n := range []int{64, 4096, 192 * 1024} {
+				name := fmt.Sprintf("%s/%dranks/%dB", algo, ranks, n)
+				forced := map[Collective]string{CollAllreduce: algo}
+				blocking := func(c *Comm, rank int) ([]byte, error) {
+					rbuf := make([]byte, n)
+					if err := c.Allreduce(pattern(rank, n), rbuf, Float32, OpSum); err != nil {
+						return nil, err
+					}
+					return rbuf, nil
+				}
+				nonblocking := func(c *Comm, rank int) ([]byte, error) {
+					rbuf := make([]byte, n)
+					req, err := c.Iallreduce(pattern(rank, n), rbuf, Float32, OpSum)
+					if err != nil {
+						return nil, err
+					}
+					if _, err := req.Wait(); err != nil {
+						return nil, err
+					}
+					return rbuf, nil
+				}
+				bBufs, bTimes := collRun(t, ranks, 4, forced, blocking)
+				iBufs, iTimes := collRun(t, ranks, 4, forced, nonblocking)
+				for r := 0; r < ranks; r++ {
+					if !bytes.Equal(bBufs[r], iBufs[r]) {
+						t.Fatalf("%s: rank %d result bytes diverge", name, r)
+					}
+					if bTimes[r] != iTimes[r] {
+						t.Fatalf("%s: rank %d virtual time %v (blocking) vs %v (Iallreduce+Wait)",
+							name, r, bTimes[r], iTimes[r])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNonblockingCollectivesMatchBlocking checks result-byte parity of the
+// remaining I* collectives against their blocking counterparts.
+func TestNonblockingCollectivesMatchBlocking(t *testing.T) {
+	const ranks, n = 8, 1024
+	type pair struct {
+		name     string
+		blocking func(c *Comm, rank int) ([]byte, error)
+		nonblock func(c *Comm, rank int) ([]byte, error)
+	}
+	wait := func(req *Request, err error) error {
+		if err != nil {
+			return err
+		}
+		_, err = req.Wait()
+		return err
+	}
+	cases := []pair{
+		{"bcast",
+			func(c *Comm, rank int) ([]byte, error) {
+				buf := pattern(0, n)
+				if rank != 0 {
+					buf = make([]byte, n)
+				}
+				return buf, c.Bcast(buf, 0)
+			},
+			func(c *Comm, rank int) ([]byte, error) {
+				buf := pattern(0, n)
+				if rank != 0 {
+					buf = make([]byte, n)
+				}
+				return buf, wait(c.Ibcast(buf, 0))
+			}},
+		{"gather",
+			func(c *Comm, rank int) ([]byte, error) {
+				var rbuf []byte
+				if rank == 0 {
+					rbuf = make([]byte, ranks*n)
+				}
+				return rbuf, c.Gather(pattern(rank, n), rbuf, 0)
+			},
+			func(c *Comm, rank int) ([]byte, error) {
+				var rbuf []byte
+				if rank == 0 {
+					rbuf = make([]byte, ranks*n)
+				}
+				return rbuf, wait(c.Igather(pattern(rank, n), rbuf, 0))
+			}},
+		{"allgather",
+			func(c *Comm, rank int) ([]byte, error) {
+				rbuf := make([]byte, ranks*n)
+				return rbuf, c.Allgather(pattern(rank, n), rbuf)
+			},
+			func(c *Comm, rank int) ([]byte, error) {
+				rbuf := make([]byte, ranks*n)
+				return rbuf, wait(c.Iallgather(pattern(rank, n), rbuf))
+			}},
+		{"alltoall",
+			func(c *Comm, rank int) ([]byte, error) {
+				rbuf := make([]byte, ranks*n)
+				return rbuf, c.Alltoall(pattern(rank, ranks*n), rbuf)
+			},
+			func(c *Comm, rank int) ([]byte, error) {
+				rbuf := make([]byte, ranks*n)
+				return rbuf, wait(c.Ialltoall(pattern(rank, ranks*n), rbuf))
+			}},
+		{"reduce_scatter",
+			func(c *Comm, rank int) ([]byte, error) {
+				rbuf := make([]byte, n)
+				return rbuf, c.ReduceScatterBlock(pattern(rank, ranks*n), rbuf, Float32, OpSum)
+			},
+			func(c *Comm, rank int) ([]byte, error) {
+				rbuf := make([]byte, n)
+				return rbuf, wait(c.IreduceScatterBlock(pattern(rank, ranks*n), rbuf, Float32, OpSum))
+			}},
+		{"scan",
+			func(c *Comm, rank int) ([]byte, error) {
+				rbuf := make([]byte, n)
+				return rbuf, c.Scan(pattern(rank, n), rbuf, Float32, OpSum)
+			},
+			func(c *Comm, rank int) ([]byte, error) {
+				rbuf := make([]byte, n)
+				return rbuf, wait(c.Iscan(pattern(rank, n), rbuf, Float32, OpSum))
+			}},
+	}
+	for _, tc := range cases {
+		bBufs, bTimes := collRun(t, ranks, 4, nil, tc.blocking)
+		iBufs, iTimes := collRun(t, ranks, 4, nil, tc.nonblock)
+		for r := 0; r < ranks; r++ {
+			if !bytes.Equal(bBufs[r], iBufs[r]) {
+				t.Errorf("%s: rank %d result bytes diverge", tc.name, r)
+			}
+			if bTimes[r] != iTimes[r] {
+				t.Errorf("%s: rank %d virtual time %v vs %v", tc.name, r, bTimes[r], iTimes[r])
+			}
+		}
+	}
+}
+
+// TestIallreduceTestDriven drives the collective with Test polling instead
+// of Wait; the result must match and Test must eventually complete.
+func TestIallreduceTestDriven(t *testing.T) {
+	const ranks, n = 8, 2048
+	w := testWorld(t, ranks, 4)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		rbuf := make([]byte, n)
+		req, err := c.Iallreduce(pattern(p.Rank(), n), rbuf, Float32, OpSum)
+		if err != nil {
+			return err
+		}
+		for {
+			done, _, err := req.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+		}
+		if !req.Done() {
+			return errors.New("request not done after successful Test")
+		}
+		// Verify against a blocking Allreduce over the same inputs.
+		want := make([]byte, n)
+		if err := c.Allreduce(pattern(p.Rank(), n), want, Float32, OpSum); err != nil {
+			return err
+		}
+		if !bytes.Equal(rbuf, want) {
+			return errors.New("Test-driven Iallreduce result diverges from blocking Allreduce")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgressAdvancesCollectives pins the Progress hook: polling it must
+// eventually complete an outstanding collective without Wait blocking.
+func TestProgressAdvancesCollectives(t *testing.T) {
+	const ranks, n = 4, 512
+	w := testWorld(t, ranks, 4)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		rbuf := make([]byte, n)
+		req, err := c.Iallreduce(pattern(p.Rank(), n), rbuf, Float32, OpSum)
+		if err != nil {
+			return err
+		}
+		for !req.Done() {
+			p.Progress()
+		}
+		if _, err := req.Wait(); err != nil { // idempotent on the completed request
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgressDoesNotRecycleHeldRequests pins the pool discipline: a
+// request completed by Progress must stay out of the freelist until its
+// owner observes completion, so later nonblocking calls can never alias a
+// pointer the caller still holds as pending — and Waitany must harvest
+// such a request rather than treat it as inactive.
+func TestProgressDoesNotRecycleHeldRequests(t *testing.T) {
+	const ranks, n = 4, 512
+	w := testWorld(t, ranks, 4)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		rbuf := make([]byte, n)
+		ireq, err := c.Iallreduce(pattern(p.Rank(), n), rbuf, Float32, OpSum)
+		if err != nil {
+			return err
+		}
+		for !ireq.Done() {
+			p.Progress()
+		}
+		// The collective is done but unobserved; a new nonblocking call
+		// must NOT reuse its Request object.
+		var other *Request
+		if p.Rank() == 0 {
+			other, err = c.Irecv(make([]byte, n), 1, 5)
+		} else if p.Rank() == 1 {
+			other, err = c.Isend(pattern(7, n), 0, 5)
+		}
+		if err != nil {
+			return err
+		}
+		if other == ireq {
+			return errors.New("Progress recycled a held request into a later nonblocking call")
+		}
+		// Waitany still harvests the Progress-completed collective.
+		idx, _, err := Waitany([]*Request{ireq})
+		if err != nil {
+			return err
+		}
+		if idx != 0 {
+			return fmt.Errorf("Waitany over a Progress-completed request returned %d, want 0", idx)
+		}
+		if idx, _, _ := Waitany([]*Request{ireq}); idx != -1 {
+			return fmt.Errorf("second Waitany returned %d, want -1", idx)
+		}
+		if other != nil {
+			if _, err := other.Wait(); err != nil {
+				return err
+			}
+		}
+		want := make([]byte, n)
+		if err := c.Allreduce(pattern(p.Rank(), n), want, Float32, OpSum); err != nil {
+			return err
+		}
+		if !bytes.Equal(rbuf, want) {
+			return errors.New("collective result diverges")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWildcardIrecvIgnoresCollectiveTraffic pins the satellite guarantee:
+// multiple outstanding AnySource (and AnyTag) receives interleaved with
+// collective requests on the same rank never match the collectives'
+// reserved-tag traffic — they complete with exactly the user messages, in
+// delivery order.
+func TestWildcardIrecvIgnoresCollectiveTraffic(t *testing.T) {
+	const ranks, n = 4, 256
+	w := testWorld(t, ranks, 4)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		const userTag = 11
+		if p.Rank() == 0 {
+			// Post two wildcard receives (one exact-tag, one AnyTag), then
+			// start a nonblocking collective whose traffic floods this
+			// rank's mailbox before the user messages arrive.
+			b1 := make([]byte, n)
+			b2 := make([]byte, n)
+			r1, err := c.Irecv(b1, AnySource, userTag)
+			if err != nil {
+				return err
+			}
+			r2, err := c.Irecv(b2, AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			rbuf := make([]byte, n)
+			ireq, err := c.Iallreduce(pattern(0, n), rbuf, Float32, OpSum)
+			if err != nil {
+				return err
+			}
+			st1, err := r1.Wait()
+			if err != nil {
+				return err
+			}
+			st2, err := r2.Wait()
+			if err != nil {
+				return err
+			}
+			if _, err := ireq.Wait(); err != nil {
+				return err
+			}
+			// The wildcard receives must have matched rank 1's two user
+			// sends in their delivery order (same source, so FIFO), never
+			// the collective's internal envelopes.
+			if st1.Tag != userTag || st2.Tag != userTag {
+				return fmt.Errorf("wildcard receives matched tags %d and %d, want user tag %d",
+					st1.Tag, st2.Tag, userTag)
+			}
+			if st1.Source != 1 || st2.Source != 1 {
+				return fmt.Errorf("wildcard receives matched sources %d and %d, want 1",
+					st1.Source, st2.Source)
+			}
+			if !bytes.Equal(b1, pattern(1, n)) || !bytes.Equal(b2, pattern(2, n)) {
+				return errors.New("wildcard receives got wrong payloads")
+			}
+			// And the collective still produced the right reduction.
+			want := make([]byte, n)
+			if err := c.Allreduce(pattern(0, n), want, Float32, OpSum); err != nil {
+				return err
+			}
+			if !bytes.Equal(rbuf, want) {
+				return errors.New("collective result corrupted by wildcard receives")
+			}
+			return nil
+		}
+		// Rank 1 sends user messages around its collective call so internal
+		// envelopes are interleaved with user ones at rank 0; coming from
+		// one source, their delivery order at rank 0 is FIFO-guaranteed.
+		if p.Rank() == 1 {
+			if err := c.Send(pattern(1, n), 0, userTag); err != nil {
+				return err
+			}
+		}
+		rbuf := make([]byte, n)
+		ireq, err := c.Iallreduce(pattern(p.Rank(), n), rbuf, Float32, OpSum)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			if err := c.Send(pattern(2, n), 0, userTag); err != nil {
+				return err
+			}
+		}
+		if _, err := ireq.Wait(); err != nil {
+			return err
+		}
+		want := make([]byte, n)
+		if err := c.Allreduce(pattern(p.Rank(), n), want, Float32, OpSum); err != nil {
+			return err
+		}
+		if !bytes.Equal(rbuf, want) {
+			return errors.New("collective result corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

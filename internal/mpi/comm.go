@@ -15,6 +15,10 @@ type Comm struct {
 	ctx   int
 	group []int // communicator rank -> world rank
 	rank  int   // this process's communicator rank
+	// collSeq counts the communicator's collective invocations; each one
+	// is stamped with its own internal tag (see nextCollTag). Collective
+	// calls are collectively ordered, so every member's counter agrees.
+	collSeq int
 }
 
 // Rank returns this process's rank within the communicator.
@@ -38,21 +42,10 @@ func (c *Comm) checkRank(r int, what string) error {
 }
 
 // Internal tag space: collectives stamp messages above MaxUserTag so they
-// can never match application receives.
-const (
-	tagBarrier = MaxUserTag + 1 + iota
-	tagBcast
-	tagReduce
-	tagAllreduce
-	tagGather
-	tagScatter
-	tagAllgather
-	tagAlltoall
-	tagReduceScatter
-	tagSplit
-	tagVector
-	tagScan
-)
+// can never match application receives. Each invocation draws its own tag
+// from the communicator's collective sequence (see nextCollTag in
+// collsched.go), which also keeps concurrent nonblocking collectives on one
+// communicator from cross-matching.
 
 // Dup returns a communicator with the same group but a fresh context, so
 // traffic on the duplicate can never match traffic on the original. Must be

@@ -162,6 +162,21 @@ func (mb *mailbox) deliver(src, tag, ctx, size int, data []byte, arrival, wire, 
 	}
 }
 
+// tryMatch removes and returns a queued message matching (src, tag, ctx),
+// or nil when none is pending — the non-blocking probe the incremental
+// collective engine and Request.Test poll with. A previously consumed
+// envelope is recycled under the lock even when nothing matches.
+func (mb *mailbox) tryMatch(src, tag, ctx int, recycle *envelope) *envelope {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if recycle != nil {
+		mb.pay.put(recycle.data)
+		recycle.data = nil
+		mb.envFree = append(mb.envFree, recycle)
+	}
+	return mb.take(src, tag, ctx)
+}
+
 // match blocks until a message matching (src, tag, ctx) is queued and
 // removes it. Matching is FIFO per (source, tag) pair, which together with
 // single-threaded ranks gives MPI's non-overtaking guarantee. A previously
@@ -220,6 +235,17 @@ func (mb *mailbox) take(src, tag, ctx int) *envelope {
 	return e
 }
 
+// tagMatches reports whether a posted receive tag accepts an envelope tag.
+// AnyTag is a user-level wildcard: it never matches collective-internal
+// traffic (tags above MaxUserTag), so wildcard receives cannot steal a
+// concurrent collective's messages.
+func tagMatches(want, have int) bool {
+	if want == AnyTag {
+		return have <= MaxUserTag
+	}
+	return want == have
+}
+
 // find locates the earliest-delivered matching envelope. For an exact
 // source that is the first tag match in one bucket; for AnySource it is the
 // lowest delivery seq among every bucket's first tag match, which is
@@ -235,7 +261,7 @@ func (mb *mailbox) find(src, tag, ctx int) (*envelope, *envRing, int) {
 		}
 		ring := &q.bySrc[src]
 		for i := 0; i < ring.size; i++ {
-			if e := ring.at(i); tag == AnyTag || e.tag == tag {
+			if e := ring.at(i); tagMatches(tag, e.tag) {
 				return e, ring, i
 			}
 		}
@@ -250,7 +276,7 @@ func (mb *mailbox) find(src, tag, ctx int) (*envelope, *envRing, int) {
 		ring := &q.bySrc[s]
 		for i := 0; i < ring.size; i++ {
 			e := ring.at(i)
-			if tag != AnyTag && e.tag != tag {
+			if !tagMatches(tag, e.tag) {
 				continue
 			}
 			if best == nil || e.seq < best.seq {

@@ -201,6 +201,12 @@ type Proc struct {
 	spent *envelope
 	// rdvFree recycles rendezvous handshakes posted by this rank.
 	rdvFree []*rendezvous
+	// reqFree and schedFree recycle nonblocking Requests and compiled
+	// collective schedules; activeScheds lists the rank's outstanding
+	// nonblocking collectives for the Progress hook.
+	reqFree      []*Request
+	schedFree    []*collSched
+	activeScheds []*collSched
 	// arena recycles the collectives' staging buffers.
 	arena scratchArena
 	// sched memoises the collectives' communication schedules.

@@ -118,13 +118,36 @@ func (c *Comm) completeSend(rdv *rendezvous) {
 // source, tag and byte count.
 func (c *Comm) recvBytes(src, tag int, buf []byte, max int) (Status, error) {
 	p := c.proc
-	w := p.world
-	mb := w.mailboxes[p.rank]
+	mb := p.world.mailboxes[p.rank]
 	// The previously consumed envelope rides along and is recycled (with
 	// its payload buffer) under the lock match takes anyway.
 	spent := p.spent
 	p.spent = nil
-	e := mb.match(src, tag, c.ctx, spent)
+	return c.finishRecv(mb.match(src, tag, c.ctx, spent), buf, max)
+}
+
+// tryRecvBytes is the non-blocking form of recvBytes: when no matching
+// message is pending it reports false without consuming anything or
+// touching the clock, so the caller can retry later.
+func (c *Comm) tryRecvBytes(src, tag int, buf []byte, max int) (Status, bool, error) {
+	p := c.proc
+	mb := p.world.mailboxes[p.rank]
+	spent := p.spent
+	p.spent = nil
+	e := mb.tryMatch(src, tag, c.ctx, spent)
+	if e == nil {
+		return Status{}, false, nil
+	}
+	st, err := c.finishRecv(e, buf, max)
+	return st, true, err
+}
+
+// finishRecv consumes a matched envelope: it advances the receiver clock to
+// the transfer's completion, reports rendezvous completion back to the
+// sender, copies the payload out and recycles the envelope.
+func (c *Comm) finishRecv(e *envelope, buf []byte, max int) (Status, error) {
+	p := c.proc
+	w := p.world
 	// The receive-side costs were priced by the sender (the model is
 	// symmetric in the endpoints) and ride on the envelope.
 	var payload []byte

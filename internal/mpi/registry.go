@@ -114,8 +114,10 @@ type Algorithm struct {
 	// algorithm is forced (e.g. recursive doubling needs a power-of-two
 	// communicator); nil means always runnable.
 	Feasible func(sel Selection) bool
-	// run invokes the implementation.
-	run func(c *Comm, call collCall) error
+	// build compiles the implementation into a step schedule (see
+	// collsched.go); blocking callers drive it to completion in place,
+	// nonblocking callers return it wrapped in a Request.
+	build func(c *Comm, call collCall, s *collSched) error
 }
 
 // FeasibleFor reports whether the algorithm can run correctly for sel.

@@ -18,6 +18,13 @@ type Row struct {
 	MinUs float64
 	MaxUs float64
 	MBps  float64 // bandwidth in MB/s (bandwidth benchmarks only)
+	// Overlap-benchmark extras (zero for every other benchmark, and
+	// omitted from JSON then so existing fixtures stay byte-stable):
+	// pure-communication and injected-compute time per iteration, and the
+	// communication/computation overlap percentage.
+	CommUs     float64 `json:"CommUs,omitempty"`
+	ComputeUs  float64 `json:"ComputeUs,omitempty"`
+	OverlapPct float64 `json:"OverlapPct,omitempty"`
 }
 
 // Series is a named sequence of rows ordered by size.

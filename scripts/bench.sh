@@ -17,7 +17,7 @@ large_time="${3:-10x}"
 cd "$(dirname "$0")/.."
 
 micro=$(go test ./internal/mpi -run '^$' \
-	-bench 'BenchmarkEagerSendRecv|BenchmarkRendezvousExchange|BenchmarkAllreduce64' \
+	-bench 'BenchmarkEagerSendRecv|BenchmarkRendezvousExchange|BenchmarkAllreduce64|BenchmarkIallreduceOverlap' \
 	-benchmem -benchtime="$micro_time" -count=1)
 large=$(go test . -run '^$' -bench 'BenchmarkEngineLargeWorld' \
 	-benchmem -benchtime="$large_time" -count=1)

@@ -1,27 +1,88 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
 )
 
-// BenchmarkEngineLargeWorld is the large-world engine benchmark the perf
-// trajectory regresses against: a 256-rank timing-only allreduce sweep over
-// the rendezvous sizes (16 KiB - 256 KiB), the shape of the paper's
-// full-subscription experiments. One op is one complete core.Run, so ns/op
-// is the end-to-end wall-clock cost of simulating the whole sweep.
+// largeWorldOptions is the 256-rank large-world configuration the perf
+// trajectory regresses against: a timing-only allreduce sweep over the
+// rendezvous sizes (16 KiB - 256 KiB), the shape of the paper's
+// full-subscription experiments.
+func largeWorldOptions(engine string) core.Options {
+	return core.Options{
+		Benchmark: core.Allreduce, Mode: core.ModeC,
+		Ranks: 256, PPN: 32, TimingOnly: true, Engine: engine,
+		MinSize: 16 * 1024, MaxSize: 256 * 1024,
+		Iters: 20, Warmup: 2, LargeIters: 10, LargeWarmup: 2,
+	}
+}
+
+// BenchmarkEngineLargeWorld runs the large-world sweep once per op, under
+// each execution engine. Both engines report identical virtual times (see
+// TestEngineLargeWorldParity); ns/op is the end-to-end wall-clock cost of
+// simulating the whole sweep.
 func BenchmarkEngineLargeWorld(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_, err := core.Run(core.Options{
-			Benchmark: core.Allreduce, Mode: core.ModeC,
-			Ranks: 256, PPN: 32, TimingOnly: true,
-			MinSize: 16 * 1024, MaxSize: 256 * 1024,
-			Iters: 20, Warmup: 2, LargeIters: 10, LargeWarmup: 2,
+	for _, engine := range []string{"goroutine", "event"} {
+		b.Run(engine, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(largeWorldOptions(engine)); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
-		if err != nil {
-			b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineHugeWorld is the scale the event engine unlocks: 1024- and
+// 4096-rank timing-only allreduce sweeps that the goroutine engine cannot
+// run in reasonable wall-clock time. Ranks oversubscribe Frontera's 16
+// nodes, matching the fully-subscribed pricing of the paper's largest runs.
+func BenchmarkEngineHugeWorld(b *testing.B) {
+	for _, ranks := range []int{1024, 4096} {
+		b.Run(fmt.Sprint(ranks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := core.Run(core.Options{
+					Benchmark: core.Allreduce, Mode: core.ModeC,
+					Ranks: ranks, PPN: ranks / 16, TimingOnly: true, Engine: "event",
+					MinSize: 16 * 1024, MaxSize: 64 * 1024,
+					Iters: 10, Warmup: 2, LargeIters: 5, LargeWarmup: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineLargeWorldParity is the CI gate behind the bench-smoke job: the
+// large-world configuration must report byte-identical series under both
+// engines. A shortened sweep keeps the goroutine run affordable in CI.
+func TestEngineLargeWorldParity(t *testing.T) {
+	short := func(engine string) core.Options {
+		o := largeWorldOptions(engine)
+		o.Iters, o.Warmup, o.LargeIters, o.LargeWarmup = 4, 1, 2, 1
+		return o
+	}
+	want, err := core.Run(short("goroutine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Run(short("event"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series.Rows) != len(want.Series.Rows) {
+		t.Fatalf("row count diverged: goroutine %d, event %d", len(want.Series.Rows), len(got.Series.Rows))
+	}
+	for i, w := range want.Series.Rows {
+		if g := got.Series.Rows[i]; g != w {
+			t.Errorf("size %d: virtual times diverged:\ngoroutine: %+v\nevent:     %+v", w.Size, w, g)
 		}
 	}
 }

@@ -47,6 +47,7 @@ func main() {
 		warmup  = flag.Int("warmup", 10, "warm-up iterations per size")
 		window  = flag.Int("window", 64, "window size for bandwidth tests")
 		timing  = flag.Bool("timing-only", false, "skip payloads (huge-scale runs)")
+		engine  = flag.String("engine", "auto", "execution engine: auto (event for timing-only runs), goroutine, event")
 		algo    = flag.String("algorithm", "", "force collective algorithms: a name for this benchmark's collective, coll=name pairs, \"all\" to sweep every algorithm, \"list\" to show the registry")
 		par     = flag.Int("parallel", 0, "worker count for the -algorithm all sweep (0 = serial)")
 		asJSON  = flag.Bool("json", false, "emit the report as JSON")
@@ -94,6 +95,7 @@ func main() {
 		Warmup:     *warmup,
 		Window:     *window,
 		TimingOnly: *timing,
+		Engine:     *engine,
 	}
 
 	if *algo == "all" {

@@ -27,13 +27,14 @@ import (
 
 func main() {
 	var (
-		id    = flag.String("experiment", "", "experiment id (fig1..fig34, table1..table3, algo_*)")
-		all   = flag.Bool("all", false, "run every experiment")
-		heavy = flag.Bool("heavy", false, "include the 896-rank full-subscription experiments")
-		list  = flag.Bool("list", false, "list experiment ids")
-		plot  = flag.Bool("plot", false, "render each experiment's series as an ASCII chart")
-		algo  = flag.String("algorithm", "", "force collective algorithms for every run, as coll=name pairs (e.g. allgather=ring,allreduce=rd)")
-		par   = flag.Int("parallel", 0, "sweep worker count for multi-variant experiments (0 = serial)")
+		id     = flag.String("experiment", "", "experiment id (fig1..fig34, table1..table3, algo_*)")
+		all    = flag.Bool("all", false, "run every experiment")
+		heavy  = flag.Bool("heavy", false, "include the 896-rank full-subscription experiments")
+		list   = flag.Bool("list", false, "list experiment ids")
+		plot   = flag.Bool("plot", false, "render each experiment's series as an ASCII chart")
+		algo   = flag.String("algorithm", "", "force collective algorithms for every run, as coll=name pairs (e.g. allgather=ring,allreduce=rd)")
+		par    = flag.Int("parallel", 0, "sweep worker count for multi-variant experiments (0 = serial)")
+		engine = flag.String("engine", "auto", "execution engine for every run: auto (event for timing-only runs), goroutine, event")
 	)
 	flag.Parse()
 	plotCharts = *plot
@@ -46,6 +47,7 @@ func main() {
 		core.SetDefaultAlgorithms(forced)
 	}
 	core.SetDefaultSweepWorkers(*par)
+	core.SetDefaultEngine(*engine)
 
 	switch {
 	case *list:

@@ -183,6 +183,16 @@ type Options struct {
 	Window int
 	// TimingOnly runs without payloads (huge-scale experiments).
 	TimingOnly bool
+	// Engine selects the runtime execution engine: "auto" (the default;
+	// the discrete-event engine for timing-only runs, goroutines
+	// otherwise), "goroutine", or "event" (timing-only runs only). Both
+	// engines produce bit-identical virtual-time numbers.
+	Engine string
+	// Sizes, when non-empty, is the explicit message-size axis, replacing
+	// the MinSize/MaxSize power-of-two sweep — the crossover-scan
+	// experiments step linearly through the switch region. Sizes must be
+	// positive and strictly increasing.
+	Sizes []int
 	// DType is the element type (defaults: uint8 pt2pt, float32 reductions).
 	DType mpi.DType
 	// Profiler, when set, records the binding layer's staging phases.
@@ -197,6 +207,40 @@ type Options struct {
 	// "rd", "raben", ...). Names are canonicalised and validated; a nil
 	// map takes the process default set via SetDefaultAlgorithms.
 	Algorithms map[string]string
+}
+
+// defaultEngine is the process-wide engine default applied when
+// Options.Engine is empty; the CLIs' -engine flag sets it.
+var defaultEngine = "auto"
+
+// SetDefaultEngine installs the process-wide execution-engine default
+// ("auto", "goroutine" or "event"). It is meant to be called once at CLI
+// startup, before any Run.
+func SetDefaultEngine(name string) { defaultEngine = name }
+
+// engine resolves the options' engine choice. "auto" picks the
+// discrete-event engine exactly when the run is timing-only: the event
+// engine does not carry payloads, and the goroutine engine is the
+// validated substrate for data-carrying correctness runs.
+func (o Options) engine() (mpi.Engine, error) {
+	name := o.Engine
+	if name == "" {
+		name = defaultEngine
+	}
+	if strings.ToLower(name) == "auto" {
+		if o.TimingOnly {
+			return mpi.EngineEvent, nil
+		}
+		return mpi.EngineGoroutine, nil
+	}
+	eng, err := mpi.ParseEngine(strings.ToLower(name))
+	if err != nil {
+		return 0, fmt.Errorf("core: unknown engine %q (have auto, goroutine, event)", name)
+	}
+	if eng == mpi.EngineEvent && !o.TimingOnly {
+		return 0, fmt.Errorf("core: the event engine needs a timing-only run (pass -timing-only)")
+	}
+	return eng, nil
 }
 
 // defaultAlgorithms is the process-wide forced-algorithm default applied
@@ -371,6 +415,17 @@ func (o Options) validate() error {
 	}
 	if o.MinSize > o.MaxSize {
 		return fmt.Errorf("core: MinSize %d > MaxSize %d", o.MinSize, o.MaxSize)
+	}
+	for i, s := range o.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("core: Sizes[%d] = %d must be positive", i, s)
+		}
+		if i > 0 && s <= o.Sizes[i-1] {
+			return fmt.Errorf("core: Sizes must be strictly increasing (%d after %d)", s, o.Sizes[i-1])
+		}
+	}
+	if _, err := o.engine(); err != nil {
+		return err
 	}
 	if _, err := o.mpiAlgorithms(); err != nil {
 		return err

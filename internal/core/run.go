@@ -41,9 +41,14 @@ func Run(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	engine, err := opts.engine()
+	if err != nil {
+		return nil, err
+	}
 	world, err := mpi.NewWorld(mpi.Config{
 		Placement:  place,
 		Model:      model,
+		Engine:     engine,
 		PyMode:     opts.Mode != ModeC,
 		CarryData:  !opts.TimingOnly,
 		Tuning:     opts.Tuning,
@@ -54,6 +59,9 @@ func Run(opts Options) (*Report, error) {
 	}
 
 	sizes := stats.PowersOfTwo(opts.MinSize, opts.MaxSize)
+	if len(opts.Sizes) > 0 {
+		sizes = append([]int(nil), opts.Sizes...)
+	}
 	if opts.Benchmark == Barrier {
 		sizes = []int{0}
 	}

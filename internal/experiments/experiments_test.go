@@ -14,7 +14,7 @@ func TestRegistryCoversEveryFigureAndTable(t *testing.T) {
 		"fig24", "fig25", "fig26", "fig27", "fig28", "fig29", "fig30",
 		"fig31", "fig32", "fig33", "fig34",
 		"algo_bcast", "algo_allreduce", "algo_allgather", "algo_alltoall",
-		"algo_reduce_scatter", "algo_overlap",
+		"algo_reduce_scatter", "algo_overlap", "algo_crossover_scan",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

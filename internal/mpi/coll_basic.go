@@ -32,16 +32,38 @@ func (c *Comm) Ibarrier() (*Request, error) {
 	return c.collRequest(c.barrierStart())
 }
 
+// collBarrier is the barrier's identity in the event engine's replay
+// cache; it is not a registry Collective (no selectable algorithms), so
+// barrierAlg stands in for the algorithm pointer in the step cache.
+const collBarrier Collective = "barrier"
+
+var barrierAlg = &Algorithm{Name: "dissemination", Collective: collBarrier}
+
 func (c *Comm) barrierStart() *collSched {
 	p := len(c.group)
 	if p == 1 {
 		return nil
 	}
-	s := c.getSched()
-	sendTo, recvFrom := c.dissPeers(p)
-	for k := range sendTo {
-		s.exchange(sendTo[k], nil, 0, recvFrom[k], nil, 0)
+	build := func(s *collSched) error {
+		sendTo, recvFrom := c.dissPeers(p)
+		for k := range sendTo {
+			s.exchange(sendTo[k], nil, 0, recvFrom[k], nil, 0)
+		}
+		return nil
 	}
+	if c.proc.ev != nil {
+		key := replayKey{ctx: c.ctx, coll: collBarrier}
+		s, known := c.replaySched(key)
+		if s != nil {
+			return s
+		}
+		if !known {
+			s, _ = c.compileCachedSched(key,
+				stepKey{alg: barrierAlg, rank: c.rank, commSize: p}, 0, 0, build)
+			return s
+		}
+	}
+	s, _ := c.buildSched(0, 0, build)
 	return s
 }
 
@@ -370,13 +392,28 @@ func sliceOrNil(buf []byte, lo, hi int) []byte {
 // blockBounds partitions n bytes into parts contiguous blocks whose
 // boundaries are aligned to align bytes; it returns parts+1 offsets.
 func blockBounds(n, parts, align int) []int {
+	return blockBoundsInto(make([]int, parts+1), n, parts, align)
+}
+
+// blockBoundsInto is blockBounds writing into a caller-supplied slice of
+// length parts+1 (typically drawn from the rank arena). The offsets are
+// (elems*i/parts)*align, computed with a carry accumulator instead of a
+// division per entry — bounds are rebuilt once per (rank, size) and the
+// division loop was visible in the large-world profile.
+func blockBoundsInto(bounds []int, n, parts, align int) []int {
 	if align <= 0 {
 		align = 1
 	}
 	elems := n / align
-	bounds := make([]int, parts+1)
+	q, r := elems/parts, elems%parts
+	off, t := 0, 0
 	for i := 0; i <= parts; i++ {
-		bounds[i] = (elems * i / parts) * align
+		bounds[i] = off * align
+		off += q
+		if t += r; t >= parts {
+			t -= parts
+			off++
+		}
 	}
 	bounds[parts] = n
 	return bounds

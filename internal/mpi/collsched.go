@@ -15,6 +15,11 @@ package mpi
 // owning Proc (steps and schedules in freelists, buffers in the scratch
 // arena), so steady-state collective traffic allocates nothing.
 
+import (
+	"repro/internal/netmodel"
+	"repro/internal/topology"
+)
+
 // collOp enumerates the primitive step kinds of a compiled schedule.
 type collOp uint8
 
@@ -37,14 +42,40 @@ const (
 	// opCopy moves n bytes from src to dst locally (block placement,
 	// rotations); skipped when either side is nil.
 	opCopy
+	// opSend fuses post+waitSend: inject toward peer, then drain the
+	// handshake. Fused steps execute the same primitives in the same order
+	// as their unfused spelling — they exist to halve the dispatch count
+	// of the hot schedules; the schedule's phase cursor makes them
+	// resumable mid-step for the incremental executors.
+	opSend
+	// opExchange fuses post+recv+waitSend (the deadlock-free Sendrecv
+	// ordering): send src to sendPeer, receive from peer into dst, drain.
+	opExchange
 )
 
 // collStep is one primitive step. Buffer views are resolved at build time.
+// peer/n/dst describe the receive side (or the send side for pure sends);
+// sendPeer/sendN/src describe the send side of an opExchange.
 type collStep struct {
 	op       collOp
 	peer     int
 	n        int
+	sendPeer int
+	sendN    int
 	dst, src []byte
+}
+
+// stepPrice caches a post step's resolved destination and message price.
+// Replay-cached schedules (event engine) carry one per step, filled on
+// first execution: both are constants of the (schedule, world) pair, and
+// skipping the per-post link classification and price lookup is measurable
+// at large rank counts. It lives beside the steps (not inside collStep) so
+// the goroutine engine's step arrays stay small.
+type stepPrice struct {
+	gdst   int
+	link   topology.LinkClass
+	cost   netmodel.PtPtCost
+	priced bool
 }
 
 // collSched is a compiled collective invocation: the step list, the
@@ -66,6 +97,26 @@ type collSched struct {
 	// owner is the Request driving this schedule, nil for blocking drives.
 	owner *Request
 
+	// phase is the sub-step cursor of the fused ops: 0 = nothing done yet,
+	// 1 = posted (opSend: draining; opExchange: receiving), 2 = opExchange
+	// received, draining. At most one fused step is in flight, so one
+	// cursor per schedule suffices; pc only advances when a step fully
+	// completes.
+	phase uint8
+
+	// cached marks a schedule retained by the event engine's replay cache
+	// (eventsched.go): finish releases it for the next replay instead of
+	// tearing it down; inUse guards against replaying it while a previous
+	// invocation is still in flight; prices caches the post steps' message
+	// prices across replays (one entry per posting step, in post order,
+	// cursor postIdx).
+	cached, inUse bool
+	prices        []stepPrice
+	postIdx       int
+	// shared marks steps as borrowed from the process-wide stepCache:
+	// immutable, never appended to, dropped (not recycled) on scrub.
+	shared bool
+
 	// bufs and ints are arena staging allocations released by finish.
 	bufs [][]byte
 	ints [][]int
@@ -80,24 +131,46 @@ func (c *Comm) getSched() *collSched {
 		s = p.schedFree[n-1]
 		p.schedFree[n-1] = nil
 		p.schedFree = p.schedFree[:n-1]
-	} else {
-		s = &collSched{}
+	} else if s = getPooledSched(); s == nil {
+		// Start fresh schedules with room for a typical large-world
+		// collective, so builders do not churn the garbage collector with
+		// doubling reallocations on their way to ~64 steps.
+		s = &collSched{steps: make([]collStep, 0, 64)}
 	}
 	s.c = c
 	s.tag = c.nextCollTag()
 	s.dt, s.op = 0, 0
 	s.steps = s.steps[:0]
 	s.pc = 0
+	s.phase = 0
 	s.pending, s.pendingSet = nil, false
 	s.owner = nil
+	s.cached, s.inUse = false, false
+	s.prices, s.postIdx = s.prices[:0], 0
+	s.shared = false
 	return s
 }
 
 // finish releases the schedule's staging buffers to the rank's arena, drops
 // buffer references held by the steps, unregisters it from the rank's
-// progress list and returns it to the pool.
+// progress list and returns it to the pool. A replay-cached schedule keeps
+// its steps (they hold no buffers) and is merely released for the next
+// replay.
 func (s *collSched) finish() {
 	p := s.c.proc
+	if s.cached {
+		for i, act := range p.activeScheds {
+			if act == s {
+				p.activeScheds = append(p.activeScheds[:i], p.activeScheds[i+1:]...)
+				break
+			}
+		}
+		s.pending, s.pendingSet = nil, false
+		s.phase = 0
+		s.owner = nil
+		s.inUse = false
+		return
+	}
 	for i, b := range s.bufs {
 		p.arena.put(b)
 		s.bufs[i] = nil
@@ -142,8 +215,7 @@ func (s *collSched) post(peer int, buf []byte, n int) {
 func (s *collSched) waitSend() { s.emit(collStep{op: opWaitSend}) }
 
 func (s *collSched) send(peer int, buf []byte, n int) {
-	s.post(peer, buf, n)
-	s.waitSend()
+	s.emit(collStep{op: opSend, peer: peer, src: buf, n: n})
 }
 
 func (s *collSched) recv(peer int, buf []byte, n int) {
@@ -151,9 +223,7 @@ func (s *collSched) recv(peer int, buf []byte, n int) {
 }
 
 func (s *collSched) exchange(dst int, sbuf []byte, sn int, src int, rbuf []byte, rn int) {
-	s.post(dst, sbuf, sn)
-	s.recv(src, rbuf, rn)
-	s.waitSend()
+	s.emit(collStep{op: opExchange, sendPeer: dst, src: sbuf, sendN: sn, peer: src, dst: rbuf, n: rn})
 }
 
 func (s *collSched) reduce(dst, src []byte, n int) {
@@ -168,53 +238,118 @@ func (s *collSched) copyStep(dst, src []byte, n int) {
 	s.emit(collStep{op: opCopy, dst: dst, src: src, n: n})
 }
 
+// postStep injects the sending half of a posting step, through the
+// schedule's per-step price cache when it has one.
+func (s *collSched) postStep(peer int, buf []byte, n int) {
+	if s.pendingSet {
+		panic("mpi: collective schedule posted twice without waitSend")
+	}
+	c := s.c
+	if len(s.prices) != 0 {
+		pr := &s.prices[s.postIdx]
+		s.postIdx++
+		if !pr.priced {
+			pr.gdst = c.group[peer]
+			var cost *netmodel.PtPtCost
+			pr.link, cost = c.proc.priceTo(pr.gdst, n)
+			pr.cost, pr.priced = *cost, true
+		}
+		s.pending = c.postSendPriced(pr.gdst, s.tag, buf, n, pr.link, &pr.cost)
+	} else {
+		s.pending = c.postSend(peer, s.tag, buf, n)
+	}
+	s.pendingSet = true
+}
+
+// drainStep completes the outstanding posted send; without block it
+// reports false when the handshake has not been reported yet.
+func (s *collSched) drainStep(block bool) bool {
+	if s.pending != nil {
+		if block {
+			s.c.completeSend(s.pending)
+		} else {
+			done, ok := s.pending.tryDone()
+			if !ok {
+				return false
+			}
+			s.c.proc.clock.AdvanceTo(done)
+			s.c.proc.putRendezvous(s.pending)
+		}
+	}
+	s.pending, s.pendingSet = nil, false
+	return true
+}
+
+// recvStep consumes the peer's message of this collective into dst; with
+// block false it reports false when nothing matches yet.
+func (s *collSched) recvStep(block bool, peer int, dst []byte, n int) (bool, error) {
+	if block {
+		if _, err := s.c.recvBytes(peer, s.tag, dst, n); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	_, ok, err := s.c.tryRecvBytes(peer, s.tag, dst, n)
+	return ok, err
+}
+
 // execStep runs steps[pc]. With block set it waits for receives and
 // handshakes like the blocking primitives; without it, it reports false
 // when the step cannot complete right now (nothing is consumed or charged
-// in that case, so the step can be retried).
+// in that case, so the step — resumable mid-way through a fused op via
+// the phase cursor — can be retried).
 func (s *collSched) execStep(block bool) (bool, error) {
 	c := s.c
 	st := &s.steps[s.pc]
 	switch st.op {
-	case opPost:
-		if s.pendingSet {
-			panic("mpi: collective schedule posted twice without waitSend")
+	case opSend:
+		if s.phase == 0 {
+			s.postStep(st.peer, st.src, st.n)
+			s.phase = 1
 		}
-		s.pending = c.postSend(st.peer, s.tag, st.src, st.n)
-		s.pendingSet = true
-	case opWaitSend:
-		if !s.pendingSet {
-			panic("mpi: collective schedule waitSend without post")
+		if !s.drainStep(block) {
+			return false, nil
 		}
-		if s.pending != nil {
-			if block {
-				c.completeSend(s.pending)
-			} else {
-				select {
-				case done := <-s.pending.done:
-					c.proc.clock.AdvanceTo(done)
-					c.proc.putRendezvous(s.pending)
-				default:
-					return false, nil
-				}
-			}
+		s.phase = 0
+	case opExchange:
+		if s.phase == 0 {
+			s.postStep(st.sendPeer, st.src, st.sendN)
+			s.phase = 1
 		}
-		s.pending, s.pendingSet = nil, false
-	case opRecv:
-		if block {
-			if _, err := c.recvBytes(st.peer, s.tag, st.dst, st.n); err != nil {
-				s.drainPending()
-				return false, err
-			}
-		} else {
-			_, ok, err := c.tryRecvBytes(st.peer, s.tag, st.dst, st.n)
+		if s.phase == 1 {
+			ok, err := s.recvStep(block, st.peer, st.dst, st.n)
 			if err != nil {
-				s.drainPending()
 				return false, err
 			}
 			if !ok {
 				return false, nil
 			}
+			s.phase = 2
+		}
+		if !s.drainStep(block) {
+			return false, nil
+		}
+		s.phase = 0
+	case opPost:
+		s.postStep(st.peer, st.src, st.n)
+	case opWaitSend:
+		if !s.pendingSet {
+			panic("mpi: collective schedule waitSend without post")
+		}
+		if !s.drainStep(block) {
+			return false, nil
+		}
+	case opRecv:
+		// Error paths leave any posted send pending; the caller drains it
+		// (drainPending) before abandoning the schedule — execStep itself
+		// must stay non-blocking when block is false, and the event loop
+		// replays schedules on a stack that must never park.
+		ok, err := s.recvStep(block, st.peer, st.dst, st.n)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
 		}
 	case opReduce:
 		c.chargeCompute(st.n)
@@ -251,10 +386,16 @@ func (s *collSched) drainPending() {
 
 // driveSched executes the remaining steps with blocking semantics and
 // releases the schedule. This is the whole execution of a blocking
-// collective and the tail of a collective Request's Wait.
+// collective and the tail of a collective Request's Wait. Under the event
+// engine the drive is handed to the event loop instead (same steps, same
+// clock arithmetic, two coroutine switches total).
 func (c *Comm) driveSched(s *collSched) error {
+	if c.proc.ev != nil {
+		return c.driveSchedEvent(s)
+	}
 	for s.pc < len(s.steps) {
 		if _, err := s.execStep(true); err != nil {
+			s.drainPending()
 			s.finish()
 			return err
 		}
@@ -272,7 +413,32 @@ func (c *Comm) driveSched(s *collSched) error {
 func (s *collSched) advancePrefix() error {
 	for s.pc < len(s.steps) {
 		st := &s.steps[s.pc]
-		if st.op == opRecv || (st.op == opWaitSend && s.pending != nil) {
+		switch st.op {
+		case opRecv:
+			return nil
+		case opWaitSend:
+			if s.pending != nil {
+				return nil
+			}
+		case opSend:
+			// Inject, then stop only if draining depends on the receiver.
+			if s.phase == 0 {
+				s.postStep(st.peer, st.src, st.n)
+				s.phase = 1
+			}
+			if s.pending != nil {
+				return nil
+			}
+			s.pending, s.pendingSet = nil, false
+			s.phase = 0
+			s.pc++
+			continue
+		case opExchange:
+			// Inject the send half; the receive half depends on the peer.
+			if s.phase == 0 {
+				s.postStep(st.sendPeer, st.src, st.sendN)
+				s.phase = 1
+			}
 			return nil
 		}
 		if _, err := s.execStep(true); err != nil {
@@ -314,8 +480,32 @@ func (c *Comm) nextCollTag() int {
 }
 
 // startColl selects the algorithm for one collective invocation, compiles
-// its schedule and returns it ready to drive.
+// its schedule and returns it ready to drive. Under the event engine,
+// buffer-free invocations hit the replay cache: the schedule compiled for
+// this (algorithm, size, root, dtype, op) shape is re-armed instead of
+// rebuilt (see eventsched.go).
 func (c *Comm) startColl(coll Collective, sel Selection, call collCall) (*collSched, error) {
+	if c.proc.ev != nil && call.replayable() {
+		key := replayKey{ctx: c.ctx, coll: coll, n: call.n, root: call.root, dt: call.dt, op: call.op}
+		s, known := c.replaySched(key)
+		if s != nil {
+			return s, nil
+		}
+		alg, err := c.algorithm(coll, sel)
+		if err != nil {
+			return nil, err
+		}
+		build := func(s *collSched) error { return alg.build(c, call, s) }
+		if known {
+			// An overlapping invocation of the same shape is still in
+			// flight; run this one as an uncached one-off.
+			return c.buildSched(call.dt, call.op, build)
+		}
+		return c.compileCachedSched(key,
+			stepKey{alg: alg, rank: c.rank, commSize: len(c.group),
+				n: call.n, root: call.root, dt: call.dt, op: call.op},
+			call.dt, call.op, build)
+	}
 	alg, err := c.algorithm(coll, sel)
 	if err != nil {
 		return nil, err
@@ -342,6 +532,7 @@ func (c *Comm) collRequest(s *collSched) (*Request, error) {
 	r.sched = s
 	s.owner = r
 	if err := s.advancePrefix(); err != nil {
+		s.drainPending()
 		s.finish()
 		r.sched = nil
 		r.complete(Status{}, err)
@@ -367,6 +558,9 @@ func (p *Proc) Progress() {
 		s := p.activeScheds[i]
 		done, err := s.tryDrive()
 		if done || err != nil {
+			if err != nil {
+				s.drainPending()
+			}
 			r := s.owner
 			s.finish()
 			r.sched = nil

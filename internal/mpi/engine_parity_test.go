@@ -1,0 +1,130 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/topology"
+	"repro/internal/vtime"
+)
+
+// Engine-parity suite: the event engine must reproduce the goroutine
+// engine's virtual-time behaviour exactly. For every registered algorithm
+// of every collective, at three message sizes (eager, mid, rendezvous) and
+// three placements (one rank per node, multi-rank nodes, a folded non-power-
+// of-two world), both engines run the same timing-only workload and must
+// agree on every rank's final virtual clock and on every rank's full
+// message log (send and recv events, in program order, with timestamps).
+
+// parityPlacements are the (ranks, ppn) shapes of the suite.
+var parityPlacements = [][2]int{{16, 1}, {8, 4}, {63, 7}}
+
+// engineParitySizes cover the eager and rendezvous protocols and the large-vector
+// algorithm switch points.
+var engineParitySizes = []int{1024, 16 * 1024, 128 * 1024}
+
+// parityOutcome is one engine's observable result.
+type parityOutcome struct {
+	end    []vtime.Micros
+	events [][]Event // per rank, in that rank's program order
+}
+
+// runCollParity runs one collective twice (cold and steady-state pools) on
+// the given engine and captures the outcome.
+func runCollParity(t *testing.T, engine Engine, ranks, ppn int, coll Collective, algo string, n int) parityOutcome {
+	t.Helper()
+	place, err := topology.NewPlacement(&topology.Frontera, ranks, ppn, topology.Block, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := NewTrace()
+	w, err := NewWorld(Config{
+		Placement:  place,
+		Model:      netmodel.MustNew(&topology.Frontera, netmodel.MVAPICH2),
+		CarryData:  false,
+		Engine:     engine,
+		Trace:      trace,
+		Algorithms: map[Collective]string{coll: algo},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := make([]vtime.Micros, ranks)
+	err = w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		for i := 0; i < 2; i++ {
+			if err := invokeCollective(c, coll, n); err != nil {
+				return err
+			}
+		}
+		end[p.Rank()] = p.Wtime()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%v engine: %v", engine, err)
+	}
+	perRank := make([][]Event, ranks)
+	trace.mu.Lock()
+	for _, e := range trace.events {
+		perRank[e.Rank] = append(perRank[e.Rank], e)
+	}
+	trace.mu.Unlock()
+	return parityOutcome{end: end, events: perRank}
+}
+
+// invokeCollective calls one registry collective in its timing-only form.
+func invokeCollective(c *Comm, coll Collective, n int) error {
+	switch coll {
+	case CollBcast:
+		return c.BcastN(nil, n, 0)
+	case CollAllreduce:
+		return c.AllreduceN(nil, nil, n, Float32, OpSum)
+	case CollAllgather:
+		return c.AllgatherN(nil, n, nil)
+	case CollAlltoall:
+		return c.AlltoallN(nil, n, nil)
+	case CollReduceScatter:
+		return c.ReduceScatterBlockN(nil, nil, n, Float32, OpSum)
+	default:
+		return fmt.Errorf("parity test: unhandled collective %s", coll)
+	}
+}
+
+// TestEngineParity pins the event engine to the goroutine engine, bit for
+// bit, across the full algorithm registry.
+func TestEngineParity(t *testing.T) {
+	for _, shape := range parityPlacements {
+		ranks, ppn := shape[0], shape[1]
+		for _, coll := range Collectives() {
+			for _, alg := range Algorithms(coll) {
+				if !alg.FeasibleFor(Selection{CommSize: ranks}) {
+					continue
+				}
+				for _, n := range engineParitySizes {
+					name := fmt.Sprintf("%dx%d/%s/%s/%d", ranks, ppn, coll, alg.Name, n)
+					t.Run(name, func(t *testing.T) {
+						want := runCollParity(t, EngineGoroutine, ranks, ppn, coll, alg.Name, n)
+						got := runCollParity(t, EngineEvent, ranks, ppn, coll, alg.Name, n)
+						for r := 0; r < ranks; r++ {
+							if got.end[r] != want.end[r] {
+								t.Errorf("rank %d: virtual end time diverged: goroutine %v, event %v",
+									r, want.end[r], got.end[r])
+							}
+							if len(got.events[r]) != len(want.events[r]) {
+								t.Fatalf("rank %d: message log length diverged: goroutine %d events, event %d",
+									r, len(want.events[r]), len(got.events[r]))
+							}
+							for i := range want.events[r] {
+								if got.events[r][i] != want.events[r][i] {
+									t.Fatalf("rank %d event %d diverged:\ngoroutine: %+v\nevent:     %+v",
+										r, i, want.events[r][i], got.events[r][i])
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule replay for the event engine. In a timing-only world the
+// benchmark collectives pass nil buffers, so the schedule an algorithm
+// compiles for a given (communicator, size, root, dtype, op) is the same
+// flat step list on every invocation — only the internal tag differs.
+// Rebuilding it per call is pure overhead (about a fifth of the goroutine
+// engine's large-world profile), so the event executor compiles each
+// distinct invocation shape once and replays the cached steps afterwards:
+// re-stamp the tag, rewind the cursor, drive. Replay changes no clock
+// arithmetic, so virtual times stay bit-identical; schedules that own
+// staging buffers or reference user memory are never cached.
+
+// replayKey identifies one reusable compiled-schedule shape. Keying by
+// collective (not by selected algorithm) is sound because selection is a
+// pure function of (collective, communicator size, bytes, tuning), all
+// fixed per key within one world — and it lets a replay hit skip the
+// selection walk entirely.
+type replayKey struct {
+	ctx  int
+	coll Collective
+	n    int
+	root int
+	dt   DType
+	op   Op
+}
+
+// replayable reports whether a call's schedule can be cached: nothing in
+// the step list may reference caller-owned memory, which is guaranteed
+// exactly when the call carries no buffers and no per-call counts.
+func (call *collCall) replayable() bool {
+	return call.sbuf == nil && call.rbuf == nil && call.counts == nil
+}
+
+// replayEntry is one slot of a rank's replay cache.
+type replayEntry struct {
+	key replayKey
+	s   *collSched
+}
+
+// replaySched returns the cached schedule for key, re-armed for a new
+// invocation. known reports whether an entry for the key exists at all:
+// when it does but is still in flight (an overlapping nonblocking
+// invocation), the caller builds a fresh one-off schedule and must NOT
+// retain it — the cache holds exactly one entry per key.
+func (c *Comm) replaySched(key replayKey) (s *collSched, known bool) {
+	for i := range c.proc.replay {
+		if c.proc.replay[i].key == key {
+			s = c.proc.replay[i].s
+			break
+		}
+	}
+	if s == nil {
+		return nil, false
+	}
+	if s.inUse {
+		return nil, true
+	}
+	s.inUse = true
+	s.tag = c.nextCollTag()
+	s.pc, s.postIdx = 0, 0
+	s.phase = 0
+	s.pending, s.pendingSet = nil, false
+	s.owner = nil
+	return s, true
+}
+
+// stepKey identifies a compiled step list independently of any world: the
+// selected algorithm (a stable registry pointer — it also captures the
+// collective and, transitively, the tuning decision), the rank's position,
+// and the invocation shape. Step lists built from nil buffers contain no
+// world state at all, so identical keys compile to identical steps.
+type stepKey struct {
+	alg      *Algorithm
+	rank     int
+	commSize int
+	n        int
+	root     int
+	dt       DType
+	op       Op
+}
+
+// stepCache shares compiled step lists across worlds (sync.Map: sweeps run
+// worlds in parallel). Benchmarks and sweeps rebuild the same world shape
+// over and over; compiling each rank's schedule once per process instead
+// of once per world takes schedule building off the steady-state profile
+// entirely. Entries are immutable once stored.
+var stepCache sync.Map
+
+// stepCacheBytes bounds the cache: pathological sweeps (thousands of
+// distinct shapes, or pairwise alltoall at thousands of ranks) stop
+// inserting rather than grow without limit; per-world replay still works.
+var stepCacheBytes atomic.Int64
+
+const (
+	stepCacheMaxSteps = 512
+	stepCacheMaxBytes = 128 << 20
+)
+
+// loadSharedSteps returns the process-wide compiled step list for key.
+func loadSharedSteps(key stepKey) ([]collStep, bool) {
+	v, ok := stepCache.Load(key)
+	if !ok {
+		return nil, false
+	}
+	return v.([]collStep), true
+}
+
+// storeSharedSteps publishes a freshly compiled step list, within budget.
+// It reports whether the caller's slice became the shared entry.
+func storeSharedSteps(key stepKey, steps []collStep) bool {
+	n := len(steps)
+	if n > stepCacheMaxSteps {
+		return false
+	}
+	bytes := int64(n) * int64(96) // ~unsafe.Sizeof(collStep{})
+	if stepCacheBytes.Add(bytes) > stepCacheMaxBytes {
+		stepCacheBytes.Add(-bytes)
+		return false
+	}
+	if _, raced := stepCache.LoadOrStore(key, steps[:n:n]); raced {
+		// A parallel world published this key first: refund the budget and
+		// keep our copy private, or the accounting fills with phantom
+		// bytes and sharing eventually shuts off process-wide.
+		stepCacheBytes.Add(-bytes)
+		return false
+	}
+	return true
+}
+
+// buildSched compiles a one-off schedule through the normal pool
+// lifecycle.
+func (c *Comm) buildSched(dt DType, op Op, build func(*collSched) error) (*collSched, error) {
+	s := c.getSched()
+	s.dt, s.op = dt, op
+	if err := build(s); err != nil {
+		s.finish()
+		return nil, err
+	}
+	return s, nil
+}
+
+// compileCachedSched is the miss path of the replay-cache protocol shared
+// by every cacheable collective start (the caller has already tried
+// replaySched and owns the key's single cache slot): borrow the
+// process-wide compiled steps if another world published them, else build
+// and publish, retaining the schedule for this world's replays either way.
+func (c *Comm) compileCachedSched(key replayKey, skey stepKey, dt DType, op Op, build func(*collSched) error) (*collSched, error) {
+	if steps, ok := loadSharedSteps(skey); ok {
+		s := c.getSched()
+		s.dt, s.op = dt, op
+		s.steps = steps
+		s.shared = true
+		c.retainSched(key, s)
+		return s, nil
+	}
+	s, err := c.buildSched(dt, op, build)
+	if err != nil {
+		return nil, err
+	}
+	c.retainSched(key, s)
+	if s.cached && storeSharedSteps(skey, s.steps) {
+		s.shared = true
+	}
+	return s, nil
+}
+
+// schedPool recycles schedule objects (with their step-array capacity)
+// across worlds. Sweeps and benchmarks build thousands of short-lived
+// worlds; without it, every world pays the full step-array allocation bill
+// again, and the replay cache makes that bill per-rank. Only the event
+// engine feeds it (its teardown point sees every rank's pools at once).
+var schedPool sync.Pool
+
+// getPooledSched draws a scrubbed schedule from the cross-world pool.
+func getPooledSched() *collSched {
+	if v := schedPool.Get(); v != nil {
+		return v.(*collSched)
+	}
+	return nil
+}
+
+// harvestScheds scrubs and returns a finished rank's schedules (its
+// freelist and its replay cache) to the cross-world pool.
+func (p *Proc) harvestScheds() {
+	for _, s := range p.schedFree {
+		scrubSched(s)
+		schedPool.Put(s)
+	}
+	p.schedFree = nil
+	for _, ent := range p.replay {
+		scrubSched(ent.s)
+		schedPool.Put(ent.s)
+	}
+	p.replay = nil
+}
+
+// scrubSched strips a schedule of everything world-specific so it can be
+// reused by any future world: buffer references, pricing, its communicator.
+func scrubSched(s *collSched) {
+	if s.shared {
+		// Borrowed from the stepCache: drop the reference; the array must
+		// never be appended to or scrubbed.
+		s.steps = nil
+		s.shared = false
+	} else {
+		for i := range s.steps {
+			s.steps[i].dst, s.steps[i].src = nil, nil
+		}
+		s.steps = s.steps[:0]
+	}
+	s.bufs = s.bufs[:0]
+	s.ints = s.ints[:0]
+	s.c = nil
+	s.prices = s.prices[:0]
+	s.cached, s.inUse = false, false
+	s.pending, s.pendingSet = nil, false
+	s.phase = 0
+	s.owner = nil
+}
+
+// retainSched enters a freshly built schedule into the replay cache when
+// its step list is self-contained (no staging buffers, no offset slices).
+func (c *Comm) retainSched(key replayKey, s *collSched) {
+	if len(s.bufs) != 0 || len(s.ints) != 0 {
+		return
+	}
+	s.cached = true
+	s.inUse = true
+	posts := 0
+	for i := range s.steps {
+		switch s.steps[i].op {
+		case opPost, opSend, opExchange:
+			posts++
+		}
+	}
+	if cap(s.prices) >= posts {
+		s.prices = s.prices[:posts]
+		for i := range s.prices {
+			s.prices[i] = stepPrice{}
+		}
+	} else {
+		s.prices = make([]stepPrice, posts)
+	}
+	// The schedule was just built and is about to be driven for the first
+	// time; its price cursor starts at the first post.
+	s.postIdx = 0
+	c.proc.replay = append(c.proc.replay, replayEntry{key: key, s: s})
+}

@@ -78,18 +78,37 @@ func (r *envRing) removeAt(i int) {
 }
 
 // srcQueues holds one context's pending messages indexed by sender rank.
+// Small worlds use a dense per-source array (one load per lookup); huge
+// worlds index through a map instead, because a dense array per mailbox
+// costs O(size^2) aggregate memory while a rank's working set of senders
+// is only O(log size) for collective traffic.
 type srcQueues struct {
 	bySrc []envRing
+	byMap map[int32]*envRing
 }
+
+// denseSrcMax bounds the worlds whose mailboxes use the dense per-source
+// index.
+const denseSrcMax = 2048
 
 // mailbox is the per-rank message store with tag matching.
 type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	seq  uint64
+	// owner is the receiving rank's Proc, bound for the duration of an
+	// event-engine run (nil otherwise). It routes deliver's wakeup through
+	// the event loop instead of the condvar; noLock mirrors it so the
+	// mutex elision check is one load on the hot path (everything in an
+	// event-engine world happens on the one goroutine running the loop).
+	owner  *Proc
+	noLock bool
 	// waiting marks the owner rank as parked in match/peek; deliver only
 	// pays for Signal when somebody is actually listening.
 	waiting bool
+	// size is the world size: every bucket index allocates its by-source
+	// queues at full size immediately, so the hot ring() path never grows.
+	size int
 	// ctxs indexes pending messages by communicator context id. It grows
 	// with the highest context ever used and is not reclaimed: contexts in
 	// this runtime are few and long-lived (CommWorld plus the occasional
@@ -103,13 +122,27 @@ type mailbox struct {
 	pay     scratchArena
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
+func newMailbox(size int) *mailbox {
+	mb := &mailbox{size: size}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
-// ring returns the (ctx, src) bucket, growing the index as needed.
+// lock/unlock guard the mailbox under the goroutine engine and compile to
+// a branch under the single-threaded event engine.
+func (mb *mailbox) lock() {
+	if !mb.noLock {
+		mb.mu.Lock()
+	}
+}
+
+func (mb *mailbox) unlock() {
+	if !mb.noLock {
+		mb.mu.Unlock()
+	}
+}
+
+// ring returns the (ctx, src) bucket, growing the context index as needed.
 func (mb *mailbox) ring(ctx, src int) *envRing {
 	for len(mb.ctxs) <= ctx {
 		mb.ctxs = append(mb.ctxs, nil)
@@ -117,12 +150,41 @@ func (mb *mailbox) ring(ctx, src int) *envRing {
 	q := mb.ctxs[ctx]
 	if q == nil {
 		q = &srcQueues{}
+		if mb.size <= denseSrcMax {
+			q.bySrc = make([]envRing, mb.size)
+		} else {
+			q.byMap = make(map[int32]*envRing, 16)
+		}
 		mb.ctxs[ctx] = q
 	}
-	for len(q.bySrc) <= src {
-		q.bySrc = append(q.bySrc, envRing{})
+	if q.bySrc != nil {
+		return &q.bySrc[src]
 	}
-	return &q.bySrc[src]
+	r := q.byMap[int32(src)]
+	if r == nil {
+		r = &envRing{}
+		q.byMap[int32(src)] = r
+	}
+	return r
+}
+
+// srcBucketEmpty reports whether nothing from src is pending in gdst's
+// mailbox for ctx — the FIFO-safety condition of the event engine's
+// cut-through delivery to a runnable rank.
+func (l *eventLoop) srcBucketEmpty(gdst, ctx, src int) bool {
+	mb := l.w.mailboxes[gdst]
+	if ctx >= len(mb.ctxs) {
+		return true
+	}
+	q := mb.ctxs[ctx]
+	if q == nil {
+		return true
+	}
+	if q.bySrc != nil {
+		return q.bySrc[src].size == 0
+	}
+	r := q.byMap[int32(src)]
+	return r == nil || r.size == 0
 }
 
 // deliver queues a message. When data is non-nil the payload is staged into
@@ -135,12 +197,15 @@ func (mb *mailbox) ring(ctx, src int) *envRing {
 func (mb *mailbox) deliver(src, tag, ctx, size int, data []byte, arrival, wire, recvOver vtime.Micros, rdv *rendezvous) {
 	var payload []byte
 	if data != nil {
-		mb.mu.Lock()
+		mb.lock()
 		payload = mb.pay.getRaw(size) // fully overwritten by the copy below
-		mb.mu.Unlock()
+		mb.unlock()
 		copy(payload, data[:size])
 	}
-	mb.mu.Lock()
+	if DebugCounters != nil {
+		DebugCounters[1]++
+	}
+	mb.lock()
 	e := mb.getEnvelope()
 	e.src, e.tag, e.ctx, e.size = src, tag, ctx, size
 	e.seq = mb.seq
@@ -154,7 +219,14 @@ func (mb *mailbox) deliver(src, tag, ctx, size int, data []byte, arrival, wire, 
 	mb.seq++
 	mb.ring(ctx, src).push(e)
 	wake := mb.waiting
-	mb.mu.Unlock()
+	mb.unlock()
+	if o := mb.owner; o != nil && o.ev != nil {
+		// Event engine: a delivery is the wake event for a rank blocked on
+		// this mailbox (receive, probe, or a replayed schedule's recv step)
+		// — unless its wait filter says the message cannot unblock it.
+		o.ev.loop.wakeFor(o, ctx, src, tag)
+		return
+	}
 	// Each rank is single-threaded, so a mailbox never has more than one
 	// waiter (its owner rank): Signal suffices, and only when it is parked.
 	if wake {
@@ -167,8 +239,8 @@ func (mb *mailbox) deliver(src, tag, ctx, size int, data []byte, arrival, wire, 
 // collective engine and Request.Test poll with. A previously consumed
 // envelope is recycled under the lock even when nothing matches.
 func (mb *mailbox) tryMatch(src, tag, ctx int, recycle *envelope) *envelope {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
+	mb.lock()
+	defer mb.unlock()
 	if recycle != nil {
 		mb.pay.put(recycle.data)
 		recycle.data = nil
@@ -182,12 +254,22 @@ func (mb *mailbox) tryMatch(src, tag, ctx int, recycle *envelope) *envelope {
 // single-threaded ranks gives MPI's non-overtaking guarantee. A previously
 // consumed envelope may be passed in for recycling under the same lock.
 func (mb *mailbox) match(src, tag, ctx int, recycle *envelope) *envelope {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
+	mb.lock()
+	defer mb.unlock()
 	if recycle != nil {
 		mb.pay.put(recycle.data)
 		recycle.data = nil
 		mb.envFree = append(mb.envFree, recycle)
+	}
+	if o := mb.owner; o != nil && o.ev != nil {
+		// Event engine: park the rank's coroutine; the next delivery that
+		// can satisfy the match wakes it.
+		for {
+			if e := mb.take(src, tag, ctx); e != nil {
+				return e
+			}
+			o.parkFor(ctx, src, tag)
+		}
 	}
 	yielded := false
 	for {
@@ -214,11 +296,15 @@ func (mb *mailbox) match(src, tag, ctx int, recycle *envelope) *envelope {
 // peek blocks until a message matching (src, tag, ctx) is queued and
 // returns it without removing it.
 func (mb *mailbox) peek(src, tag, ctx int) *envelope {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
+	mb.lock()
+	defer mb.unlock()
 	for {
 		if _, ring, i := mb.find(src, tag, ctx); ring != nil {
 			return ring.at(i)
+		}
+		if o := mb.owner; o != nil && o.ev != nil {
+			o.parkFor(ctx, src, tag)
+			continue
 		}
 		mb.waiting = true
 		mb.cond.Wait()
@@ -228,6 +314,30 @@ func (mb *mailbox) peek(src, tag, ctx int) *envelope {
 
 // take removes and returns the earliest-delivered match, or nil.
 func (mb *mailbox) take(src, tag, ctx int) *envelope {
+	// Fast path: an exact-source receive whose bucket head matches, the
+	// shape of essentially all collective traffic (per-(source, tag) FIFO
+	// means the expected message is at the head once it has arrived).
+	if src != AnySource && ctx < len(mb.ctxs) {
+		if q := mb.ctxs[ctx]; q != nil && q.bySrc != nil && src < len(q.bySrc) {
+			ring := &q.bySrc[src]
+			if ring.size > 0 {
+				if e := ring.buf[ring.head]; tagMatches(tag, e.tag) {
+					ring.buf[ring.head] = nil
+					ring.head = (ring.head + 1) & (len(ring.buf) - 1)
+					ring.size--
+					return e
+				}
+			}
+			// Head mismatch: scan this bucket the slow way.
+			for i := 0; i < ring.size; i++ {
+				if e := ring.at(i); tagMatches(tag, e.tag) {
+					ring.removeAt(i)
+					return e
+				}
+			}
+			return nil
+		}
+	}
 	e, ring, i := mb.find(src, tag, ctx)
 	if ring != nil {
 		ring.removeAt(i)
@@ -256,10 +366,15 @@ func (mb *mailbox) find(src, tag, ctx int) (*envelope, *envRing, int) {
 	}
 	q := mb.ctxs[ctx]
 	if src != AnySource {
-		if src >= len(q.bySrc) {
+		var ring *envRing
+		if q.bySrc != nil {
+			if src >= len(q.bySrc) {
+				return nil, nil, 0
+			}
+			ring = &q.bySrc[src]
+		} else if ring = q.byMap[int32(src)]; ring == nil {
 			return nil, nil, 0
 		}
-		ring := &q.bySrc[src]
 		for i := 0; i < ring.size; i++ {
 			if e := ring.at(i); tagMatches(tag, e.tag) {
 				return e, ring, i
@@ -272,8 +387,9 @@ func (mb *mailbox) find(src, tag, ctx int) (*envelope, *envRing, int) {
 		bestRing *envRing
 		bestIdx  int
 	)
-	for s := range q.bySrc {
-		ring := &q.bySrc[s]
+	// The earliest-delivered match has the lowest seq regardless of the
+	// order buckets are visited in, so map iteration order is harmless.
+	scan := func(ring *envRing) {
 		for i := 0; i < ring.size; i++ {
 			e := ring.at(i)
 			if !tagMatches(tag, e.tag) {
@@ -283,6 +399,15 @@ func (mb *mailbox) find(src, tag, ctx int) (*envelope, *envRing, int) {
 				best, bestRing, bestIdx = e, ring, i
 			}
 			break // a bucket's first match is its earliest
+		}
+	}
+	if q.bySrc != nil {
+		for s := range q.bySrc {
+			scan(&q.bySrc[s])
+		}
+	} else {
+		for _, ring := range q.byMap {
+			scan(ring)
 		}
 	}
 	return best, bestRing, bestIdx

@@ -39,6 +39,10 @@ type Config struct {
 	Placement *topology.Placement
 	// Model prices every event (required).
 	Model *netmodel.Model
+	// Engine selects the execution substrate (see Engine). The zero value
+	// is EngineGoroutine; EngineEvent requires a timing-only world
+	// (CarryData false).
+	Engine Engine
 	// PyMode applies the Python-binding penalty model (THREAD_MULTIPLE
 	// locking and shared-memory degradation) to every operation; it is set
 	// by the mpi4py layer and off for the C (OMB) baseline.
@@ -73,8 +77,82 @@ type World struct {
 	// CommWorld communicator; it is never mutated after NewWorld.
 	worldGroup []int
 
+	// Link classification is a pure function of the placement, so it is
+	// tabulated once here and shared by every rank (the per-rank caches of
+	// earlier engines cost O(size^2) aggregate memory). Small worlds get the
+	// direct size*size table; large worlds index through placement domains
+	// (node x socket), of which there are only nodes*sockets.
+	linkTab  []topology.LinkClass // size*size, nil for large worlds
+	dom      []int32              // rank -> placement domain
+	domLink  []topology.LinkClass // domCount*domCount
+	domCount int
+
 	ctxMu   sync.Mutex
 	nextCtx int
+}
+
+// linkTabMaxRanks bounds the worlds that get the direct size*size link
+// table; larger worlds use the domain-indexed table instead.
+const linkTabMaxRanks = 256
+
+// buildLinkTables tabulates the placement's link classification.
+func (w *World) buildLinkTables() {
+	place := w.cfg.Placement
+	sockets := place.Cluster().SocketsPerNode
+	w.dom = make([]int32, w.size)
+	nodes := 0
+	for r := 0; r < w.size; r++ {
+		node := place.Node(r)
+		if node+1 > nodes {
+			nodes = node + 1
+		}
+		w.dom[r] = int32(node*sockets + place.Socket(r))
+	}
+	w.domCount = nodes * sockets
+	w.domLink = make([]topology.LinkClass, w.domCount*w.domCount)
+	for a := 0; a < w.domCount; a++ {
+		for b := 0; b < w.domCount; b++ {
+			sameNode := a/sockets == b/sockets
+			var l topology.LinkClass
+			switch {
+			case place.UsesGPU() && sameNode:
+				l = topology.LinkGPUSameNode
+			case place.UsesGPU():
+				l = topology.LinkGPUInterNode
+			case !sameNode:
+				l = topology.LinkInterNode
+			case a == b:
+				l = topology.LinkSameSocket
+			default:
+				l = topology.LinkSameNode
+			}
+			w.domLink[a*w.domCount+b] = l
+		}
+	}
+	if w.size <= linkTabMaxRanks {
+		w.linkTab = make([]topology.LinkClass, w.size*w.size)
+		for a := 0; a < w.size; a++ {
+			for b := 0; b < w.size; b++ {
+				if a == b {
+					w.linkTab[a*w.size+b] = topology.LinkSelf
+					continue
+				}
+				w.linkTab[a*w.size+b] = w.domLink[int(w.dom[a])*w.domCount+int(w.dom[b])]
+			}
+		}
+	}
+}
+
+// link classifies the path between two world ranks through the shared
+// tables; it agrees with Placement.Link everywhere.
+func (w *World) link(a, b int) topology.LinkClass {
+	if w.linkTab != nil {
+		return w.linkTab[a*w.size+b]
+	}
+	if a == b {
+		return topology.LinkSelf
+	}
+	return w.domLink[int(w.dom[a])*w.domCount+int(w.dom[b])]
 }
 
 // NewWorld validates cfg and builds a world.
@@ -103,15 +181,19 @@ func NewWorld(cfg Config) (*World, error) {
 		}
 		forced[coll] = canon
 	}
+	if cfg.Engine == EngineEvent && cfg.CarryData {
+		return nil, fmt.Errorf("mpi: the event engine runs timing-only worlds; set CarryData false or use EngineGoroutine")
+	}
 	size := cfg.Placement.Size()
 	w := &World{
 		cfg: cfg, size: size, fullSub: cfg.Placement.FullySubscribed(),
 		policy:  Policy{Tuning: cfg.Tuning.withDefaults(), Forced: forced, defaulted: true},
 		nextCtx: 1,
 	}
+	w.buildLinkTables()
 	w.mailboxes = make([]*mailbox, size)
 	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox()
+		w.mailboxes[i] = newMailbox(size)
 	}
 	w.worldGroup = make([]int, size)
 	for i := range w.worldGroup {
@@ -156,10 +238,17 @@ func (e *RankError) Error() string { return fmt.Sprintf("mpi: rank %d: %v", e.Ra
 // Unwrap exposes the underlying error.
 func (e *RankError) Unwrap() error { return e.Err }
 
-// Run spawns one goroutine per rank, executes body in each, and waits for
-// all of them. The first error (by rank order) is returned; a panicking rank
-// is converted into an error carrying its stack.
+// Run executes body once per rank on the world's configured engine and
+// waits for all ranks. The first error (by rank order) is returned; a
+// panicking rank is converted into an error carrying its stack.
+//
+// Under EngineGoroutine every rank is a goroutine; under EngineEvent the
+// whole world runs as a discrete-event simulation on the calling goroutine
+// (see event.go), with bit-identical virtual-time results.
 func (w *World) Run(body func(p *Proc) error) error {
+	if w.cfg.Engine == EngineEvent {
+		return w.runEvent(body)
+	}
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	wg.Add(w.size)
@@ -185,15 +274,25 @@ func (w *World) Run(body func(p *Proc) error) error {
 }
 
 // Proc is the per-rank handle: it owns the rank's virtual clock and is only
-// ever used from that rank's goroutine.
+// ever used from that rank's goroutine (or, under the event engine, from
+// the one goroutine running the whole world).
 type Proc struct {
 	world *World
 	rank  int
 	clock vtime.Clock
+	// ev is the rank's event-engine state; nil under the goroutine engine.
+	// Every blocking primitive branches on it: instead of parking the OS
+	// thread it suspends the rank's coroutine (or hands its compiled
+	// schedule to the event loop) until a message wakes it.
+	ev *eventRank
 	// linkBusy tracks, per destination world rank, when this rank's wire
 	// to that peer frees up; back-to-back eager sends serialize on it.
-	// Lazily sized to the world on the first eager send.
-	linkBusy []vtime.Micros
+	// Lazily sized to the world on the first eager send in small worlds;
+	// huge worlds (where a dense vector per rank would cost O(size^2)
+	// aggregate memory) use the sparse map instead — collective traffic
+	// touches only O(log size) peers per rank.
+	linkBusy       []vtime.Micros
+	linkBusySparse map[int32]vtime.Micros
 	// comm0 is the rank's cached world communicator.
 	comm0 *Comm
 	// spent is the last consumed envelope, recycled into this rank's
@@ -207,17 +306,46 @@ type Proc struct {
 	reqFree      []*Request
 	schedFree    []*collSched
 	activeScheds []*collSched
+	// replay caches compiled collective schedules for the event engine's
+	// buffer-free replays (see eventsched.go). A rank holds only a handful
+	// of shapes at a time, so a linearly scanned slice beats a map.
+	replay []replayEntry
 	// arena recycles the collectives' staging buffers.
 	arena scratchArena
 	// sched memoises the collectives' communication schedules.
 	sched schedCache
-	// links caches the link classification per peer (-1 = not yet asked);
 	// costMemo caches the priced message per link class for the last size,
 	// exploiting that benchmark loops price the same (link, size) pair on
-	// every iteration. Both are pure-function caches: they cannot change a
-	// single virtual-time number.
-	links    []topology.LinkClass
+	// every iteration. A pure-function cache: it cannot change a single
+	// virtual-time number.
 	costMemo [8]ptptMemo
+}
+
+// linkBusyDenseMax bounds the worlds whose ranks track wire business in a
+// dense per-destination vector.
+const linkBusyDenseMax = 2048
+
+// linkBusyUntil returns when this rank's wire to dst frees up.
+func (p *Proc) linkBusyUntil(dst int) vtime.Micros {
+	if p.linkBusy != nil {
+		return p.linkBusy[dst]
+	}
+	return p.linkBusySparse[int32(dst)]
+}
+
+// holdLink marks this rank's wire to dst busy until t.
+func (p *Proc) holdLink(dst int, t vtime.Micros) {
+	if p.world.size <= linkBusyDenseMax {
+		if p.linkBusy == nil {
+			p.linkBusy = make([]vtime.Micros, p.world.size)
+		}
+		p.linkBusy[dst] = t
+		return
+	}
+	if p.linkBusySparse == nil {
+		p.linkBusySparse = make(map[int32]vtime.Micros, 16)
+	}
+	p.linkBusySparse[int32(dst)] = t
 }
 
 // ptptMemo is one (size -> cost) slot of the per-link-class price cache.
@@ -227,18 +355,10 @@ type ptptMemo struct {
 	cost  netmodel.PtPtCost
 }
 
-// linkTo classifies (and caches) the path from this rank to a peer.
+// linkTo classifies the path from this rank to a peer through the world's
+// shared link table.
 func (p *Proc) linkTo(peer int) topology.LinkClass {
-	if p.links == nil {
-		p.links = make([]topology.LinkClass, p.world.size)
-		for i := range p.links {
-			p.links[i] = -1
-		}
-	}
-	if p.links[peer] < 0 {
-		p.links[peer] = p.world.cfg.Placement.Link(p.rank, peer)
-	}
-	return p.links[peer]
+	return p.world.link(p.rank, peer)
 }
 
 // priceTo classifies the link to peer and prices an n-byte message on it,
@@ -295,4 +415,5 @@ func (p *Proc) fullSub() bool { return p.world.fullSub }
 func (p *Proc) ResetClock() {
 	p.clock.Set(0)
 	clear(p.linkBusy)
+	clear(p.linkBusySparse)
 }

@@ -178,6 +178,9 @@ func (r *Request) Test() (bool, Status, error) {
 		if !done && err == nil {
 			return false, Status{}, nil
 		}
+		if err != nil {
+			s.drainPending()
+		}
 		s.finish()
 		r.sched = nil
 		r.complete(Status{}, err)
@@ -189,13 +192,12 @@ func (r *Request) Test() (bool, Status, error) {
 		r.complete(st, err)
 	default:
 		if r.sent && r.ps != nil {
-			select {
-			case done := <-r.ps.done:
-				r.comm.proc.clock.AdvanceTo(done)
-				r.comm.proc.putRendezvous(r.ps)
-			default:
+			done, ok := r.ps.tryDone()
+			if !ok {
 				return false, Status{}, nil
 			}
+			r.comm.proc.clock.AdvanceTo(done)
+			r.comm.proc.putRendezvous(r.ps)
 		}
 		r.complete(Status{}, nil)
 	}
@@ -226,11 +228,13 @@ func Waitall(reqs []*Request) error {
 func Waitany(reqs []*Request) (int, Status, error) {
 	for {
 		active := false
+		var proc *Proc
 		for i, r := range reqs {
 			if r == nil || r.pooled {
 				continue
 			}
 			active = true
+			proc = r.comm.proc
 			if done, st, err := r.Test(); done {
 				return i, st, err
 			}
@@ -239,8 +243,14 @@ func Waitany(reqs []*Request) (int, Status, error) {
 			return -1, Status{}, nil
 		}
 		// Nothing completed this pass: hand the CPU to peer ranks before
-		// polling again.
-		runtime.Gosched()
+		// polling again. Under the event engine the rank parks instead;
+		// any delivery into its mailbox or rendezvous completion wakes it
+		// for the next poll.
+		if proc.ev != nil {
+			proc.park()
+		} else {
+			runtime.Gosched()
+		}
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/netmodel"
+	"repro/internal/topology"
 	"repro/internal/vtime"
 )
 
@@ -37,10 +39,35 @@ type Status struct {
 // what keeps symmetric exchanges (Sendrecv, recursive doubling) live.
 // Handshakes (and their channels) are recycled through the sending rank's
 // freelist; a nil *rendezvous is the completed-at-post eager send handle.
+//
+// Under the event engine the completion report skips the channel: the
+// receiver writes (val, ready) directly and wakes the owning rank through
+// the event loop — everything is single-threaded there, and the channel
+// round trip is measurable on the rendezvous fast path.
 type rendezvous struct {
 	senderReady vtime.Micros      // sender clock when the RTS was posted
 	payload     []byte            // staged payload (nil in timing-only worlds)
 	done        chan vtime.Micros // receiver -> sender: transfer completion
+	owner       *Proc             // the sending rank
+	val         vtime.Micros      // event engine: completion instant
+	ready       bool              // event engine: val is set
+}
+
+// tryDone non-blockingly polls the transfer's completion report.
+func (r *rendezvous) tryDone() (vtime.Micros, bool) {
+	if r.owner.ev != nil {
+		if !r.ready {
+			return 0, false
+		}
+		r.ready = false
+		return r.val, true
+	}
+	select {
+	case d := <-r.done:
+		return d, true
+	default:
+		return 0, false
+	}
 }
 
 // postSend injects a message toward communicator rank dst and returns a
@@ -49,10 +76,18 @@ type rendezvous struct {
 // mailbox's buffer pool at post time (or only sized, in timing-only
 // worlds), so the caller may reuse data immediately.
 func (c *Comm) postSend(dst, tag int, data []byte, size int) *rendezvous {
+	gdst := c.group[dst]
+	link, cost := c.proc.priceTo(gdst, size)
+	return c.postSendPriced(gdst, tag, data, size, link, cost)
+}
+
+// postSendPriced is postSend with the destination already resolved to a
+// world rank and the message already priced — the replayed-schedule fast
+// path, whose steps cache both (the price of a fixed (link, size) pair is
+// a constant of the world).
+func (c *Comm) postSendPriced(gdst, tag int, data []byte, size int, link topology.LinkClass, cost *netmodel.PtPtCost) *rendezvous {
 	p := c.proc
 	w := p.world
-	gdst := c.group[dst]
-	link, cost := p.priceTo(gdst, size)
 	if p.pyMode() {
 		internal := tag > MaxUserTag
 		p.clock.Advance(w.cfg.Model.PyOpLock(link, size, internal, p.fullSub()))
@@ -76,20 +111,46 @@ func (c *Comm) postSend(dst, tag int, data []byte, size int) *rendezvous {
 	if cost.Eager {
 		// Injection waits for the wire to this peer to free; the message
 		// then occupies it for its transmit time.
-		if p.linkBusy == nil {
-			p.linkBusy = make([]vtime.Micros, w.size)
+		start := vtime.Max(p.clock.Now(), p.linkBusyUntil(gdst))
+		p.holdLink(gdst, start+cost.Transmit)
+		if l := p.evLoop(); l != nil {
+			if l.deliverDirect(gdst, c.rank, p.rank, tag, c.ctx, size,
+				carried, start+cost.Wire, 0, cost.RecvOverhead, nil) {
+				return nil
+			}
+			if l.pullForward(gdst) && l.deliverDirect(gdst, c.rank, p.rank, tag, c.ctx, size,
+				carried, start+cost.Wire, 0, cost.RecvOverhead, nil) {
+				return nil
+			}
 		}
-		start := vtime.Max(p.clock.Now(), p.linkBusy[gdst])
-		p.linkBusy[gdst] = start + cost.Transmit
 		w.mailboxes[gdst].deliver(c.rank, tag, c.ctx, size, carried,
 			start+cost.Wire, 0, cost.RecvOverhead, nil)
 		return nil
 	}
 	rdv := p.getRendezvous()
 	rdv.senderReady = p.clock.Now()
+	if l := p.evLoop(); l != nil {
+		if l.deliverDirect(gdst, c.rank, p.rank, tag, c.ctx, size,
+			carried, 0, cost.Wire, cost.RecvOverhead, rdv) {
+			return rdv
+		}
+		if l.pullForward(gdst) && l.deliverDirect(gdst, c.rank, p.rank, tag, c.ctx, size,
+			carried, 0, cost.Wire, cost.RecvOverhead, rdv) {
+			return rdv
+		}
+	}
 	w.mailboxes[gdst].deliver(c.rank, tag, c.ctx, size, carried,
 		0, cost.Wire, cost.RecvOverhead, rdv)
 	return rdv
+}
+
+// evLoop returns the event loop driving this rank, nil under the
+// goroutine engine.
+func (p *Proc) evLoop() *eventLoop {
+	if p.ev == nil {
+		return nil
+	}
+	return p.ev.loop
 }
 
 // completeSend blocks until the rendezvous transfer finishes and advances
@@ -99,13 +160,17 @@ func (c *Comm) completeSend(rdv *rendezvous) {
 		return
 	}
 	var done vtime.Micros
-	select {
-	case done = <-rdv.done:
-	default:
-		// The receiver has not reported yet; hand it the CPU once before
-		// parking on the channel (see mailbox.match).
-		runtime.Gosched()
-		done = <-rdv.done
+	if c.proc.ev != nil {
+		done = c.completeSendEvent(rdv)
+	} else {
+		select {
+		case done = <-rdv.done:
+		default:
+			// The receiver has not reported yet; hand it the CPU once before
+			// parking on the channel (see mailbox.match).
+			runtime.Gosched()
+			done = <-rdv.done
+		}
 	}
 	c.proc.clock.AdvanceTo(done)
 	// The receiver has read payload and senderReady before reporting done,
@@ -161,7 +226,14 @@ func (c *Comm) finishRecv(e *envelope, buf []byte, max int) (Status, error) {
 		done := vtime.Max(e.rdv.senderReady, p.clock.Now()) + e.wire
 		p.clock.AdvanceTo(done)
 		payload = e.rdv.payload
-		e.rdv.done <- done
+		if o := e.rdv.owner; o.ev != nil {
+			if !o.ev.loop.drainDirect(o, e.rdv, done) {
+				e.rdv.val, e.rdv.ready = done, true
+				o.ev.loop.wakeRdv(o)
+			}
+		} else {
+			e.rdv.done <- done
+		}
 	}
 	p.clock.Advance(e.recvOver)
 	if w.cfg.Trace != nil {

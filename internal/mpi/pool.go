@@ -30,7 +30,9 @@ func payloadClass(n int) int {
 
 // getRendezvous draws a handshake from the rank's freelist. The completion
 // channel is reused across transfers: each cycle sends and receives exactly
-// one value, so a recycled channel is always empty.
+// one value, so a recycled channel is always empty. Event-engine ranks skip
+// the channel entirely: completion is reported through (val, ready) plus a
+// loop wake, so no channel is ever allocated for them.
 func (p *Proc) getRendezvous() *rendezvous {
 	if n := len(p.rdvFree); n > 0 {
 		r := p.rdvFree[n-1]
@@ -38,7 +40,11 @@ func (p *Proc) getRendezvous() *rendezvous {
 		p.rdvFree = p.rdvFree[:n-1]
 		return r
 	}
-	return &rendezvous{done: make(chan vtime.Micros, 1)}
+	r := &rendezvous{owner: p}
+	if p.ev == nil {
+		r.done = make(chan vtime.Micros, 1)
+	}
+	return r
 }
 
 // putRendezvous recycles a drained handshake. Only the sender calls this
@@ -46,5 +52,6 @@ func (p *Proc) getRendezvous() *rendezvous {
 // payload pointer and senderReady.
 func (p *Proc) putRendezvous(r *rendezvous) {
 	r.payload = nil
+	r.ready = false
 	p.rdvFree = append(p.rdvFree, r)
 }

@@ -96,10 +96,15 @@ func (c *Comm) bruckSchedule(p int) []collective.BruckStep {
 }
 
 // blockBoundsFor returns the cached aligned block partition of n bytes.
+// The bounds are consumed at schedule-build time only (their values are
+// baked into the compiled steps), so a replaced partition goes back to the
+// rank's arena instead of the garbage collector — message-size sweeps
+// cycle through partitions once per size.
 func (c *Comm) blockBoundsFor(n, parts, align int) []int {
 	sc := &c.proc.sched
 	if sc.bounds == nil || sc.boundsN != n || sc.boundsParts != parts || sc.boundsAlign != align {
-		sc.bounds = blockBounds(n, parts, align)
+		c.proc.arena.putInts(sc.bounds)
+		sc.bounds = blockBoundsInto(c.proc.arena.getInts(parts+1), n, parts, align)
 		sc.boundsN, sc.boundsParts, sc.boundsAlign = n, parts, align
 	}
 	return sc.bounds

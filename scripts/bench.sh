@@ -4,10 +4,17 @@
 #   scripts/bench.sh [output.json] [micro-benchtime] [largeworld-benchtime]
 #
 # Defaults: BENCH.json, 2s for the internal/mpi micro-benchmarks, 10x for
-# the 256-rank large-world benchmark. CI's smoke job passes 1x 1x so the
-# suite runs once and the JSON artifact is uploaded without burning
-# minutes; BENCH_PR*.json files committed to the repo are generated with
-# the defaults and carry the pre-change baseline alongside.
+# the 256-rank large-world and the 1024/4096-rank huge-world benchmarks.
+# CI's smoke job passes 1x 1x so the suite runs once and the JSON artifact
+# is uploaded without burning minutes; BENCH_PR*.json files committed to
+# the repo are generated with the defaults and carry the pre-change
+# baseline alongside.
+#
+# The large-world benchmark runs under BOTH execution engines (goroutine
+# and event); the JSON carries their ratio as engine_speedup_large_world,
+# the before/after delta of the PR 4 event executor. The huge-world rows
+# are event-engine only: the goroutine engine cannot reach those rank
+# counts in reasonable wall-clock time.
 set -euo pipefail
 
 out="${1:-BENCH.json}"
@@ -19,7 +26,7 @@ cd "$(dirname "$0")/.."
 micro=$(go test ./internal/mpi -run '^$' \
 	-bench 'BenchmarkEagerSendRecv|BenchmarkRendezvousExchange|BenchmarkAllreduce64|BenchmarkIallreduceOverlap' \
 	-benchmem -benchtime="$micro_time" -count=1)
-large=$(go test . -run '^$' -bench 'BenchmarkEngineLargeWorld' \
+large=$(go test . -run '^$' -bench 'BenchmarkEngineLargeWorld|BenchmarkEngineHugeWorld' \
 	-benchmem -benchtime="$large_time" -count=1)
 
 printf '%s\n%s\n' "$micro" "$large" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
@@ -32,12 +39,15 @@ printf '%s\n%s\n' "$micro" "$large" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ
 	sub(/^Benchmark/, "", name)
 	rows[n++] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
 		name, $2, $3, $5, $7)
+	ns[name] = $3
 }
 END {
 	printf "{\n"
 	printf "  \"generated\": \"%s\",\n", date
 	printf "  \"go\": \"%s/%s\",\n", goos, goarch
 	printf "  \"cpu\": \"%s\",\n", cpu
+	if (("EngineLargeWorld/goroutine" in ns) && ("EngineLargeWorld/event" in ns))
+		printf "  \"engine_speedup_large_world\": %.2f,\n", ns["EngineLargeWorld/goroutine"] / ns["EngineLargeWorld/event"]
 	printf "  \"benchmarks\": [\n"
 	for (i = 0; i < n; i++)
 		printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")

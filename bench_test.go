@@ -305,20 +305,44 @@ func BenchmarkFig33PickleBandwidthLarge(b *testing.B) {
 
 // --- Tables II & III ---
 
-// BenchmarkTable2 runs every supported benchmark once (the inventory).
+// BenchmarkTable2 runs every registered benchmark once (the inventory),
+// driven from the registry metadata: each spec supplies its minimum rank
+// count and supported modes.
 func BenchmarkTable2AllBenchmarks(b *testing.B) {
 	for _, bench := range core.Benchmarks() {
+		spec, err := core.LookupBenchmark(string(bench))
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.Run(string(bench), func(b *testing.B) {
-			ranks := 2
-			if bench.Kind() != core.KindPtPt {
-				ranks = 4
-			}
+			ranks, mode := spec.InventoryConfig()
 			for i := 0; i < b.N; i++ {
 				runOrFatal(b, core.Options{
-					Benchmark: bench, Mode: core.ModePy, Buffer: pybuf.NumPy,
+					Benchmark: bench, Mode: mode, Buffer: pybuf.NumPy,
 					Ranks: ranks, PPN: 2, MinSize: 8, MaxSize: 1024,
 				})
 			}
+		})
+	}
+}
+
+// BenchmarkMultiPairMessageRate runs the registry-registered mbw_mr family
+// at the placements BENCH_PR5.json records (16x1 sparse, 63x7 folded) and
+// reports the aggregate message rate at 8 bytes as a custom metric.
+func BenchmarkMultiPairMessageRate(b *testing.B) {
+	for _, shape := range [][2]int{{16, 1}, {63, 7}} {
+		ranks, ppn := shape[0], shape[1]
+		b.Run(fmt.Sprintf("%dx%d", ranks, ppn), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				s := runOrFatal(b, core.Options{
+					Benchmark: core.MultiBWMR, Mode: core.ModeC,
+					Ranks: ranks, PPN: ppn, TimingOnly: true,
+					MinSize: 8, MaxSize: 8,
+				})
+				rate = s.Rows[0].MsgRate
+			}
+			b.ReportMetric(rate, "msgs/s")
 		})
 	}
 }

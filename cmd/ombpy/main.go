@@ -12,6 +12,7 @@
 //	ombpy -bench allgather -ranks 16 -algorithm ring
 //	ombpy -bench allreduce -ranks 16 -algorithm all -parallel 4
 //	ombpy -bench iallreduce -mode c -ranks 16      # overlap benchmark
+//	ombpy -bench mbw_mr -ranks 16 -pairs 4         # multi-pair message rate
 //	ombpy -algorithm list
 //	ombpy -list
 package main
@@ -46,6 +47,7 @@ func main() {
 		iters   = flag.Int("iters", 100, "timed iterations per size")
 		warmup  = flag.Int("warmup", 10, "warm-up iterations per size")
 		window  = flag.Int("window", 64, "window size for bandwidth tests")
+		pairs   = flag.Int("pairs", 0, "pair count for the multi-pair benchmarks (0 = ranks/2)")
 		timing  = flag.Bool("timing-only", false, "skip payloads (huge-scale runs)")
 		engine  = flag.String("engine", "auto", "execution engine: auto (event for timing-only runs), goroutine, event")
 		algo    = flag.String("algorithm", "", "force collective algorithms: a name for this benchmark's collective, coll=name pairs, \"all\" to sweep every algorithm, \"list\" to show the registry")
@@ -62,12 +64,7 @@ func main() {
 	}
 
 	if *list {
-		fmt.Println("point-to-point:        latency bw bibw multi_lat")
-		fmt.Println("blocking collectives:  allgather allreduce alltoall barrier bcast")
-		fmt.Println("                       gather reduce_scatter reduce scatter")
-		fmt.Println("vector collectives:    allgatherv alltoallv gatherv scatterv")
-		fmt.Println("overlap (nonblocking): iallreduce ibcast igather iallgather")
-		fmt.Println("                       ialltoall ireduce_scatter iscan  (-mode c)")
+		fmt.Print(core.DescribeBenchmarks())
 		return
 	}
 
@@ -94,6 +91,7 @@ func main() {
 		Iters:      *iters,
 		Warmup:     *warmup,
 		Window:     *window,
+		Pairs:      *pairs,
 		TimingOnly: *timing,
 		Engine:     *engine,
 	}
@@ -119,7 +117,7 @@ func main() {
 	}
 	if *plot {
 		metric := "latency(us)"
-		if b == core.Bandwidth || b == core.BiBandwidth {
+		if cols := b.Columns(); cols == core.ColumnsBandwidth || cols == core.ColumnsMessageRate {
 			metric = "bandwidth(MB/s)"
 		}
 		ch := stats.Chart{

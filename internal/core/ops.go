@@ -84,20 +84,6 @@ func (o *ops) setup(size, sendFactor, recvFactor int) error {
 	return nil
 }
 
-// buffersFor returns the (sendFactor, recvFactor) of a benchmark on p ranks.
-func buffersFor(b Benchmark, p int) (int, int) {
-	switch b {
-	case Gather, Gatherv, Allgather, Allgatherv, IGather, IAllgather:
-		return 1, p
-	case Scatter, Scatterv, ReduceScatter, IReduceScatter:
-		return p, 1
-	case Alltoall, Alltoallv, IAlltoall:
-		return p, p
-	default:
-		return 1, 1
-	}
-}
-
 // teardown frees GPU allocations between sizes.
 func (o *ops) teardown() {
 	for _, b := range []pybuf.Buffer{o.sbuf, o.rbuf} {
@@ -158,6 +144,34 @@ func (o *ops) recv(src, tag int) error {
 			return db.Free()
 		}
 		return nil
+	}
+}
+
+// exchange is the bidirectional transfer of the bibw test.
+func (o *ops) exchange(peer int) error {
+	switch o.opts.Mode {
+	case ModeC:
+		if o.opts.TimingOnly {
+			_, err := o.c.SendrecvN(nil, o.n, peer, 4, nil, o.n, peer, 4)
+			return err
+		}
+		_, err := o.c.Sendrecv(o.sraw, peer, 4, o.rraw[:o.n], peer, 4)
+		return err
+	case ModePy:
+		if o.opts.TimingOnly {
+			if err := o.py.SendSpec(o.spec(), peer, 4); err != nil {
+				return err
+			}
+			_, err := o.py.RecvSpec(o.spec(), peer, 4)
+			return err
+		}
+		_, err := o.py.Sendrecv(o.sbuf, peer, 4, o.rbuf, peer, 4)
+		return err
+	default:
+		if err := o.send(peer, 4); err != nil {
+			return err
+		}
+		return o.recv(peer, 4)
 	}
 }
 

@@ -1,17 +1,20 @@
 // Package core implements the OMB-Py benchmark suite itself: the paper's
-// primary contribution. It provides every benchmark of the paper's Table II
-// -- point-to-point latency, bandwidth, bi-directional bandwidth and
-// multi-pair latency; the nine blocking collectives; and the four vector
-// variants -- each runnable in three modes: C (the OMB baseline calling the
-// native runtime directly), Py (OMB-Py through the mpi4py binding layer
-// with a chosen buffer library), and Pickle (OMB-Py through the
-// serializing object API). Timing is virtual and deterministic; reported
-// numbers depend only on the calibrated cost models.
+// primary contribution. Workloads are self-describing entries in an open
+// registry (see registry.go): the built-in set covers every benchmark of
+// the paper's Table II -- point-to-point latency, bandwidth, bi-directional
+// bandwidth and multi-pair latency; the nine blocking collectives; and the
+// four vector variants -- plus the nonblocking overlap family and the
+// multi-pair bandwidth / message-rate family, and new workloads are a
+// RegisterBenchmark call away. Each benchmark is runnable in three modes:
+// C (the OMB baseline calling the native runtime directly), Py (OMB-Py
+// through the mpi4py binding layer with a chosen buffer library), and
+// Pickle (OMB-Py through the serializing object API). Timing is virtual
+// and deterministic; reported numbers depend only on the calibrated cost
+// models.
 package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/mpi"
@@ -62,101 +65,6 @@ func ParseMode(s string) (Mode, error) {
 	}
 }
 
-// Benchmark identifies a test of the paper's Table II.
-type Benchmark string
-
-// The supported benchmarks.
-const (
-	Latency      Benchmark = "latency"
-	Bandwidth    Benchmark = "bw"
-	BiBandwidth  Benchmark = "bibw"
-	MultiLatency Benchmark = "multi_lat"
-
-	Allgather     Benchmark = "allgather"
-	Allreduce     Benchmark = "allreduce"
-	Alltoall      Benchmark = "alltoall"
-	Barrier       Benchmark = "barrier"
-	Bcast         Benchmark = "bcast"
-	Gather        Benchmark = "gather"
-	ReduceScatter Benchmark = "reduce_scatter"
-	Reduce        Benchmark = "reduce"
-	Scatter       Benchmark = "scatter"
-
-	Allgatherv Benchmark = "allgatherv"
-	Alltoallv  Benchmark = "alltoallv"
-	Gatherv    Benchmark = "gatherv"
-	Scatterv   Benchmark = "scatterv"
-
-	// Overlap benchmarks (osu_iallreduce style, beyond the paper's first
-	// release): post the nonblocking collective, inject calibrated virtual
-	// compute, Wait, and report pure-communication time, total time and
-	// the communication/computation overlap percentage.
-	IAllreduce     Benchmark = "iallreduce"
-	IBcast         Benchmark = "ibcast"
-	IGather        Benchmark = "igather"
-	IAllgather     Benchmark = "iallgather"
-	IAlltoall      Benchmark = "ialltoall"
-	IReduceScatter Benchmark = "ireduce_scatter"
-	IScan          Benchmark = "iscan"
-)
-
-// Benchmarks lists every supported benchmark, grouped as in Table II.
-func Benchmarks() []Benchmark {
-	return []Benchmark{
-		Latency, Bandwidth, BiBandwidth, MultiLatency,
-		Allgather, Allreduce, Alltoall, Barrier, Bcast, Gather,
-		ReduceScatter, Reduce, Scatter,
-		Allgatherv, Alltoallv, Gatherv, Scatterv,
-		IAllreduce, IBcast, IGather, IAllgather, IAlltoall,
-		IReduceScatter, IScan,
-	}
-}
-
-// Kind classifies a benchmark for option validation and reporting.
-type Kind int
-
-// Benchmark kinds.
-const (
-	KindPtPt Kind = iota
-	KindCollective
-	KindVector
-	// KindOverlap marks the nonblocking-collective overlap benchmarks.
-	KindOverlap
-)
-
-// Kind returns the benchmark's class.
-func (b Benchmark) Kind() Kind {
-	switch b {
-	case Latency, Bandwidth, BiBandwidth, MultiLatency:
-		return KindPtPt
-	case Allgatherv, Alltoallv, Gatherv, Scatterv:
-		return KindVector
-	case IAllreduce, IBcast, IGather, IAllgather, IAlltoall, IReduceScatter, IScan:
-		return KindOverlap
-	default:
-		return KindCollective
-	}
-}
-
-// ParseBenchmark resolves a benchmark by name.
-func ParseBenchmark(s string) (Benchmark, error) {
-	for _, b := range Benchmarks() {
-		if string(b) == strings.ToLower(s) {
-			return b, nil
-		}
-	}
-	return "", fmt.Errorf("core: unknown benchmark %q (have %s)", s, benchNames())
-}
-
-func benchNames() string {
-	names := make([]string, 0, len(Benchmarks()))
-	for _, b := range Benchmarks() {
-		names = append(names, string(b))
-	}
-	sort.Strings(names)
-	return strings.Join(names, ", ")
-}
-
 // Options configures one benchmark run. Zero values take OMB-style
 // defaults via withDefaults.
 type Options struct {
@@ -181,6 +89,10 @@ type Options struct {
 	LargeIters, LargeWarmup int
 	// Window is the bandwidth-test window size.
 	Window int
+	// Pairs is the sender/receiver pair count of the multi-pair benchmarks
+	// (mbw_mr, multi_bw); 0 means Ranks/2, the OSU default. Benchmarks
+	// outside the multi-pair family ignore it.
+	Pairs int
 	// TimingOnly runs without payloads (huge-scale experiments).
 	TimingOnly bool
 	// Engine selects the runtime execution engine: "auto" (the default;
@@ -220,8 +132,9 @@ func SetDefaultEngine(name string) { defaultEngine = name }
 
 // engine resolves the options' engine choice. "auto" picks the
 // discrete-event engine exactly when the run is timing-only: the event
-// engine does not carry payloads, and the goroutine engine is the
-// validated substrate for data-carrying correctness runs.
+// engine's payload path is not yet pinned by the data-carrying
+// correctness suite, and the goroutine engine is the validated substrate
+// for data-carrying runs.
 func (o Options) engine() (mpi.Engine, error) {
 	name := o.Engine
 	if name == "" {
@@ -238,7 +151,9 @@ func (o Options) engine() (mpi.Engine, error) {
 		return 0, fmt.Errorf("core: unknown engine %q (have auto, goroutine, event)", name)
 	}
 	if eng == mpi.EngineEvent && !o.TimingOnly {
-		return 0, fmt.Errorf("core: the event engine needs a timing-only run (pass -timing-only)")
+		return 0, fmt.Errorf("core: -engine=%s needs a timing-only run: the event engine's "+
+			"payload path is not yet pinned by the data-carrying correctness suite (see "+
+			"ROADMAP.md); pass -timing-only, or use -engine=goroutine for data-carrying runs", name)
 	}
 	return eng, nil
 }
@@ -306,26 +221,13 @@ func (o Options) mpiAlgorithms() (map[mpi.Collective]string, error) {
 	return out, nil
 }
 
-// Collective returns the runtime collective whose algorithm registry the
-// benchmark exercises, if it has selectable algorithms.
-func (b Benchmark) Collective() (mpi.Collective, bool) {
-	switch b {
-	case Bcast, IBcast:
-		return mpi.CollBcast, true
-	case Allreduce, IAllreduce:
-		return mpi.CollAllreduce, true
-	case Allgather, IAllgather:
-		return mpi.CollAllgather, true
-	case Alltoall, IAlltoall:
-		return mpi.CollAlltoall, true
-	case ReduceScatter, IReduceScatter:
-		return mpi.CollReduceScatter, true
-	}
-	return "", false
-}
-
-// withDefaults fills OMB-style defaults and normalises sizes.
+// withDefaults fills OMB-style defaults and normalises sizes. The
+// benchmark name is canonicalised through the registry so aliases behave
+// exactly like the canonical spelling everywhere downstream.
 func (o Options) withDefaults() Options {
+	if spec, err := LookupBenchmark(string(o.Benchmark)); err == nil {
+		o.Benchmark = spec.Name
+	}
 	if o.Cluster == "" {
 		o.Cluster = topology.Frontera.Name
 	}
@@ -374,38 +276,30 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// reduces reports whether the benchmark applies a reduction operator.
-func (b Benchmark) reduces() bool {
-	switch b {
-	case Allreduce, Reduce, ReduceScatter, IAllreduce, IReduceScatter, IScan:
-		return true
-	}
-	return false
-}
-
-// validate rejects inconsistent configurations.
+// validate rejects inconsistent configurations. Every benchmark-specific
+// rule comes from the registry spec: supported modes and engines, minimum
+// rank counts, and the spec's own Validate hook.
 func (o Options) validate() error {
 	if o.Benchmark == "" {
 		return fmt.Errorf("core: Options.Benchmark is required")
 	}
-	if _, err := ParseBenchmark(string(o.Benchmark)); err != nil {
+	spec, err := LookupBenchmark(string(o.Benchmark))
+	if err != nil {
 		return err
 	}
-	switch o.Benchmark {
-	case Latency, Bandwidth, BiBandwidth:
-		if o.Ranks != 2 {
-			return fmt.Errorf("core: %s needs exactly 2 ranks, got %d", o.Benchmark, o.Ranks)
-		}
-	case MultiLatency:
-		if o.Ranks%2 != 0 {
-			return fmt.Errorf("core: %s needs an even rank count, got %d", o.Benchmark, o.Ranks)
+	if spec.MinRanks > 0 && o.Ranks < spec.MinRanks {
+		return fmt.Errorf("core: %s needs at least %d ranks, got %d", spec.Name, spec.MinRanks, o.Ranks)
+	}
+	if !spec.SupportsMode(o.Mode) {
+		return fmt.Errorf("core: %s runs in modes %s only, not %s", spec.Name, spec.modeNames(), o.Mode)
+	}
+	if spec.Validate != nil {
+		if err := spec.Validate(o); err != nil {
+			return err
 		}
 	}
-	if o.Mode == ModePickle && o.Benchmark.Kind() != KindPtPt && o.Benchmark != Allreduce && o.Benchmark != Bcast {
-		return fmt.Errorf("core: pickle mode supports latency, bw, bibw, multi_lat, bcast and allreduce, not %s", o.Benchmark)
-	}
-	if o.Benchmark.Kind() == KindOverlap && o.Mode != ModeC {
-		return fmt.Errorf("core: overlap benchmark %s runs in C mode only (the binding layer has no nonblocking API)", o.Benchmark)
+	if o.Pairs < 0 {
+		return fmt.Errorf("core: Pairs %d must not be negative", o.Pairs)
 	}
 	if o.UseGPU && o.Mode != ModeC && !o.Buffer.OnGPU() {
 		return fmt.Errorf("core: GPU runs need a GPU buffer library, got %v", o.Buffer)
@@ -424,8 +318,12 @@ func (o Options) validate() error {
 			return fmt.Errorf("core: Sizes must be strictly increasing (%d after %d)", s, o.Sizes[i-1])
 		}
 	}
-	if _, err := o.engine(); err != nil {
+	eng, err := o.engine()
+	if err != nil {
 		return err
+	}
+	if !spec.supportsEngine(eng) {
+		return fmt.Errorf("core: %s does not run on the %s engine", spec.Name, eng)
 	}
 	if _, err := o.mpiAlgorithms(); err != nil {
 		return err

@@ -27,6 +27,8 @@ type rowJSON struct {
 	MinUs float64 `json:"min_us"`
 	MaxUs float64 `json:"max_us"`
 	MBps  float64 `json:"mbps,omitempty"`
+	// Multi-pair message-rate column (omitted elsewhere).
+	MsgRate float64 `json:"msg_rate,omitempty"`
 	// Overlap-benchmark columns (omitted elsewhere).
 	CommUs     float64 `json:"comm_us,omitempty"`
 	ComputeUs  float64 `json:"compute_us,omitempty"`
@@ -50,7 +52,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 	for _, row := range r.Series.Rows {
 		out.Rows = append(out.Rows, rowJSON{
 			Size: row.Size, AvgUs: row.AvgUs, MinUs: row.MinUs,
-			MaxUs: row.MaxUs, MBps: row.MBps,
+			MaxUs: row.MaxUs, MBps: row.MBps, MsgRate: row.MsgRate,
 			CommUs: row.CommUs, ComputeUs: row.ComputeUs, OverlapPct: row.OverlapPct,
 		})
 	}
@@ -62,22 +64,25 @@ func (r *Report) Text() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "# %s (%s) on %s, %d ranks x (ppn %d)\n",
 		r.Options.Benchmark, r.Series.Name, r.Options.Cluster, r.Options.Ranks, r.Options.PPN)
-	bw := r.Options.Benchmark == Bandwidth || r.Options.Benchmark == BiBandwidth
-	overlap := r.Options.Benchmark.Kind() == KindOverlap
-	switch {
-	case bw:
+	cols := r.Options.Benchmark.Columns()
+	switch cols {
+	case ColumnsBandwidth:
 		fmt.Fprintf(&sb, "%-12s %14s\n", "# Size(B)", "Bandwidth(MB/s)")
-	case overlap:
+	case ColumnsMessageRate:
+		fmt.Fprintf(&sb, "%-12s %14s %16s\n", "# Size(B)", "MB/s", "Messages/s")
+	case ColumnsOverlap:
 		fmt.Fprintf(&sb, "%-12s %12s %12s %12s %12s\n",
 			"# Size(B)", "Comm(us)", "Compute(us)", "Total(us)", "Overlap(%)")
 	default:
 		fmt.Fprintf(&sb, "%-12s %12s %12s %12s\n", "# Size(B)", "Avg(us)", "Min(us)", "Max(us)")
 	}
 	for _, row := range r.Series.Rows {
-		switch {
-		case bw:
+		switch cols {
+		case ColumnsBandwidth:
 			fmt.Fprintf(&sb, "%-12d %14.2f\n", row.Size, row.MBps)
-		case overlap:
+		case ColumnsMessageRate:
+			fmt.Fprintf(&sb, "%-12d %14.2f %16.2f\n", row.Size, row.MBps, row.MsgRate)
+		case ColumnsOverlap:
 			fmt.Fprintf(&sb, "%-12s %12.2f %12.2f %12.2f %12.2f\n",
 				stats.HumanBytes(row.Size), row.CommUs, row.ComputeUs, row.AvgUs, row.OverlapPct)
 		default:

@@ -2,14 +2,12 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sync"
 
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
 	"repro/internal/stats"
 	"repro/internal/topology"
-	"repro/internal/vtime"
 )
 
 // Report is the outcome of one benchmark run.
@@ -20,11 +18,15 @@ type Report struct {
 
 // Run executes one benchmark configuration and returns its per-size series.
 // The run is deterministic: identical options yield identical numbers.
+// The workload itself comes from the benchmark registry: the loop sizes the
+// buffers from the spec's scaling, isolates each size, and calls the spec's
+// body — there is no per-benchmark dispatch here.
 func Run(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	spec := opts.Benchmark.spec() // non-nil: validate resolved the name
 	cluster, err := topology.ByName(opts.Cluster)
 	if err != nil {
 		return nil, err
@@ -62,8 +64,8 @@ func Run(opts Options) (*Report, error) {
 	if len(opts.Sizes) > 0 {
 		sizes = append([]int(nil), opts.Sizes...)
 	}
-	if opts.Benchmark == Barrier {
-		sizes = []int{0}
+	if len(spec.FixedSizes) > 0 {
+		sizes = append([]int(nil), spec.FixedSizes...)
 	}
 	report := &Report{Options: opts}
 	var mu sync.Mutex // guards report.Series (rank 0 appends per size)
@@ -76,7 +78,7 @@ func Run(opts Options) (*Report, error) {
 		}
 		defer o.teardown()
 		for _, size := range sizes {
-			sf, rf := buffersFor(opts.Benchmark, c.Size())
+			sf, rf := spec.buffers(c.Size())
 			if err := o.setup(size, sf, rf); err != nil {
 				return err
 			}
@@ -89,7 +91,8 @@ func Run(opts Options) (*Report, error) {
 				return err
 			}
 			p.ResetClock()
-			row, err := runSize(opts, o, size)
+			iters, warmup := iterCounts(opts, size)
+			row, err := spec.Body(&Bench{opts: opts, o: o, size: size, iters: iters, warmup: warmup})
 			if err != nil {
 				return fmt.Errorf("size %d: %w", size, err)
 			}
@@ -123,298 +126,6 @@ func iterCounts(o Options, size int) (iters, warmup int) {
 		return o.LargeIters, o.LargeWarmup
 	}
 	return o.Iters, o.Warmup
-}
-
-// runSize runs the configured benchmark body for one message size and
-// returns rank 0's aggregated row (other ranks return a zero row).
-func runSize(opts Options, o *ops, size int) (stats.Row, error) {
-	iters, warmup := iterCounts(opts, size)
-	switch opts.Benchmark {
-	case Latency:
-		return runLatency(o, size, iters, warmup)
-	case Bandwidth:
-		return runBandwidth(o, size, iters, warmup, opts.Window)
-	case BiBandwidth:
-		return runBiBandwidth(o, size, iters, warmup, opts.Window)
-	case MultiLatency:
-		return runMultiLatency(o, size, iters, warmup)
-	default:
-		if opts.Benchmark.Kind() == KindOverlap {
-			return runOverlap(o, opts.Benchmark, size, iters, warmup)
-		}
-		return runCollective(o, opts.Benchmark, size, iters, warmup)
-	}
-}
-
-// runLatency is the ping-pong of the paper's Algorithm 1: rank 0 sends and
-// waits for the echo; rank 1 echoes. One-way latency is the averaged
-// round-trip halved.
-func runLatency(o *ops, size, iters, warmup int) (stats.Row, error) {
-	c := o.c
-	if err := o.barrier(); err != nil {
-		return stats.Row{}, err
-	}
-	var start vtime.Micros
-	for i := 0; i < warmup+iters; i++ {
-		if i == warmup {
-			start = c.Proc().Wtime()
-		}
-		if c.Rank() == 0 {
-			if err := o.send(1, 1); err != nil {
-				return stats.Row{}, err
-			}
-			if err := o.recv(1, 1); err != nil {
-				return stats.Row{}, err
-			}
-		} else {
-			if err := o.recv(0, 1); err != nil {
-				return stats.Row{}, err
-			}
-			if err := o.send(0, 1); err != nil {
-				return stats.Row{}, err
-			}
-		}
-	}
-	lat := float64(c.Proc().Wtime()-start) / float64(2*iters)
-	return reduceRow(c, size, lat, 0)
-}
-
-// runBandwidth: rank 0 streams a window of messages, rank 1 acknowledges
-// the window with a 4-byte message, as osu_bw does.
-func runBandwidth(o *ops, size, iters, warmup, window int) (stats.Row, error) {
-	c := o.c
-	if err := o.barrier(); err != nil {
-		return stats.Row{}, err
-	}
-	var start vtime.Micros
-	for i := 0; i < warmup+iters; i++ {
-		if i == warmup {
-			start = c.Proc().Wtime()
-		}
-		if c.Rank() == 0 {
-			for w := 0; w < window; w++ {
-				if err := o.send(1, 2); err != nil {
-					return stats.Row{}, err
-				}
-			}
-			if err := o.ackRecv(1); err != nil {
-				return stats.Row{}, err
-			}
-		} else {
-			for w := 0; w < window; w++ {
-				if err := o.recv(0, 2); err != nil {
-					return stats.Row{}, err
-				}
-			}
-			if err := o.ackSend(0); err != nil {
-				return stats.Row{}, err
-			}
-		}
-	}
-	elapsed := float64(c.Proc().Wtime() - start) // us
-	mbps := float64(size*window*iters) / elapsed
-	row, err := reduceRow(c, size, elapsed/float64(iters), mbps)
-	return row, err
-}
-
-// runBiBandwidth exchanges windows in both directions simultaneously.
-func runBiBandwidth(o *ops, size, iters, warmup, window int) (stats.Row, error) {
-	c := o.c
-	peer := 1 - c.Rank()
-	if err := o.barrier(); err != nil {
-		return stats.Row{}, err
-	}
-	var start vtime.Micros
-	for i := 0; i < warmup+iters; i++ {
-		if i == warmup {
-			start = c.Proc().Wtime()
-		}
-		for w := 0; w < window; w++ {
-			if err := o.exchange(peer); err != nil {
-				return stats.Row{}, err
-			}
-		}
-		if c.Rank() == 0 {
-			if err := o.ackRecv(1); err != nil {
-				return stats.Row{}, err
-			}
-		} else if err := o.ackSend(0); err != nil {
-			return stats.Row{}, err
-		}
-	}
-	elapsed := float64(c.Proc().Wtime() - start)
-	mbps := float64(2*size*window*iters) / elapsed
-	return reduceRow(c, size, elapsed/float64(iters), mbps)
-}
-
-// runMultiLatency: ranks pair up (r, r+p/2) and ping-pong concurrently; the
-// reported latency is averaged over pairs, as osu_multi_lat does.
-func runMultiLatency(o *ops, size, iters, warmup int) (stats.Row, error) {
-	c := o.c
-	p := c.Size()
-	half := p / 2
-	var peer int
-	sender := c.Rank() < half
-	if sender {
-		peer = c.Rank() + half
-	} else {
-		peer = c.Rank() - half
-	}
-	if err := o.barrier(); err != nil {
-		return stats.Row{}, err
-	}
-	var start vtime.Micros
-	for i := 0; i < warmup+iters; i++ {
-		if i == warmup {
-			start = c.Proc().Wtime()
-		}
-		if sender {
-			if err := o.send(peer, 3); err != nil {
-				return stats.Row{}, err
-			}
-			if err := o.recv(peer, 3); err != nil {
-				return stats.Row{}, err
-			}
-		} else {
-			if err := o.recv(peer, 3); err != nil {
-				return stats.Row{}, err
-			}
-			if err := o.send(peer, 3); err != nil {
-				return stats.Row{}, err
-			}
-		}
-	}
-	lat := float64(c.Proc().Wtime()-start) / float64(2*iters)
-	return reduceRow(c, size, lat, 0)
-}
-
-// runCollective times the operation per iteration and averages, then
-// reduces avg/min/max across ranks, following the OMB collective pipeline
-// the paper describes in Section III-C.
-func runCollective(o *ops, b Benchmark, size, iters, warmup int) (stats.Row, error) {
-	c := o.c
-	if err := o.barrier(); err != nil {
-		return stats.Row{}, err
-	}
-	var elapsed vtime.Micros
-	for i := 0; i < warmup+iters; i++ {
-		t0 := c.Proc().Wtime()
-		if err := o.collective(b); err != nil {
-			return stats.Row{}, err
-		}
-		if i >= warmup {
-			elapsed += c.Proc().Wtime() - t0
-		}
-	}
-	lat := float64(elapsed) / float64(iters)
-	return reduceRow(c, size, lat, 0)
-}
-
-// runOverlap is the osu_iallreduce-style overlap benchmark. Phase one
-// measures the pure post+Wait latency of the nonblocking collective. Phase
-// two calibrates a per-rank virtual compute block to that latency (OSU's
-// dummy_compute calibration) and times post → compute → Wait. The row
-// reports the total time (avg/min/max across ranks), the pure-communication
-// and compute times, and the overlap percentage
-//
-//	overlap% = 100 * (1 - (t_total - t_compute) / t_pure)
-//
-// clamped to [0, 100]: 100 means the compute fully hid the communication,
-// 0 means they serialized. Everything is virtual time, so the numbers are
-// deterministic across runs and under parallel sweeps.
-func runOverlap(o *ops, b Benchmark, size, iters, warmup int) (stats.Row, error) {
-	c := o.c
-	p := c.Proc()
-	if err := o.barrier(); err != nil {
-		return stats.Row{}, err
-	}
-	// Phase 1: pure communication.
-	var start vtime.Micros
-	for i := 0; i < warmup+iters; i++ {
-		if i == warmup {
-			start = p.Wtime()
-		}
-		req, err := o.icollective(b)
-		if err != nil {
-			return stats.Row{}, err
-		}
-		if _, err := req.Wait(); err != nil {
-			return stats.Row{}, err
-		}
-	}
-	pureUs := float64(p.Wtime()-start) / float64(iters)
-	// Per-rank calibrated compute block: the rank's own mean pure latency.
-	computeBlock := vtime.Micros(pureUs)
-	// Phase 2: post, inject compute, Wait.
-	if err := o.barrier(); err != nil {
-		return stats.Row{}, err
-	}
-	for i := 0; i < warmup+iters; i++ {
-		if i == warmup {
-			start = p.Wtime()
-		}
-		req, err := o.icollective(b)
-		if err != nil {
-			return stats.Row{}, err
-		}
-		o.compute(computeBlock)
-		if _, err := req.Wait(); err != nil {
-			return stats.Row{}, err
-		}
-	}
-	totalUs := float64(p.Wtime()-start) / float64(iters)
-	computeUs := float64(computeBlock)
-	overlap := 0.0
-	if pureUs > 0 {
-		overlap = 100 * (1 - (totalUs-computeUs)/pureUs)
-		overlap = math.Max(0, math.Min(100, overlap))
-	}
-	row, err := reduceRow(c, size, totalUs, 0)
-	if err != nil {
-		return stats.Row{}, err
-	}
-	// Second aggregation round: rank averages of the pure-communication
-	// time, the injected compute and the overlap percentage.
-	sums := make([]byte, 24)
-	self := mpi.EncodeFloat64s([]float64{pureUs, computeUs, overlap})
-	if err := c.Reduce(self, sums, mpi.Float64, mpi.OpSum, 0); err != nil {
-		return stats.Row{}, err
-	}
-	if c.Rank() != 0 {
-		return stats.Row{}, nil
-	}
-	v := mpi.DecodeFloat64s(sums)
-	np := float64(c.Size())
-	row.CommUs, row.ComputeUs, row.OverlapPct = v[0]/np, v[1]/np, v[2]/np
-	return row, nil
-}
-
-// exchange is the bidirectional transfer of the bibw test.
-func (o *ops) exchange(peer int) error {
-	switch o.opts.Mode {
-	case ModeC:
-		if o.opts.TimingOnly {
-			_, err := o.c.SendrecvN(nil, o.n, peer, 4, nil, o.n, peer, 4)
-			return err
-		}
-		_, err := o.c.Sendrecv(o.sraw, peer, 4, o.rraw[:o.n], peer, 4)
-		return err
-	case ModePy:
-		if o.opts.TimingOnly {
-			if err := o.py.SendSpec(o.spec(), peer, 4); err != nil {
-				return err
-			}
-			_, err := o.py.RecvSpec(o.spec(), peer, 4)
-			return err
-		}
-		_, err := o.py.Sendrecv(o.sbuf, peer, 4, o.rbuf, peer, 4)
-		return err
-	default:
-		if err := o.send(peer, 4); err != nil {
-			return err
-		}
-		return o.recv(peer, 4)
-	}
 }
 
 // fuseRowReduce selects the single-message row aggregation; the test that

@@ -91,6 +91,88 @@ func invokeCollective(c *Comm, coll Collective, n int) error {
 	}
 }
 
+// runSubCommParity runs a workload over Dup'd and Split sub-communicators
+// on the given engine and captures every rank's final virtual clock: a
+// world-comm barrier, collectives on a full duplicate, collectives on
+// interleaved color groups (odd world sizes give non-power-of-two halves),
+// and a closing barrier on the duplicate so cross-group skew feeds back
+// into every clock.
+func runSubCommParity(t *testing.T, engine Engine, ranks, ppn int) []vtime.Micros {
+	t.Helper()
+	place, err := topology.NewPlacement(&topology.Frontera, ranks, ppn, topology.Block, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(Config{
+		Placement: place,
+		Model:     netmodel.MustNew(&topology.Frontera, netmodel.MVAPICH2),
+		CarryData: false,
+		Engine:    engine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := make([]vtime.Micros, ranks)
+	err = w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		dup, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		half, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		for _, n := range []int{1024, 16 * 1024} {
+			if err := dup.AllreduceN(nil, nil, n, Float32, OpSum); err != nil {
+				return err
+			}
+			if err := half.BcastN(nil, n, 0); err != nil {
+				return err
+			}
+			if err := half.AllreduceN(nil, nil, n, Float32, OpSum); err != nil {
+				return err
+			}
+			if err := half.AllgatherN(nil, n, nil); err != nil {
+				return err
+			}
+		}
+		if err := dup.Barrier(); err != nil {
+			return err
+		}
+		end[p.Rank()] = p.Wtime()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%v engine: %v", engine, err)
+	}
+	return end
+}
+
+// TestEngineParitySubComms pins the event engine to the goroutine engine
+// on Dup/Split sub-communicator collectives: TestEngineParity only covers
+// world-comm schedules, but the split bookkeeping (fresh contexts, group
+// rank translation, interleaved color groups) runs through separate code
+// in both engines and must agree on every rank's final virtual clock.
+func TestEngineParitySubComms(t *testing.T) {
+	for _, shape := range parityPlacements {
+		ranks, ppn := shape[0], shape[1]
+		t.Run(fmt.Sprintf("%dx%d", ranks, ppn), func(t *testing.T) {
+			want := runSubCommParity(t, EngineGoroutine, ranks, ppn)
+			got := runSubCommParity(t, EngineEvent, ranks, ppn)
+			for r := 0; r < ranks; r++ {
+				if got[r] != want[r] {
+					t.Errorf("rank %d: virtual end time diverged: goroutine %v, event %v",
+						r, want[r], got[r])
+				}
+			}
+		})
+	}
+}
+
 // TestEngineParity pins the event engine to the goroutine engine, bit for
 // bit, across the full algorithm registry.
 func TestEngineParity(t *testing.T) {

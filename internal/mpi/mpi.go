@@ -182,7 +182,10 @@ func NewWorld(cfg Config) (*World, error) {
 		forced[coll] = canon
 	}
 	if cfg.Engine == EngineEvent && cfg.CarryData {
-		return nil, fmt.Errorf("mpi: the event engine runs timing-only worlds; set CarryData false or use EngineGoroutine")
+		return nil, fmt.Errorf("mpi: Config.Engine %q requires a timing-only world: payload "+
+			"movement through the event executor is not yet pinned by the data-carrying "+
+			"correctness suite (an open ROADMAP.md item); set CarryData false, or use "+
+			"Engine %q for data-carrying runs", cfg.Engine, EngineGoroutine)
 	}
 	size := cfg.Placement.Size()
 	w := &World{

@@ -18,6 +18,10 @@ type Row struct {
 	MinUs float64
 	MaxUs float64
 	MBps  float64 // bandwidth in MB/s (bandwidth benchmarks only)
+	// MsgRate is the aggregate message rate in messages per second
+	// (multi-pair message-rate benchmarks only; omitted from JSON
+	// elsewhere so existing fixtures stay byte-stable).
+	MsgRate float64 `json:"MsgRate,omitempty"`
 	// Overlap-benchmark extras (zero for every other benchmark, and
 	// omitted from JSON then so existing fixtures stay byte-stable):
 	// pure-communication and injected-compute time per iteration, and the

@@ -15,6 +15,11 @@
 # the before/after delta of the PR 4 event executor. The huge-world rows
 # are event-engine only: the goroutine engine cannot reach those rank
 # counts in reasonable wall-clock time.
+#
+# The multi-pair rows (PR 5) run the registry-registered mbw_mr benchmark
+# at a sparse (16x1) and a folded (63x7) placement and carry the aggregate
+# message rate as msg_rate_per_sec — the perf baseline of the multi-pair
+# point-to-point family.
 set -euo pipefail
 
 out="${1:-BENCH.json}"
@@ -28,11 +33,22 @@ micro=$(go test ./internal/mpi -run '^$' \
 	-benchmem -benchtime="$micro_time" -count=1)
 large=$(go test . -run '^$' -bench 'BenchmarkEngineLargeWorld|BenchmarkEngineHugeWorld' \
 	-benchmem -benchtime="$large_time" -count=1)
+mbw=$(go test . -run '^$' -bench 'BenchmarkMultiPairMessageRate' \
+	-benchtime="$large_time" -count=1)
 
-printf '%s\n%s\n' "$micro" "$large" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+printf '%s\n%s\n%s\n' "$micro" "$large" "$mbw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
+/^BenchmarkMultiPairMessageRate/ {
+	# "BenchmarkMultiPairMessageRate/16x1-4  10  984827 ns/op  24614239 msgs/s"
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkMultiPairMessageRate\//, "", name)
+	mbwRows[m++] = sprintf("    {\"placement\": \"%s\", \"benchmark\": \"mbw_mr\", \"size\": 8, \"ns_per_op\": %s, \"msg_rate_per_sec\": %s}",
+		name, $3, $5)
+	next
+}
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -48,6 +64,12 @@ END {
 	printf "  \"cpu\": \"%s\",\n", cpu
 	if (("EngineLargeWorld/goroutine" in ns) && ("EngineLargeWorld/event" in ns))
 		printf "  \"engine_speedup_large_world\": %.2f,\n", ns["EngineLargeWorld/goroutine"] / ns["EngineLargeWorld/event"]
+	if (m > 0) {
+		printf "  \"multi_pair_message_rate\": [\n"
+		for (i = 0; i < m; i++)
+			printf "%s%s\n", mbwRows[i], (i < m - 1 ? "," : "")
+		printf "  ],\n"
+	}
 	printf "  \"benchmarks\": [\n"
 	for (i = 0; i < n; i++)
 		printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")

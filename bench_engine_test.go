@@ -37,26 +37,78 @@ func BenchmarkEngineLargeWorld(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineHugeWorld is the scale the event engine unlocks: 1024- and
-// 4096-rank timing-only allreduce sweeps that the goroutine engine cannot
-// run in reasonable wall-clock time. Ranks oversubscribe Frontera's 16
-// nodes, matching the fully-subscribed pricing of the paper's largest runs.
+// hugeWorldOptions is the huge-world sweep configuration: a timing-only
+// allreduce sweep with ranks oversubscribing Frontera's 16 nodes, matching
+// the fully-subscribed pricing of the paper's largest runs.
+func hugeWorldOptions(ranks int, noFold bool) core.Options {
+	return core.Options{
+		Benchmark: core.Allreduce, Mode: core.ModeC,
+		Ranks: ranks, PPN: ranks / 16, TimingOnly: true, Engine: "event",
+		NoFold:  noFold,
+		MinSize: 16 * 1024, MaxSize: 64 * 1024,
+		Iters: 10, Warmup: 2, LargeIters: 5, LargeWarmup: 1,
+	}
+}
+
+// BenchmarkEngineHugeWorld is the scale the event engine unlocks:
+// 1024- to 65536-rank timing-only allreduce sweeps that the goroutine
+// engine cannot run in reasonable wall-clock time. The 16Ki and 64Ki rows
+// are the symmetry-folding scale targets; their wall-clock is dominated by
+// per-rank schedule bookkeeping (see README "Scaling limits").
 func BenchmarkEngineHugeWorld(b *testing.B) {
-	for _, ranks := range []int{1024, 4096} {
+	for _, ranks := range []int{1024, 4096, 16384, 65536} {
 		b.Run(fmt.Sprint(ranks), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				_, err := core.Run(core.Options{
-					Benchmark: core.Allreduce, Mode: core.ModeC,
-					Ranks: ranks, PPN: ranks / 16, TimingOnly: true, Engine: "event",
-					MinSize: 16 * 1024, MaxSize: 64 * 1024,
-					Iters: 10, Warmup: 2, LargeIters: 5, LargeWarmup: 1,
-				})
-				if err != nil {
+				if _, err := core.Run(hugeWorldOptions(ranks, false)); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEngineHugeWorldNoFold is the same sweep with symmetry folding
+// disabled — every rank executes its schedule individually. The ratio to
+// the folded row is the fold's end-to-end speedup (fold_speedup_huge_world
+// in the bench.sh JSON). Capped at 4096 ranks: unfolded 64Ki-rank runs are
+// too slow to benchmark routinely.
+func BenchmarkEngineHugeWorldNoFold(b *testing.B) {
+	for _, ranks := range []int{1024, 4096} {
+		b.Run(fmt.Sprint(ranks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(hugeWorldOptions(ranks, true)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineFoldSmoke1024 is the CI race-smoke gate for the fold at scale:
+// one 1024-rank event sweep folded and one with folding disabled must
+// produce byte-identical series.
+func TestEngineFoldSmoke1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-rank sweep in -short mode")
+	}
+	want, err := core.Run(hugeWorldOptions(1024, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Run(hugeWorldOptions(1024, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series.Rows) != len(want.Series.Rows) {
+		t.Fatalf("row count diverged: fold-off %d, folded %d",
+			len(want.Series.Rows), len(got.Series.Rows))
+	}
+	for i, w := range want.Series.Rows {
+		if got.Series.Rows[i] != w {
+			t.Errorf("row %d diverged:\nfold-off %+v\nfolded   %+v", i, w, got.Series.Rows[i])
+		}
 	}
 }
 

@@ -50,6 +50,7 @@ func main() {
 		pairs   = flag.Int("pairs", 0, "pair count for the multi-pair benchmarks (0 = ranks/2)")
 		timing  = flag.Bool("timing-only", false, "skip payloads (huge-scale runs)")
 		engine  = flag.String("engine", "auto", "execution engine: auto (event for timing-only runs), goroutine, event")
+		fold    = flag.Bool("fold", true, "let the event engine fold symmetric ranks (false forces every rank to execute; reported numbers are identical either way)")
 		algo    = flag.String("algorithm", "", "force collective algorithms: a name for this benchmark's collective, coll=name pairs, \"all\" to sweep every algorithm, \"list\" to show the registry")
 		par     = flag.Int("parallel", 0, "worker count for the -algorithm all sweep (0 = serial)")
 		asJSON  = flag.Bool("json", false, "emit the report as JSON")
@@ -94,6 +95,7 @@ func main() {
 		Pairs:      *pairs,
 		TimingOnly: *timing,
 		Engine:     *engine,
+		NoFold:     !*fold,
 	}
 
 	if *algo == "all" {

@@ -35,6 +35,7 @@ func main() {
 		algo   = flag.String("algorithm", "", "force collective algorithms for every run, as coll=name pairs (e.g. allgather=ring,allreduce=rd)")
 		par    = flag.Int("parallel", 0, "sweep worker count for multi-variant experiments (0 = serial)")
 		engine = flag.String("engine", "auto", "execution engine for every run: auto (event for timing-only runs), goroutine, event")
+		fold   = flag.Bool("fold", true, "let the event engine fold symmetric ranks (false forces every rank to execute; reported numbers are identical either way)")
 	)
 	flag.Parse()
 	plotCharts = *plot
@@ -48,6 +49,7 @@ func main() {
 	}
 	core.SetDefaultSweepWorkers(*par)
 	core.SetDefaultEngine(*engine)
+	core.SetDefaultFold(*fold)
 
 	switch {
 	case *list:

@@ -24,11 +24,19 @@ type ops struct {
 	n          int // current message size in bytes
 	sraw, rraw []byte
 	sbuf, rbuf pybuf.Buffer
+
+	// rowBuf holds ReduceRow's encoded local row (first 24 bytes) and the
+	// reduced result (last 24). The aggregation reduce is blocking, so one
+	// scratch per rank is reused across every size instead of allocating
+	// two fresh buffers per row — at thousands of ranks the per-world
+	// aggregation traffic shows up in allocation profiles.
+	rowBuf [48]byte
 }
 
-// newOps prepares the adapter for one rank.
-func newOps(opts Options, raw *mpi.Comm) (*ops, error) {
-	o := &ops{opts: opts, c: raw}
+// newOps prepares the adapter for one rank in caller-provided storage, so
+// the run loop can slab-allocate the state for every rank at once.
+func newOps(o *ops, opts Options, raw *mpi.Comm) error {
+	*o = ops{opts: opts, c: raw}
 	if opts.UseGPU {
 		gpuIdx := raw.Proc().World().Placement().GPU(raw.WorldRank(raw.Rank()))
 		o.gpu = device.NewGPU(gpuIdx, 0)
@@ -43,11 +51,11 @@ func newOps(opts Options, raw *mpi.Comm) (*ops, error) {
 		}
 		py, err := mpi4py.Wrap(raw, wrapOpts...)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		o.py = py
 	}
-	return o, nil
+	return nil
 }
 
 // spec returns the timing-only descriptor of the current size.

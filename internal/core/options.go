@@ -100,6 +100,12 @@ type Options struct {
 	// otherwise), "goroutine", or "event" (timing-only runs only). Both
 	// engines produce bit-identical virtual-time numbers.
 	Engine string
+	// NoFold disables the event engine's symmetry folding, forcing every
+	// rank to execute individually. Folding changes no reported number —
+	// the parity suite pins bit-identical virtual times either way — so
+	// this exists for A/B measurement (the fold-speedup benchmarks) and as
+	// an escape hatch. The goroutine engine never folds; it ignores this.
+	NoFold bool
 	// Sizes, when non-empty, is the explicit message-size axis, replacing
 	// the MinSize/MaxSize power-of-two sweep — the crossover-scan
 	// experiments step linearly through the switch region. Sizes must be
@@ -129,6 +135,15 @@ var defaultEngine = "auto"
 // ("auto", "goroutine" or "event"). It is meant to be called once at CLI
 // startup, before any Run.
 func SetDefaultEngine(name string) { defaultEngine = name }
+
+// defaultNoFold is the process-wide fold default applied when
+// Options.NoFold is false; the CLIs' -fold=false flag sets it.
+var defaultNoFold bool
+
+// SetDefaultFold installs the process-wide symmetry-folding default for
+// the event engine (true = fold, the normal setting). It is meant to be
+// called once at CLI startup, before any Run.
+func SetDefaultFold(fold bool) { defaultNoFold = !fold }
 
 // engine resolves the options' engine choice. "auto" picks the
 // discrete-event engine exactly when the run is timing-only: the event
@@ -272,6 +287,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Algorithms == nil {
 		o.Algorithms = defaultAlgorithms
+	}
+	if defaultNoFold {
+		o.NoFold = true
 	}
 	return o
 }

@@ -416,5 +416,5 @@ func (b *Bench) Compute(d vtime.Micros) { b.o.compute(d) }
 // fills the bandwidth column from rank 0. It returns the filled row on
 // rank 0 and a zero row on every other rank.
 func (b *Bench) ReduceRow(localLat, mbps float64) (stats.Row, error) {
-	return reduceRow(b.o.c, b.size, localLat, mbps)
+	return reduceRow(b.o, b.size, localLat, mbps)
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/mpi"
@@ -48,13 +50,14 @@ func Run(opts Options) (*Report, error) {
 		return nil, err
 	}
 	world, err := mpi.NewWorld(mpi.Config{
-		Placement:  place,
-		Model:      model,
-		Engine:     engine,
-		PyMode:     opts.Mode != ModeC,
-		CarryData:  !opts.TimingOnly,
-		Tuning:     opts.Tuning,
-		Algorithms: algorithms,
+		Placement:   place,
+		Model:       model,
+		Engine:      engine,
+		PyMode:      opts.Mode != ModeC,
+		CarryData:   !opts.TimingOnly,
+		Tuning:      opts.Tuning,
+		Algorithms:  algorithms,
+		DisableFold: opts.NoFold,
 	})
 	if err != nil {
 		return nil, err
@@ -70,10 +73,20 @@ func Run(opts Options) (*Report, error) {
 	report := &Report{Options: opts}
 	var mu sync.Mutex // guards report.Series (rank 0 appends per size)
 
+	// Per-rank state comes from one slab: a heap-allocated ops and a fresh
+	// Bench per size add three allocations per rank per run, which at
+	// thousands of ranks is a visible slice of the sweep's allocation bill.
+	type rankState struct {
+		o ops
+		b Bench
+	}
+	states := make([]rankState, opts.Ranks)
+
 	err = world.Run(func(p *mpi.Proc) error {
 		c := p.CommWorld()
-		o, err := newOps(opts, c)
-		if err != nil {
+		st := &states[c.Rank()]
+		o := &st.o
+		if err := newOps(o, opts, c); err != nil {
 			return err
 		}
 		defer o.teardown()
@@ -92,7 +105,8 @@ func Run(opts Options) (*Report, error) {
 			}
 			p.ResetClock()
 			iters, warmup := iterCounts(opts, size)
-			row, err := spec.Body(&Bench{opts: opts, o: o, size: size, iters: iters, warmup: warmup})
+			st.b = Bench{opts: opts, o: o, size: size, iters: iters, warmup: warmup}
+			row, err := spec.Body(&st.b)
 			if err != nil {
 				return fmt.Errorf("size %d: %w", size, err)
 			}
@@ -140,12 +154,16 @@ var fuseRowReduce = true
 // where the legacy path took three. Sizes are clock-isolated (see Run), so
 // the aggregation protocol cannot affect any reported latency; the legacy
 // path is kept only for the test asserting exactly that.
-func reduceRow(c *mpi.Comm, size int, localLat, mbps float64) (stats.Row, error) {
+func reduceRow(o *ops, size int, localLat, mbps float64) (stats.Row, error) {
+	c := o.c
 	if !fuseRowReduce {
 		return reduceRowUnfused(c, size, localLat, mbps)
 	}
-	out := make([]byte, 24)
-	self := mpi.EncodeFloat64s([]float64{localLat, localLat, localLat})
+	self, out := o.rowBuf[:24], o.rowBuf[24:48]
+	bits := math.Float64bits(localLat)
+	for i := 0; i < 3; i++ {
+		binary.LittleEndian.PutUint64(self[8*i:], bits)
+	}
 	if err := c.Reduce(self, out, mpi.Float64, mpi.OpMinSumMax, 0); err != nil {
 		return stats.Row{}, err
 	}

@@ -120,6 +120,11 @@ const (
 	waitMsg
 	// waitRdv: only its posted rendezvous completing wakes it.
 	waitRdv
+	// waitFold: parked in a symmetry-fold gather (fold.go). Only the fold
+	// resolver wakes it; deliveries and rendezvous reports leave it parked
+	// (a delivery lands in its mailbox and makes the gather ineligible at
+	// resolve time instead).
+	waitFold
 )
 
 // eventStop is the sentinel panic that unwinds a rank coroutine when the
@@ -153,6 +158,11 @@ type eventRank struct {
 	sched    *collSched
 	schedErr error
 	driving  bool
+	// foldDone is set by the fold resolver before waking a gathered rank:
+	// true means its collective was simulated symbolically and is already
+	// finished; false means the gather fell back and the rank must drive
+	// its schedule normally (fold.go).
+	foldDone bool
 	// err is the body's result (or a recovered panic).
 	err error
 	set bool
@@ -186,7 +196,7 @@ func (er *eventRank) wants(ctx, src, tag int) bool {
 		return er.waitCtx == ctx &&
 			(er.waitSrc == AnySource || er.waitSrc == src) &&
 			tagMatches(er.waitTag, tag)
-	case waitRdv:
+	case waitRdv, waitFold:
 		return false
 	default:
 		return true
@@ -224,6 +234,14 @@ type eventLoop struct {
 	slots  [8]*eventRank
 	nslots int
 	done   int
+	// fold is the in-progress symmetry-fold gather: ranks that entered an
+	// eligible collective park here until every live rank has joined, then
+	// one resolve simulates the whole collective per equivalence class
+	// (fold.go). foldWake is the resolver's batch wake list, drained FIFO by
+	// take() after the handoff slots.
+	fold         foldGather
+	foldWake     []*eventRank
+	foldWakeHead int
 }
 
 // evBefore orders run-queue entries by (key, rank).
@@ -284,7 +302,7 @@ func (l *eventLoop) pop() *eventRank {
 // queued or done is a no-op.
 func (l *eventLoop) wake(p *Proc) {
 	er := p.ev
-	if er == nil || er.state != rankBlocked {
+	if er == nil || er.state != rankBlocked || er.wait == waitFold {
 		return
 	}
 	er.state = rankRunnable
@@ -314,11 +332,19 @@ func (l *eventLoop) wakeFor(p *Proc, ctx, src, tag int) {
 
 // runEvent is World.Run on the event engine.
 func (w *World) runEvent(body func(p *Proc) error) error {
+	growEventCaches(w.size)
 	l := &eventLoop{w: w, ranks: make([]*eventRank, w.size)}
 	l.heap = make([]*eventRank, 0, w.size)
+	// Procs and rank states are allocated as two slabs: at tens of
+	// thousands of ranks, two allocations instead of 2*size is a measurable
+	// slice of world-construction cost.
+	procs := make([]Proc, w.size)
+	ers := make([]eventRank, w.size)
 	for r := 0; r < w.size; r++ {
-		p := &Proc{world: w, rank: r}
-		er := &eventRank{loop: l, proc: p, state: rankRunnable}
+		p := &procs[r]
+		p.world, p.rank = w, r
+		er := &ers[r]
+		er.loop, er.proc, er.state = l, p, rankRunnable
 		p.ev = er
 		l.ranks[r] = er
 		w.mailboxes[r].owner = p
@@ -353,6 +379,10 @@ func (w *World) runEvent(body func(p *Proc) error) error {
 			mb.owner = nil
 			mb.noLock = false
 		}
+		// Harvested schedules return to the pool and their pointers may be
+		// reused by a later Run; drop shape verdicts keyed by them.
+		clear(w.foldShapes)
+		clear(w.foldNo)
 	}()
 
 	l.driveUntil(nil)
@@ -381,6 +411,16 @@ func (l *eventLoop) take() *eventRank {
 		}
 		return er
 	}
+	if l.foldWakeHead < len(l.foldWake) {
+		er := l.foldWake[l.foldWakeHead]
+		l.foldWake[l.foldWakeHead] = nil
+		l.foldWakeHead++
+		if l.foldWakeHead == len(l.foldWake) {
+			l.foldWake = l.foldWake[:0]
+			l.foldWakeHead = 0
+		}
+		return er
+	}
 	if len(l.heap) == 0 {
 		return nil
 	}
@@ -406,6 +446,13 @@ func (l *eventLoop) driveUntil(target *eventRank) {
 	for target == nil || target.sched != nil {
 		er := l.take()
 		if er == nil {
+			// Before declaring nothing runnable, release a stalled partial
+			// fold gather: its parked joiners fall back to normal execution,
+			// so folding can never introduce a deadlock that the unfolded
+			// engine would not have.
+			if l.releaseFoldStalled() {
+				continue
+			}
 			if target == nil {
 				return
 			}
@@ -470,6 +517,12 @@ func (l *eventLoop) driveUntil(target *eventRank) {
 // collective is over. The steps executed (and therefore every clock
 // advance) are identical to the blocking drive's.
 func (c *Comm) driveSchedEvent(s *collSched) error {
+	if er := c.proc.ev; er.loop.foldEligible(c, s) && er.loop.foldJoin(er, s) {
+		// The whole collective was simulated per equivalence class; this
+		// rank's clock and link state already hold the exit values and
+		// s.finish() has run.
+		return nil
+	}
 	done, err := s.tryDrive()
 	if !done && err == nil {
 		er := c.proc.ev
@@ -570,7 +623,7 @@ func (l *eventLoop) pullForward(gdst int) bool {
 // already latched in (val, ready) and will be consumed when its own
 // progress reaches the drain.
 func (l *eventLoop) wakeRdv(p *Proc) {
-	if er := p.ev; er != nil && er.state == rankBlocked && er.wait != waitMsg {
+	if er := p.ev; er != nil && er.state == rankBlocked && er.wait != waitMsg && er.wait != waitFold {
 		er.state = rankRunnable
 		er.wait = waitAny
 		if l.nslots < len(l.slots) {

@@ -97,10 +97,21 @@ var stepCache sync.Map
 // inserting rather than grow without limit; per-world replay still works.
 var stepCacheBytes atomic.Int64
 
-const (
-	stepCacheMaxSteps = 512
-	stepCacheMaxBytes = 128 << 20
-)
+const stepCacheMaxSteps = 512
+
+// stepCacheMaxBytes is the shared step-list budget. It starts sized for
+// few-thousand-rank worlds and is widened by growEventCaches when a larger
+// event world is constructed: the cache only helps when it can hold every
+// rank's compiled steps, and a 64Ki-rank sweep that overflows it pays a
+// full per-rank rebuild each run — measurably slower than the retained
+// memory is expensive. The ceiling still exists (growEventCaches clamps),
+// so pathological shape sweeps cannot grow the cache without bound.
+var stepCacheMaxBytes atomic.Int64
+
+func init() {
+	stepCacheMaxBytes.Store(128 << 20)
+	schedStore.max = 128 << 20
+}
 
 // loadSharedSteps returns the process-wide compiled step list for key.
 func loadSharedSteps(key stepKey) ([]collStep, bool) {
@@ -113,24 +124,32 @@ func loadSharedSteps(key stepKey) ([]collStep, bool) {
 
 // storeSharedSteps publishes a freshly compiled step list, within budget.
 // It reports whether the caller's slice became the shared entry.
+//
+// The order matters: reserve budget, then LoadOrStore, and refund through
+// exactly one exit path. An earlier version charged the budget and had two
+// independent refund sites; a race between them could refund the same
+// reservation twice, leaking negative bytes into the accounting until the
+// budget check stopped meaning anything.
 func storeSharedSteps(key stepKey, steps []collStep) bool {
 	n := len(steps)
 	if n > stepCacheMaxSteps {
 		return false
 	}
+	if _, exists := stepCache.Load(key); exists {
+		// Lost the publish race (or a replay raced a rebuild): nothing was
+		// reserved, nothing to refund.
+		return false
+	}
 	bytes := int64(n) * int64(96) // ~unsafe.Sizeof(collStep{})
-	if stepCacheBytes.Add(bytes) > stepCacheMaxBytes {
-		stepCacheBytes.Add(-bytes)
-		return false
+	if stepCacheBytes.Add(bytes) <= stepCacheMaxBytes.Load() {
+		if _, raced := stepCache.LoadOrStore(key, steps[:n:n]); !raced {
+			return true
+		}
+		// A parallel world published this key between the Load and here:
+		// fall through to the one refund.
 	}
-	if _, raced := stepCache.LoadOrStore(key, steps[:n:n]); raced {
-		// A parallel world published this key first: refund the budget and
-		// keep our copy private, or the accounting fills with phantom
-		// bytes and sharing eventually shuts off process-wide.
-		stepCacheBytes.Add(-bytes)
-		return false
-	}
-	return true
+	stepCacheBytes.Add(-bytes)
+	return false
 }
 
 // buildSched compiles a one-off schedule through the normal pool
@@ -152,8 +171,9 @@ func (c *Comm) buildSched(dt DType, op Op, build func(*collSched) error) (*collS
 // and publish, retaining the schedule for this world's replays either way.
 func (c *Comm) compileCachedSched(key replayKey, skey stepKey, dt DType, op Op, build func(*collSched) error) (*collSched, error) {
 	if steps, ok := loadSharedSteps(skey); ok {
-		s := c.getSched()
+		s := c.getSchedLight()
 		s.dt, s.op = dt, op
+		s.own = s.steps[:0] // park owned capacity for the borrow's duration
 		s.steps = steps
 		s.shared = true
 		c.retainSched(key, s)
@@ -170,33 +190,130 @@ func (c *Comm) compileCachedSched(key replayKey, skey stepKey, dt DType, op Op, 
 	return s, nil
 }
 
-// schedPool recycles schedule objects (with their step-array capacity)
-// across worlds. Sweeps and benchmarks build thousands of short-lived
-// worlds; without it, every world pays the full step-array allocation bill
-// again, and the replay cache makes that bill per-rank. Only the event
-// engine feeds it (its teardown point sees every rank's pools at once).
-var schedPool sync.Pool
+// schedStore recycles schedule objects (with their step- and price-array
+// capacity) across worlds. Sweeps and benchmarks build thousands of
+// short-lived worlds; without recycling, every world pays the full
+// step-array allocation bill again, and the replay cache makes that bill
+// per-rank. The store is an explicitly bounded freelist rather than a
+// sync.Pool: a huge world triggers several GC cycles per run, and a
+// sync.Pool drained that often recycles nothing between runs. The byte cap
+// bounds retained memory instead; schedules beyond it are dropped to the
+// GC. Only the event engine feeds the store (its teardown point sees every
+// rank's pools at once).
+// The store keeps two classes: light schedules own no step storage (replay
+// shells whose steps are borrowed from the stepCache) and cost ~3KB of
+// retained price capacity, while heavy schedules carry an owned step array
+// for builders. Handing a heavy schedule to a borrow parks kilobytes of
+// step capacity where they are never appended to, and handing a light one
+// to a builder regrows the step array through every doubling — so each
+// path asks for its own class and falls back to the other only when empty.
+var schedStore schedStoreState
 
-// getPooledSched draws a scrubbed schedule from the cross-world pool.
-func getPooledSched() *collSched {
-	if v := schedPool.Get(); v != nil {
-		return v.(*collSched)
+type schedStoreState struct {
+	mu    sync.Mutex
+	light []*collSched
+	heavy []*collSched
+	bytes int64
+	// max is the retention budget; see growEventCaches.
+	max int64
+}
+
+// keep scrubs s and retains it in its class, within budget. The caller
+// holds st.mu.
+func (st *schedStoreState) keep(s *collSched) {
+	scrubSched(s)
+	if fp := schedFootprint(s); st.bytes+fp <= st.max {
+		st.bytes += fp
+		if cap(s.steps) == 0 {
+			st.light = append(st.light, s)
+		} else {
+			st.heavy = append(st.heavy, s)
+		}
 	}
-	return nil
+}
+
+// schedStore.max starts sized to cover the full working set of a
+// few-thousand-rank world (each rank retains a handful of schedules at
+// ~1-6KB apiece) and is widened by growEventCaches for larger worlds.
+
+// growEventCaches widens the cross-world schedule and step-list budgets to
+// cover one world of the given rank count, clamped to a hard ceiling. The
+// budgets are ceilings, not preallocations: memory is only retained when a
+// world of that scale actually runs, and then it is exactly the working
+// set the next run of the same sweep wants back. Budgets never shrink —
+// a sweep mixing sizes keeps the largest world's set.
+func growEventCaches(ranks int) {
+	// Per rank and world: ~6 retained schedules (a replay entry per
+	// collective shape plus builder spares) at ~4KB of scrubbed capacity,
+	// and ~4 shared step lists at ~3KB.
+	const (
+		schedPerRank = 24 << 10
+		stepsPerRank = 16 << 10
+		hardMax      = int64(2) << 30
+	)
+	want := min(int64(ranks)*schedPerRank, hardMax)
+	st := &schedStore
+	st.mu.Lock()
+	st.max = max(st.max, want)
+	st.mu.Unlock()
+	want = min(int64(ranks)*stepsPerRank, hardMax/2)
+	for {
+		cur := stepCacheMaxBytes.Load()
+		if want <= cur || stepCacheMaxBytes.CompareAndSwap(cur, want) {
+			break
+		}
+	}
+}
+
+// schedFootprint estimates the retained bytes of a scrubbed schedule.
+func schedFootprint(s *collSched) int64 {
+	return 192 + int64(cap(s.steps))*96 + int64(cap(s.prices))*112 +
+		int64(cap(s.bufs))*24 + int64(cap(s.ints))*24
+}
+
+// getPooledSched draws a scrubbed schedule from the cross-world store,
+// preferring the requested class.
+func getPooledSched(light bool) *collSched {
+	st := &schedStore
+	st.mu.Lock()
+	pref, alt := &st.light, &st.heavy
+	if !light {
+		pref, alt = alt, pref
+	}
+	list := pref
+	if len(*list) == 0 {
+		list = alt
+	}
+	n := len(*list)
+	if n == 0 {
+		st.mu.Unlock()
+		return nil
+	}
+	s := (*list)[n-1]
+	(*list)[n-1] = nil
+	*list = (*list)[:n-1]
+	st.bytes -= schedFootprint(s)
+	st.mu.Unlock()
+	return s
 }
 
 // harvestScheds scrubs and returns a finished rank's schedules (its
-// freelist and its replay cache) to the cross-world pool.
+// freelist and its replay cache) to the cross-world store, one lock
+// round-trip per rank.
 func (p *Proc) harvestScheds() {
+	if len(p.schedFree) == 0 && len(p.replay) == 0 {
+		return
+	}
+	st := &schedStore
+	st.mu.Lock()
 	for _, s := range p.schedFree {
-		scrubSched(s)
-		schedPool.Put(s)
+		st.keep(s)
 	}
-	p.schedFree = nil
 	for _, ent := range p.replay {
-		scrubSched(ent.s)
-		schedPool.Put(ent.s)
+		st.keep(ent.s)
 	}
+	st.mu.Unlock()
+	p.schedFree = nil
 	p.replay = nil
 }
 
@@ -204,9 +321,11 @@ func (p *Proc) harvestScheds() {
 // reused by any future world: buffer references, pricing, its communicator.
 func scrubSched(s *collSched) {
 	if s.shared {
-		// Borrowed from the stepCache: drop the reference; the array must
-		// never be appended to or scrubbed.
-		s.steps = nil
+		// Borrowed from (or published to) the stepCache: drop the reference
+		// — the array must never be appended to or scrubbed — and restore
+		// the owned storage parked during the borrow.
+		s.steps = s.own[:0]
+		s.own = nil
 		s.shared = false
 	} else {
 		for i := range s.steps {
@@ -214,6 +333,7 @@ func scrubSched(s *collSched) {
 		}
 		s.steps = s.steps[:0]
 	}
+	clear(s.bufs[:cap(s.bufs)])
 	s.bufs = s.bufs[:0]
 	s.ints = s.ints[:0]
 	s.c = nil
@@ -245,7 +365,11 @@ func (c *Comm) retainSched(key replayKey, s *collSched) {
 			s.prices[i] = stepPrice{}
 		}
 	} else {
-		s.prices = make([]stepPrice, posts)
+		// Round the capacity up: recycled schedules cycle between shapes
+		// (barrier, allreduce, reduce) whose post counts stay under two
+		// dozen even at 64Ki ranks, and a single rounded array stops the
+		// churn of regrowing per shape.
+		s.prices = make([]stepPrice, posts, max(posts, 24))
 	}
 	// The schedule was just built and is about to be driven for the first
 	// time; its price cursor starts at the first post.

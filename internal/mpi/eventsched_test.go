@@ -1,0 +1,108 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+// The stepCache budget protocol (reserve, publish, single refund) is easy
+// to regress into double-refunds or leaked reservations; these tests pin
+// the accounting byte for byte around every exit path. Keys use private
+// Algorithm values, so they can never collide with real registry entries.
+
+func stepCacheKey(rank int) stepKey {
+	return stepKey{alg: &Algorithm{Name: "steptest"}, rank: rank, commSize: 2, n: 64}
+}
+
+func TestStoreSharedStepsAccounting(t *testing.T) {
+	steps := make([]collStep, 7)
+	cost := int64(len(steps)) * 96
+
+	t.Run("success charges the budget once", func(t *testing.T) {
+		key := stepCacheKey(1)
+		before := stepCacheBytes.Load()
+		if !storeSharedSteps(key, steps) {
+			t.Fatal("first store rejected")
+		}
+		if got := stepCacheBytes.Load() - before; got != cost {
+			t.Fatalf("budget delta %d, want %d", got, cost)
+		}
+		if cached, ok := loadSharedSteps(key); !ok || len(cached) != len(steps) {
+			t.Fatalf("entry not readable back: ok=%v len=%d", ok, len(cached))
+		}
+	})
+
+	t.Run("duplicate neither stores nor charges", func(t *testing.T) {
+		key := stepCacheKey(2)
+		if !storeSharedSteps(key, steps) {
+			t.Fatal("first store rejected")
+		}
+		before := stepCacheBytes.Load()
+		if storeSharedSteps(key, make([]collStep, 3)) {
+			t.Fatal("duplicate store accepted")
+		}
+		if got := stepCacheBytes.Load(); got != before {
+			t.Fatalf("duplicate changed the budget: %d -> %d", before, got)
+		}
+		if cached, _ := loadSharedSteps(key); len(cached) != len(steps) {
+			t.Fatalf("duplicate replaced the entry: len %d", len(cached))
+		}
+	})
+
+	t.Run("over budget refunds the reservation", func(t *testing.T) {
+		key := stepCacheKey(3)
+		// Saturate the budget without touching the map, then restore it.
+		filler := stepCacheMaxBytes.Load() - stepCacheBytes.Load()
+		stepCacheBytes.Add(filler)
+		defer stepCacheBytes.Add(-filler)
+		before := stepCacheBytes.Load()
+		if storeSharedSteps(key, steps) {
+			t.Fatal("store accepted over budget")
+		}
+		if got := stepCacheBytes.Load(); got != before {
+			t.Fatalf("failed store leaked budget: %d -> %d", before, got)
+		}
+		if _, ok := loadSharedSteps(key); ok {
+			t.Fatal("over-budget entry still published")
+		}
+	})
+
+	t.Run("oversized list is rejected without charging", func(t *testing.T) {
+		before := stepCacheBytes.Load()
+		if storeSharedSteps(stepCacheKey(4), make([]collStep, stepCacheMaxSteps+1)) {
+			t.Fatal("oversized store accepted")
+		}
+		if got := stepCacheBytes.Load(); got != before {
+			t.Fatalf("oversized store changed the budget: %d -> %d", before, got)
+		}
+	})
+
+	t.Run("concurrent same-key stores charge exactly once", func(t *testing.T) {
+		key := stepCacheKey(5)
+		const workers = 16
+		before := stepCacheBytes.Load()
+		var wg sync.WaitGroup
+		wins := make(chan bool, workers)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wins <- storeSharedSteps(key, make([]collStep, len(steps)))
+			}()
+		}
+		wg.Wait()
+		close(wins)
+		won := 0
+		for w := range wins {
+			if w {
+				won++
+			}
+		}
+		if won != 1 {
+			t.Fatalf("%d stores claimed the publish, want exactly 1", won)
+		}
+		if got := stepCacheBytes.Load() - before; got != cost {
+			t.Fatalf("concurrent stores left budget delta %d, want %d", got, cost)
+		}
+	})
+}

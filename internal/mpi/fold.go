@@ -1,0 +1,1151 @@
+package mpi
+
+// Symmetry folding: the event engine's huge-world fast path. In a regular
+// placement, most ranks of a collective round execute the identical compiled
+// step at the identical virtual time; simulating each rank separately is
+// redundant. When every live rank of the world enters the same cached
+// collective schedule, the loop gathers them (each parks with waitFold), and
+// the last joiner resolves the whole invocation symbolically:
+//
+//   1. The schedule's *shape* is analyzed once (per cached-schedule
+//      identity): every rank must run the same step-op sequence, built from
+//      exchange/reduce/copy primitives only, with one global per-step peer
+//      delta (xor "r^d" or modular "(r+d) mod p") that is its own inverse
+//      across the step. Ranks collapse into structural classes by their
+//      per-step (bytes, outbound link class) signature, refined until every
+//      class agrees on the class of each step peer; per-class per-step
+//      message prices come from the same netmodel calls the per-rank path
+//      makes.
+//   2. Each invocation classifies ranks by entry state (clock bits plus
+//      live link-busy state), intersects that with the structural classes,
+//      and re-refines to a fixpoint (cached per observed entry pattern). In
+//      the steady benchmark loop every rank enters identically and this
+//      collapses to the precomputed structural partition.
+//   3. A coupled recurrence advances one clock per class through the steps,
+//      performing literally the same float64 operations, in the same order,
+//      as postSendPriced/finishRecv/completeSend would per rank — virtual
+//      times stay bit-identical (TestEngineParity pins this).
+//   4. Exit clocks fan out with Clock.Set; exit link-busy state fans out as
+//      one shared symbolic foldLB per class, materialized lazily by the
+//      next non-fold touch of the rank's link state.
+//
+// Anything irregular — sub-communicators, non-power-of-two fold ranks
+// (opSend/opRecv steps), mixed forced algorithms, pending mailbox traffic,
+// ranks with outstanding nonblocking collectives — fails eligibility or
+// shape analysis and falls back to per-rank simulation, so folding can only
+// change speed, never a number. A partial gather that stalls is released by
+// the loop's safety valve (releaseFoldStalled), so folding cannot introduce
+// a deadlock the unfolded engine would not have had.
+
+import (
+	"math"
+
+	"repro/internal/vtime"
+)
+
+// FoldStats counts symmetry-folding outcomes on a world's event engine.
+type FoldStats struct {
+	// Folded counts collective invocations simulated per equivalence class.
+	Folded int64
+	// Fallback counts full gathers that resolved to per-rank execution
+	// (unfoldable shape, tag mismatch, or pending mailbox traffic).
+	Fallback int64
+	// Released counts partial gathers released by the deadlock safety
+	// valve because some rank never joined.
+	Released int64
+}
+
+// FoldStats returns the world's symmetry-folding counters. They are advisory
+// (folding is bit-identical to per-rank execution) and reset only with the
+// world.
+func (w *World) FoldStats() FoldStats { return w.foldStats }
+
+// foldKind is the global peer-delta family of a foldable schedule.
+type foldKind uint8
+
+const (
+	foldKindNone foldKind = iota
+	foldKindXor           // peer = rank ^ delta
+	foldKindMod           // peer = (rank + delta) mod p
+)
+
+const (
+	// foldMaxRanks bounds worlds eligible for folding: class ids are packed
+	// three to a word during refinement.
+	foldMaxRanks = 1 << 21
+	// foldDenseRefine bounds the class count refined through a dense
+	// (class x class) table; beyond it a map takes over.
+	foldDenseRefine = 1024
+	// foldMaxClasses aborts a fold whose refined partition approaches
+	// per-rank size: the recurrence would not beat per-rank replay.
+	foldMaxClasses = 16384
+	// foldMaxPartitions bounds cached entry partitions per shape.
+	foldMaxPartitions = 8
+)
+
+// foldApply maps a rank to its peer under a delta.
+func foldApply(kind foldKind, r, d, p int) int {
+	if kind == foldKindXor {
+		return r ^ d
+	}
+	q := r + d
+	if q >= p {
+		q -= p
+	}
+	return q
+}
+
+// foldInvDelta recovers the delta that maps r to gdst, or -1 when the kind
+// has no delta family.
+func foldInvDelta(kind foldKind, r, gdst, p int) int {
+	switch kind {
+	case foldKindXor:
+		return r ^ gdst
+	case foldKindMod:
+		d := gdst - r
+		if d < 0 {
+			d += p
+		}
+		return d
+	default:
+		return -1
+	}
+}
+
+// foldLB is the symbolic link-busy state a folded collective leaves behind:
+// (peer delta, busy-until) pairs shared by every rank of an equivalence
+// class. materializeFoldLB (Proc) expands it into the rank's real
+// per-destination store the moment any non-fold path touches link state.
+type foldLB struct {
+	kind   foldKind
+	deltas []int32
+	vals   []vtime.Micros
+}
+
+// materializeFoldLB expands the rank's symbolic link-busy state into its
+// real store: entries already in the past are dropped (every read maxes
+// against the clock, so a dead entry is indistinguishable from none).
+func (p *Proc) materializeFoldLB() {
+	f := p.foldLB
+	p.foldLB = nil
+	now := p.clock.Now()
+	for i, d := range f.deltas {
+		if f.vals[i] > now {
+			p.lbDirty = true
+			p.lbStore(foldApply(f.kind, p.rank, int(d), p.world.size), f.vals[i])
+		}
+	}
+}
+
+// foldEntriesLive reports whether any symbolic entry is still in the future.
+func foldEntriesLive(f *foldLB, now vtime.Micros) bool {
+	for _, v := range f.vals {
+		if v > now {
+			return true
+		}
+	}
+	return false
+}
+
+// foldStep is one analyzed schedule step, uniform across ranks.
+type foldStep struct {
+	op        collOp
+	sendDelta int32
+	recvDelta int32
+	slot      int32 // wire-slot index of sendDelta; -1 for local steps
+}
+
+// foldCost is the per-(structural class, step) price table entry.
+type foldCost struct {
+	pyLock   vtime.Micros
+	sendOver vtime.Micros
+	wire     vtime.Micros
+	transmit vtime.Micros
+	recvOver vtime.Micros
+	compute  vtime.Micros
+	eager    bool
+}
+
+// foldPartition is a refined entry partition cached per observed per-rank
+// token pattern (see simulate).
+type foldPartition struct {
+	tok              []int32
+	cls              []int32
+	ncls             int
+	reps             []int32
+	costIdx          []int32
+	sendCls, recvCls [][]int32
+}
+
+// foldShape is the once-per-schedule analysis of a gathered collective.
+type foldShape struct {
+	ok     bool
+	scheds []*collSched
+	kind   foldKind
+	steps  []foldStep
+	nslots int
+	// slotDeltas maps wire-slot index back to its send delta.
+	slotDeltas []int32
+
+	// Structural classes, refined to the peer fixpoint at build time.
+	class            []int32
+	nclass           int
+	reps             []int32
+	identIdx         []int32
+	costs            [][]foldCost
+	sendCls, recvCls [][]int32
+
+	parts []*foldPartition
+}
+
+// sameScheds verifies the cached shape still describes these schedule
+// objects (pool reuse across Runs invalidates pointers; runEvent clears the
+// cache, this is the in-Run guard).
+func (sh *foldShape) sameScheds(scheds []*collSched) bool {
+	for r, s := range scheds {
+		if sh.scheds[r] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// slotOfDelta resolves a send delta to its wire slot, -1 when the shape has
+// no slot for it. Slot counts are O(log p), so linear scan wins.
+func (sh *foldShape) slotOfDelta(d int) int {
+	if d >= 0 {
+		for i, sd := range sh.slotDeltas {
+			if int(sd) == d {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// foldGather is the event loop's in-progress gather of ranks parked at an
+// eligible collective.
+type foldGather struct {
+	scheds []*collSched
+	ranks  []*eventRank
+	order  []int32
+	joined int
+}
+
+// foldEligible is the cheap per-rank pre-check run at the top of
+// driveSchedEvent: only full-world, context-0, cached (buffer-free)
+// schedules on untraced worlds with an empty mailbox and no outstanding
+// nonblocking collectives may join a gather.
+func (l *eventLoop) foldEligible(c *Comm, s *collSched) bool {
+	w := l.w
+	if w.foldOff || !s.cached || c.ctx != 0 || w.size < 2 || w.size > foldMaxRanks ||
+		len(c.group) != w.size || w.cfg.Trace != nil || len(c.proc.activeScheds) != 0 {
+		return false
+	}
+	if w.mailboxes[c.proc.rank].npend != 0 {
+		return false
+	}
+	if _, no := w.foldNo[s]; no {
+		return false
+	}
+	return true
+}
+
+// foldJoin adds the rank to the gather. The last joiner resolves the whole
+// invocation; everyone else parks until the resolver wakes them. It reports
+// true when the collective was folded (clock and link state already hold
+// the exit values and finish has run) and false when the rank must drive
+// its schedule normally.
+func (l *eventLoop) foldJoin(er *eventRank, s *collSched) bool {
+	g := &l.fold
+	w := l.w
+	if g.scheds == nil {
+		g.scheds = make([]*collSched, w.size)
+		g.ranks = make([]*eventRank, w.size)
+		g.order = make([]int32, 0, w.size)
+	}
+	r := er.proc.rank
+	g.scheds[r] = s
+	g.ranks[r] = er
+	g.order = append(g.order, int32(r))
+	g.joined++
+	if g.joined == w.size-l.done {
+		return l.resolveFold()
+	}
+	er.wait = waitFold
+	er.proc.park()
+	if er.foldDone {
+		er.foldDone = false
+		return true
+	}
+	return false
+}
+
+// resolveFold runs on the last joiner's stack once every live rank has
+// gathered: verify the invocation is uniform, fold it, and wake everyone.
+func (l *eventLoop) resolveFold() bool {
+	w := l.w
+	if l.fold.joined == w.size && l.tryFold() {
+		w.foldStats.Folded++
+		l.foldRelease(true)
+		return true
+	}
+	w.foldStats.Fallback++
+	l.foldRelease(false)
+	return false
+}
+
+// foldRelease empties the gather and wakes every parked joiner with the
+// resolve verdict. The resolver itself (rankRunning) just returns. Woken
+// ranks drain FIFO through the loop's foldWake list — run order cannot
+// change a virtual time (Trace is nil on folded worlds), only bookkeeping.
+func (l *eventLoop) foldRelease(folded bool) {
+	g := &l.fold
+	for _, r := range g.order {
+		er := g.ranks[r]
+		g.ranks[r] = nil
+		g.scheds[r] = nil
+		if er.state == rankBlocked {
+			er.foldDone = folded
+			er.state = rankRunnable
+			er.wait = waitAny
+			l.foldWake = append(l.foldWake, er)
+		}
+	}
+	g.order = g.order[:0]
+	g.joined = 0
+}
+
+// releaseFoldStalled is the deadlock safety valve: when the loop finds
+// nothing runnable while a partial gather is pending, the gathered ranks
+// fall back to per-rank execution, preserving the unfolded engine's
+// semantics (including real deadlocks).
+func (l *eventLoop) releaseFoldStalled() bool {
+	if l.fold.joined == 0 {
+		return false
+	}
+	l.w.foldStats.Released++
+	l.foldRelease(false)
+	return true
+}
+
+// tryFold validates the gathered invocation and simulates it per class.
+func (l *eventLoop) tryFold() bool {
+	w := l.w
+	g := &l.fold
+	p := w.size
+	scheds := g.scheds
+	s0 := scheds[0]
+	if s0 == nil {
+		return false
+	}
+	tag := s0.tag
+	for r := 1; r < p; r++ {
+		if scheds[r] == nil || scheds[r].tag != tag {
+			return false
+		}
+	}
+	// Deliveries that raced in after a rank joined make its mailbox
+	// non-empty now even though it was empty at join time.
+	for r := 0; r < p; r++ {
+		if w.mailboxes[r].npend != 0 {
+			return false
+		}
+	}
+	sh := w.foldShapes[s0]
+	if sh == nil || !sh.sameScheds(scheds) {
+		sh = buildFoldShape(w, scheds)
+		if w.foldShapes == nil {
+			w.foldShapes = make(map[*collSched]*foldShape, 8)
+		}
+		w.foldShapes[s0] = sh
+	}
+	if !sh.ok {
+		if w.foldNo == nil {
+			w.foldNo = make(map[*collSched]struct{}, p)
+		}
+		for _, s := range scheds {
+			w.foldNo[s] = struct{}{}
+		}
+		return false
+	}
+	return sh.simulate(l)
+}
+
+const foldFNV = 14695981039346656037
+
+func foldMix(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
+
+// buildFoldShape analyzes the gathered schedules once. A shape that fails
+// any uniformity requirement comes back with ok=false and is remembered in
+// World.foldNo so later invocations skip the gather.
+func buildFoldShape(w *World, scheds []*collSched) *foldShape {
+	p := w.size
+	sh := &foldShape{scheds: append([]*collSched(nil), scheds...)}
+	steps0 := scheds[0].steps
+	ns := len(steps0)
+	for r := 1; r < p; r++ {
+		if len(scheds[r].steps) != ns {
+			return sh
+		}
+	}
+	sh.steps = make([]foldStep, ns)
+	kind := foldKindNone
+	for k := 0; k < ns; k++ {
+		op := steps0[k].op
+		for r := 1; r < p; r++ {
+			if scheds[r].steps[k].op != op {
+				return sh
+			}
+		}
+		fs := &sh.steps[k]
+		fs.op = op
+		fs.slot = -1
+		switch op {
+		case opReduce, opReduceNC, opCopy:
+			// Local; no peers.
+		case opExchange:
+			sd, k1, ok := detectFoldDelta(scheds, k, kind, true, p)
+			if !ok {
+				return sh
+			}
+			rd, k2, ok := detectFoldDelta(scheds, k, k1, false, p)
+			if !ok || k2 != k1 {
+				return sh
+			}
+			kind = k1
+			// The rank sending to r must be the rank r receives from.
+			if kind == foldKindXor {
+				if sd != rd {
+					return sh
+				}
+			} else if (int(sd)+int(rd))%p != 0 {
+				return sh
+			}
+			fs.sendDelta, fs.recvDelta = sd, rd
+			slot := sh.slotOfDelta(int(sd))
+			if slot < 0 {
+				slot = sh.nslots
+				sh.slotDeltas = append(sh.slotDeltas, sd)
+				sh.nslots++
+			}
+			fs.slot = int32(slot)
+			// The per-rank path errors when a message would truncate; a
+			// fold must surface that too, so such shapes do not fold.
+			for r := 0; r < p; r++ {
+				sender := foldApply(kind, r, int(rd), p)
+				if scheds[sender].steps[k].sendN > scheds[r].steps[k].n {
+					return sh
+				}
+			}
+		default:
+			return sh
+		}
+	}
+	sh.kind = kind
+
+	// Structural classes: signature over per-step (bytes, outbound link),
+	// interned by hash with exact verification, then refined so every class
+	// agrees on the class of each step peer.
+	class := make([]int32, p)
+	var reps []int32
+	buckets := make(map[uint64][]int32)
+	for r := 0; r < p; r++ {
+		h := uint64(foldFNV)
+		st := scheds[r].steps
+		for k := range sh.steps {
+			fs := &sh.steps[k]
+			switch fs.op {
+			case opExchange:
+				gdst := foldApply(kind, r, int(fs.sendDelta), p)
+				h = foldMix(h, uint64(st[k].n))
+				h = foldMix(h, uint64(st[k].sendN))
+				h = foldMix(h, uint64(w.link(r, gdst)))
+			case opReduce:
+				h = foldMix(h, uint64(st[k].n))
+			}
+		}
+		id := int32(-1)
+		for _, cand := range buckets[h] {
+			if sh.structEqual(w, scheds, r, int(reps[cand])) {
+				id = cand
+				break
+			}
+		}
+		if id < 0 {
+			id = int32(len(reps))
+			reps = append(reps, int32(r))
+			buckets[h] = append(buckets[h], id)
+		}
+		class[r] = id
+	}
+	sh.class = class
+	sh.nclass = sh.refinePartition(class, len(reps))
+	sh.reps = foldReps(class, sh.nclass)
+	sh.identIdx = make([]int32, sh.nclass)
+	for i := range sh.identIdx {
+		sh.identIdx[i] = int32(i)
+	}
+	sh.sendCls, sh.recvCls = sh.peerTables(class, sh.nclass, sh.reps)
+
+	// Price tables: the same pure netmodel calls priceTo makes per rank.
+	model := w.cfg.Model
+	py := w.cfg.PyMode
+	fullSub := w.fullSub
+	sh.costs = make([][]foldCost, sh.nclass)
+	for i := 0; i < sh.nclass; i++ {
+		rep := int(sh.reps[i])
+		st := scheds[rep].steps
+		cc := make([]foldCost, ns)
+		for k := range sh.steps {
+			fs := &sh.steps[k]
+			switch fs.op {
+			case opExchange:
+				gdst := foldApply(kind, rep, int(fs.sendDelta), p)
+				link := w.link(rep, gdst)
+				pc := model.PtPt(link, st[k].sendN, py, fullSub)
+				c := &cc[k]
+				c.sendOver, c.wire, c.transmit = pc.SendOverhead, pc.Wire, pc.Transmit
+				c.recvOver, c.eager = pc.RecvOverhead, pc.Eager
+				if py {
+					// Collective tags are always internal (> MaxUserTag).
+					c.pyLock = model.PyOpLock(link, st[k].sendN, true, fullSub)
+				}
+			case opReduce:
+				cc[k].compute = model.Compute(st[k].n, py, fullSub)
+			}
+		}
+		sh.costs[i] = cc
+	}
+	sh.ok = true
+	return sh
+}
+
+// detectFoldDelta finds the global delta of step k's send (or recv) peer
+// map, trying the hinted kind first (a shape may not mix kinds: modular and
+// xor wires alias differently across ranks).
+func detectFoldDelta(scheds []*collSched, k int, hint foldKind, send bool, p int) (int32, foldKind, bool) {
+	peerOf := func(r int) int {
+		st := &scheds[r].steps[k]
+		if send {
+			return st.sendPeer
+		}
+		return st.peer
+	}
+	d := peerOf(0) // rank 0: 0^d == (0+d) mod p == d
+	if d < 0 || d >= p {
+		return 0, hint, false
+	}
+	try := func(kind foldKind) bool {
+		for r := 1; r < p; r++ {
+			if peerOf(r) != foldApply(kind, r, d, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if hint != foldKindNone {
+		if try(hint) {
+			return int32(d), hint, true
+		}
+		return 0, hint, false
+	}
+	if try(foldKindXor) {
+		return int32(d), foldKindXor, true
+	}
+	if try(foldKindMod) {
+		return int32(d), foldKindMod, true
+	}
+	return 0, hint, false
+}
+
+// structEqual is the exact comparison behind the structural-signature hash.
+func (sh *foldShape) structEqual(w *World, scheds []*collSched, a, b int) bool {
+	if a == b {
+		return true
+	}
+	p := len(scheds)
+	sa, sb := scheds[a].steps, scheds[b].steps
+	for k := range sh.steps {
+		fs := &sh.steps[k]
+		switch fs.op {
+		case opExchange:
+			if sa[k].n != sb[k].n || sa[k].sendN != sb[k].sendN {
+				return false
+			}
+			da := foldApply(sh.kind, a, int(fs.sendDelta), p)
+			db := foldApply(sh.kind, b, int(fs.sendDelta), p)
+			if w.link(a, da) != w.link(b, db) {
+				return false
+			}
+		case opReduce:
+			if sa[k].n != sb[k].n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// refinePartition refines cls by every exchange step's send and recv peer
+// classes until stable: members of a class agree on the class of each
+// peer. The key includes the current class, so refinement only splits and
+// terminates; labels stay in first-seen rank order.
+func (sh *foldShape) refinePartition(cls []int32, ncls int) int {
+	p := len(cls)
+	next := make([]int32, p)
+	var dense []int32
+	refineBy := func(delta int32) {
+		n := 0
+		if ncls <= foldDenseRefine {
+			need := ncls * ncls
+			if cap(dense) < need {
+				dense = make([]int32, need)
+			}
+			tab := dense[:need]
+			for i := range tab {
+				tab[i] = -1
+			}
+			for r := 0; r < p; r++ {
+				peer := foldApply(sh.kind, r, int(delta), p)
+				key := int(cls[r])*ncls + int(cls[peer])
+				id := tab[key]
+				if id < 0 {
+					id = int32(n)
+					n++
+					tab[key] = id
+				}
+				next[r] = id
+			}
+		} else {
+			m := make(map[int64]int32, ncls+16)
+			for r := 0; r < p; r++ {
+				peer := foldApply(sh.kind, r, int(delta), p)
+				key := int64(cls[r])<<32 | int64(cls[peer])
+				id, ok := m[key]
+				if !ok {
+					id = int32(n)
+					n++
+					m[key] = id
+				}
+				next[r] = id
+			}
+		}
+		if n != ncls {
+			ncls = n
+			copy(cls, next)
+		}
+	}
+	for {
+		if ncls <= 1 || ncls >= p {
+			return ncls
+		}
+		before := ncls
+		for k := range sh.steps {
+			fs := &sh.steps[k]
+			if fs.op != opExchange {
+				continue
+			}
+			refineBy(fs.sendDelta)
+			refineBy(fs.recvDelta)
+		}
+		if ncls == before {
+			return ncls
+		}
+	}
+}
+
+// foldReps picks the first member of each class as its representative.
+func foldReps(cls []int32, ncls int) []int32 {
+	reps := make([]int32, ncls)
+	seen := make([]bool, ncls)
+	found := 0
+	for r := 0; r < len(cls) && found < ncls; r++ {
+		if c := cls[r]; !seen[c] {
+			seen[c] = true
+			reps[c] = int32(r)
+			found++
+		}
+	}
+	return reps
+}
+
+// peerTables tabulates, per class and exchange step, the class of the
+// representative's send and recv peers — valid for every member because the
+// partition is refined to the peer fixpoint.
+func (sh *foldShape) peerTables(cls []int32, ncls int, reps []int32) (sendCls, recvCls [][]int32) {
+	p := len(cls)
+	ns := len(sh.steps)
+	sendCls = make([][]int32, ncls)
+	recvCls = make([][]int32, ncls)
+	for i := 0; i < ncls; i++ {
+		rep := int(reps[i])
+		sc := make([]int32, ns)
+		rc := make([]int32, ns)
+		for k := 0; k < ns; k++ {
+			fs := &sh.steps[k]
+			if fs.op != opExchange {
+				continue
+			}
+			sc[k] = cls[foldApply(sh.kind, rep, int(fs.sendDelta), p)]
+			rc[k] = cls[foldApply(sh.kind, rep, int(fs.recvDelta), p)]
+		}
+		sendCls[i] = sc
+		recvCls[i] = rc
+	}
+	return sendCls, recvCls
+}
+
+// foldTok is the interning key of a rank's entry state: structural class,
+// exact clock bits, and link-busy descriptor (symbolic pointer identity
+// and/or a digest of live materialized per-slot values; salt disambiguates
+// digest collisions, which are verified exactly against the stored seeds).
+type foldTok struct {
+	sc    int32
+	salt  uint32
+	clock uint64
+	ptr   *foldLB
+	dirty bool
+	hash  uint64
+}
+
+type foldTokInfo struct {
+	rep   int32
+	seeds []vtime.Micros
+}
+
+// foldScratch holds simulate's reusable buffers (single-threaded, on the
+// World so repeated invocations allocate nothing).
+type foldScratch struct {
+	tokOf                  []int32
+	seeds                  []vtime.Micros
+	clock, cp, sr, arr, cr []vtime.Micros
+	lb                     []vtime.Micros
+	entryLB                []*foldLB
+	// Token interning state: the map's buckets and the info slice survive
+	// across invocations (cleared, not reallocated), and dirty-token seed
+	// snapshots are carved from one arena chunk instead of allocated each.
+	tokMap   map[foldTok]int32
+	toks     []foldTokInfo
+	seedPool []vtime.Micros
+	seedUsed int
+}
+
+// snapSeeds copies a dirty rank's seed vector into the arena and returns the
+// stable snapshot.
+func (scr *foldScratch) snapSeeds(seeds []vtime.Micros) []vtime.Micros {
+	n := len(seeds)
+	if cap(scr.seedPool)-scr.seedUsed < n {
+		c := 2 * cap(scr.seedPool)
+		if c < 64*n {
+			c = 64 * n
+		}
+		// Earlier snapshots keep referencing the old chunk; only the arena
+		// cursor moves to the fresh one.
+		scr.seedPool = make([]vtime.Micros, c)
+		scr.seedUsed = 0
+	}
+	snap := scr.seedPool[scr.seedUsed : scr.seedUsed+n : scr.seedUsed+n]
+	scr.seedUsed += n
+	copy(snap, seeds)
+	return snap
+}
+
+func foldGrowM(s []vtime.Micros, n int) []vtime.Micros {
+	if cap(s) < n {
+		return make([]vtime.Micros, n)
+	}
+	return s[:n]
+}
+
+func foldGrowI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func foldI32Equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func foldSeedsEqual(a, b []vtime.Micros) bool {
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func foldHashSeeds(seeds []vtime.Micros) uint64 {
+	h := uint64(foldFNV)
+	for _, v := range seeds {
+		h = foldMix(h, math.Float64bits(float64(v)))
+	}
+	return h
+}
+
+// effSeeds fills seeds (len nslots) with the rank's effective link-busy
+// value per wire slot: live materialized entries first, overlaid by live
+// same-kind symbolic entries (which a materialization would overwrite; the
+// symbolic value is never older than the stored one for the same wire).
+func (sh *foldShape) effSeeds(pr *Proc, seeds []vtime.Micros) {
+	for i := range seeds {
+		seeds[i] = 0
+	}
+	now := pr.clock.Now()
+	p := pr.world.size
+	if pr.lbDirty {
+		if pr.linkBusy != nil {
+			for gdst, v := range pr.linkBusy {
+				if v > now {
+					if s := sh.slotOfDelta(foldInvDelta(sh.kind, pr.rank, gdst, p)); s >= 0 {
+						seeds[s] = v
+					}
+				}
+			}
+		} else {
+			for i := 0; i < int(pr.lbSmallN); i++ {
+				if v := pr.lbSmallVal[i]; v > now {
+					if s := sh.slotOfDelta(foldInvDelta(sh.kind, pr.rank, int(pr.lbSmallDst[i]), p)); s >= 0 {
+						seeds[s] = v
+					}
+				}
+			}
+			for gdst, v := range pr.linkBusySparse {
+				if v > now {
+					if s := sh.slotOfDelta(foldInvDelta(sh.kind, pr.rank, int(gdst), p)); s >= 0 {
+						seeds[s] = v
+					}
+				}
+			}
+		}
+	}
+	if f := pr.foldLB; f != nil && f.kind == sh.kind {
+		for j, d := range f.deltas {
+			if f.vals[j] > now {
+				if s := sh.slotOfDelta(int(d)); s >= 0 {
+					seeds[s] = f.vals[j]
+				}
+			}
+		}
+	}
+}
+
+// buildPartition refines an observed entry-token pattern against the shape.
+func (sh *foldShape) buildPartition(tokOf []int32, ntok int) *foldPartition {
+	cls := append([]int32(nil), tokOf...)
+	ncls := sh.refinePartition(cls, ntok)
+	if ncls > foldMaxClasses {
+		return nil
+	}
+	part := &foldPartition{
+		tok:  append([]int32(nil), tokOf...),
+		cls:  cls,
+		ncls: ncls,
+		reps: foldReps(cls, ncls),
+	}
+	part.costIdx = make([]int32, ncls)
+	for i, rep := range part.reps {
+		part.costIdx[i] = sh.class[rep]
+	}
+	part.sendCls, part.recvCls = sh.peerTables(cls, ncls, part.reps)
+	return part
+}
+
+// simulate folds one gathered invocation: classify entry states, pick (or
+// build) the refined partition, run the coupled per-class recurrence, and
+// fan exit state out to every rank.
+func (sh *foldShape) simulate(l *eventLoop) bool {
+	w := l.w
+	p := w.size
+	g := &l.fold
+	scr := &w.foldScratch
+	nslots := sh.nslots
+
+	// 1. Per-rank entry tokens. Cross-kind symbolic state normalizes first:
+	// live state materializes into the rank's real store; a dead cross-kind
+	// pointer stays as-is — its entries are unobservable (every read maxes
+	// against the clock), but its identity still encodes the previous
+	// invocation's partition, keeping entry-token patterns stable across
+	// invocations so the partition cache can hit.
+	ndirty := 0
+	for r := 0; r < p; r++ {
+		pr := l.ranks[r].proc
+		if f := pr.foldLB; f != nil && f.kind != sh.kind && foldEntriesLive(f, pr.clock.Now()) {
+			pr.materializeFoldLB()
+		}
+		if pr.lbDirty {
+			ndirty++
+		}
+	}
+	// When at least half the world enters with materialized per-rank link
+	// state (the aggregation reduce leaves every rank dirty), interning and
+	// refinement would only rediscover near-singleton classes at O(p) map
+	// churn. Run the recurrence on the identity partition instead — always
+	// valid, since singleton classes are trivially peer-closed — which still
+	// replaces the collective's message traffic with straight-line float math.
+	ident := 2*ndirty >= p
+	scr.tokOf = foldGrowI32(scr.tokOf, p)
+	tokOf := scr.tokOf
+	scr.seeds = foldGrowM(scr.seeds, nslots)
+	seeds := scr.seeds
+	var toks []foldTokInfo
+	if !ident {
+		if scr.tokMap == nil {
+			scr.tokMap = make(map[foldTok]int32, 16)
+		} else {
+			clear(scr.tokMap)
+		}
+		tokMap := scr.tokMap
+		toks = scr.toks[:0]
+		scr.seedUsed = 0
+		var lastKey foldTok
+		lastTok := int32(-1)
+		for r := 0; r < p; r++ {
+			pr := l.ranks[r].proc
+			key := foldTok{sc: sh.class[r], clock: math.Float64bits(float64(pr.clock.Now())),
+				ptr: pr.foldLB, dirty: pr.lbDirty}
+			if key.dirty {
+				sh.effSeeds(pr, seeds)
+				key.hash = foldHashSeeds(seeds)
+			}
+			if lastTok >= 0 && key == lastKey &&
+				(!key.dirty || foldSeedsEqual(seeds, toks[lastTok].seeds)) {
+				tokOf[r] = lastTok
+				continue
+			}
+			var id int32
+			probe := key
+			for {
+				got, ok := tokMap[probe]
+				if !ok {
+					id = int32(len(toks))
+					info := foldTokInfo{rep: int32(r)}
+					if key.dirty {
+						info.seeds = scr.snapSeeds(seeds)
+					}
+					toks = append(toks, info)
+					tokMap[probe] = id
+					break
+				}
+				if !key.dirty || foldSeedsEqual(seeds, toks[got].seeds) {
+					id = got
+					break
+				}
+				probe.salt++
+			}
+			tokOf[r] = id
+			lastKey, lastTok = key, id
+		}
+		scr.toks = toks // keep the grown capacity for the next invocation
+		ident = 2*len(toks) >= p
+	}
+
+	// 2. Partition. When the token pattern equals the structural pattern
+	// (the steady benchmark case: every rank enters with identical clock and
+	// link state), the precomputed structural partition is already the
+	// fixpoint. Otherwise look up (or build) the refined partition for this
+	// entry pattern; patterns repeat across iterations and sizes, so the
+	// refinement runs once per pattern, not per invocation.
+	var (
+		cls              []int32
+		ncls             int
+		reps             []int32
+		costIdx          []int32
+		sendCls, recvCls [][]int32
+	)
+	switch {
+	case ident:
+		// Identity partition: class i is rank i; peers are computed from the
+		// step deltas directly, costs index through the structural classes.
+		ncls = p
+		costIdx = sh.class
+	case foldI32Equal(tokOf, sh.class):
+		cls, ncls, reps = sh.class, sh.nclass, sh.reps
+		costIdx = sh.identIdx
+		sendCls, recvCls = sh.sendCls, sh.recvCls
+	default:
+		var part *foldPartition
+		for _, cand := range sh.parts {
+			if foldI32Equal(cand.tok, tokOf) {
+				part = cand
+				break
+			}
+		}
+		if part == nil {
+			part = sh.buildPartition(tokOf, len(toks))
+			if part == nil {
+				return false
+			}
+			if len(sh.parts) >= foldMaxPartitions {
+				sh.parts = sh.parts[:0]
+			}
+			sh.parts = append(sh.parts, part)
+		}
+		cls, ncls, reps = part.cls, part.ncls, part.reps
+		costIdx = part.costIdx
+		sendCls, recvCls = part.sendCls, part.recvCls
+	}
+
+	// 3. Entry state per class, read from each representative.
+	ns := len(sh.steps)
+	scr.clock = foldGrowM(scr.clock, ncls)
+	scr.cp = foldGrowM(scr.cp, ncls)
+	scr.sr = foldGrowM(scr.sr, ncls)
+	scr.arr = foldGrowM(scr.arr, ncls)
+	scr.cr = foldGrowM(scr.cr, ncls)
+	scr.lb = foldGrowM(scr.lb, ncls*nslots)
+	clock, cp, sr, arr, cr, lb := scr.clock, scr.cp, scr.sr, scr.arr, scr.cr, scr.lb
+	if cap(scr.entryLB) < ncls {
+		scr.entryLB = make([]*foldLB, ncls)
+	}
+	entryLB := scr.entryLB[:ncls]
+	for i := 0; i < ncls; i++ {
+		rep := i
+		if !ident {
+			rep = int(reps[i])
+		}
+		pr := l.ranks[rep].proc
+		clock[i] = pr.clock.Now()
+		if nslots > 0 {
+			sh.effSeeds(pr, lb[i*nslots:(i+1)*nslots])
+		}
+		entryLB[i] = pr.foldLB
+	}
+
+	// 4. The coupled recurrence: per exchange step, three phases over all
+	// classes (post, receive, drain), each line mirroring the exact float64
+	// operation order of postSendPriced / finishRecv / completeSend.
+	py := w.cfg.PyMode
+	for k := 0; k < ns; k++ {
+		fs := &sh.steps[k]
+		switch fs.op {
+		case opReduce:
+			for i := 0; i < ncls; i++ {
+				clock[i] += sh.costs[costIdx[i]][k].compute
+			}
+		case opExchange:
+			slot := int(fs.slot)
+			for i := 0; i < ncls; i++ {
+				c := &sh.costs[costIdx[i]][k]
+				t := clock[i]
+				if py {
+					t += c.pyLock
+				}
+				t += c.sendOver
+				cp[i] = t
+				if c.eager {
+					start := t
+					if b := lb[i*nslots+slot]; b > start {
+						start = b
+					}
+					lb[i*nslots+slot] = start + c.transmit
+					arr[i] = start + c.wire
+				} else {
+					sr[i] = t
+				}
+			}
+			for i := 0; i < ncls; i++ {
+				var src int32
+				if ident {
+					src = int32(foldApply(sh.kind, i, int(fs.recvDelta), p))
+				} else {
+					src = recvCls[i][k]
+				}
+				c := &sh.costs[costIdx[src]][k]
+				t := cp[i]
+				if c.eager {
+					if a := arr[src]; a > t {
+						t = a
+					}
+				} else {
+					d := sr[src]
+					if t > d {
+						d = t
+					}
+					d += c.wire
+					if d > t {
+						t = d
+					}
+				}
+				t += c.recvOver
+				cr[i] = t
+			}
+			for i := 0; i < ncls; i++ {
+				c := &sh.costs[costIdx[i]][k]
+				t := cr[i]
+				if !c.eager {
+					var dst int32
+					if ident {
+						dst = int32(foldApply(sh.kind, i, int(fs.sendDelta), p))
+					} else {
+						dst = sendCls[i][k]
+					}
+					d := sr[i]
+					if v := cp[dst]; v > d {
+						d = v
+					}
+					d += c.wire
+					if d > t {
+						t = d
+					}
+				}
+				clock[i] = t
+			}
+		}
+	}
+
+	// 5. Exit link state per class (live slots plus live carried symbolic
+	// entries the shape's slots do not cover), then fan out. The exit object
+	// exists even when no entry is live: its pointer identity marks the
+	// rank's exit class, so the next invocation's entry tokens reproduce this
+	// partition exactly instead of merging classes whose exit clocks happen
+	// to coincide — that keeps token patterns stable and cacheable. The
+	// objects come from one slab: they escape into the ranks, so the slab is
+	// the invocation's only mandatory allocation.
+	slab := make([]foldLB, ncls)
+	for i := 0; i < ncls; i++ {
+		f := &slab[i]
+		f.kind = sh.kind
+		ec := clock[i]
+		for s := 0; s < nslots; s++ {
+			if v := lb[i*nslots+s]; v > ec {
+				f.deltas = append(f.deltas, sh.slotDeltas[s])
+				f.vals = append(f.vals, v)
+			}
+		}
+		if ef := entryLB[i]; ef != nil {
+			for j, d := range ef.deltas {
+				if ef.vals[j] > ec && sh.slotOfDelta(int(d)) < 0 {
+					f.deltas = append(f.deltas, d)
+					f.vals = append(f.vals, ef.vals[j])
+				}
+			}
+		}
+	}
+	for r := 0; r < p; r++ {
+		pr := l.ranks[r].proc
+		i := r
+		if !ident {
+			i = int(cls[r])
+		}
+		pr.clock.Set(clock[i])
+		pr.foldLB = &slab[i]
+		g.scheds[r].finish()
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/topology"
+	"repro/internal/vtime"
+)
+
+// Fold-parity suite: symmetry folding is a pure execution optimisation, so
+// a folded run must report bit-identical virtual clocks to the same world
+// with folding disabled — including workloads built to break the symmetry
+// the fold depends on (sub-communicator halves, forced algorithm mixes,
+// a straggler rank with private compute skew). Each case also pins which
+// side of the fold/fallback split actually executed, so a silent "always
+// fall back" regression cannot pass as parity.
+
+// runFoldParity runs body on an event-engine world and returns every
+// rank's final clock plus the world's fold counters.
+func runFoldParity(t *testing.T, ranks, ppn int, disableFold bool, algorithms map[Collective]string, body func(p *Proc) error) ([]vtime.Micros, FoldStats) {
+	t.Helper()
+	place, err := topology.NewPlacement(&topology.Frontera, ranks, ppn, topology.Block, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(Config{
+		Placement:   place,
+		Model:       netmodel.MustNew(&topology.Frontera, netmodel.MVAPICH2),
+		CarryData:   false,
+		Engine:      EngineEvent,
+		DisableFold: disableFold,
+		Algorithms:  algorithms,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := make([]vtime.Micros, ranks)
+	err = w.Run(func(p *Proc) error {
+		if err := body(p); err != nil {
+			return err
+		}
+		end[p.Rank()] = p.Wtime()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("fold=%v: %v", !disableFold, err)
+	}
+	return end, w.FoldStats()
+}
+
+// assertFoldParity runs body folded and unfolded and fails on any clock
+// divergence; it returns the folded run's counters for the caller to pin.
+func assertFoldParity(t *testing.T, ranks, ppn int, algorithms map[Collective]string, body func(p *Proc) error) FoldStats {
+	t.Helper()
+	want, offStats := runFoldParity(t, ranks, ppn, true, algorithms, body)
+	got, stats := runFoldParity(t, ranks, ppn, false, algorithms, body)
+	if offStats.Folded != 0 {
+		t.Errorf("DisableFold world still folded %d invocations", offStats.Folded)
+	}
+	for r := 0; r < ranks; r++ {
+		if got[r] != want[r] {
+			t.Errorf("rank %d: virtual end time diverged: fold-off %v, folded %v",
+				r, want[r], got[r])
+		}
+	}
+	return stats
+}
+
+// TestFoldParitySymmetric pins the happy path: a fully symmetric world-comm
+// workload must actually fold (not silently fall back) and agree with
+// per-rank execution bit for bit.
+func TestFoldParitySymmetric(t *testing.T) {
+	for _, shape := range [][2]int{{16, 1}, {8, 4}, {64, 8}} {
+		ranks, ppn := shape[0], shape[1]
+		t.Run(fmt.Sprintf("%dx%d", ranks, ppn), func(t *testing.T) {
+			stats := assertFoldParity(t, ranks, ppn, nil, func(p *Proc) error {
+				c := p.CommWorld()
+				for i := 0; i < 3; i++ {
+					if err := c.AllreduceN(nil, nil, 16*1024, Float32, OpSum); err != nil {
+						return err
+					}
+				}
+				return c.Barrier()
+			})
+			if stats.Folded == 0 {
+				t.Errorf("symmetric workload never folded: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestFoldParitySplitHalves drives collectives over interleaved Split
+// halves of a 63x7 world: odd size, non-power-of-two halves, and two
+// communicators taking turns. The engine may fold whatever symmetry
+// survives, but the clocks must match per-rank execution exactly.
+func TestFoldParitySplitHalves(t *testing.T) {
+	stats := assertFoldParity(t, 63, 7, nil, func(p *Proc) error {
+		c := p.CommWorld()
+		half, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		for _, n := range []int{1024, 16 * 1024} {
+			if err := half.AllreduceN(nil, nil, n, Float32, OpSum); err != nil {
+				return err
+			}
+			if err := half.BcastN(nil, n, 0); err != nil {
+				return err
+			}
+		}
+		return c.Barrier()
+	})
+	if stats.Folded+stats.Fallback+stats.Released == 0 {
+		t.Errorf("split workload never reached the fold gather: %+v", stats)
+	}
+}
+
+// TestFoldParityForcedMix forces a deliberately mismatched algorithm set —
+// ring allgather (mod-family peer deltas) against recursive-doubling
+// allreduce (xor-family) — so consecutive collectives flip the fold shape
+// cache between kinds. Clocks must still match per-rank execution.
+func TestFoldParityForcedMix(t *testing.T) {
+	algorithms := map[Collective]string{
+		CollAllreduce: "recursive_doubling",
+		CollAllgather: "ring",
+	}
+	stats := assertFoldParity(t, 48, 8, algorithms, func(p *Proc) error {
+		c := p.CommWorld()
+		for i := 0; i < 2; i++ {
+			if err := c.AllreduceN(nil, nil, 16*1024, Float32, OpSum); err != nil {
+				return err
+			}
+			if err := c.AllgatherN(nil, 4*1024, nil); err != nil {
+				return err
+			}
+		}
+		return c.Barrier()
+	})
+	if stats.Folded == 0 {
+		t.Errorf("forced algorithm mix never folded: %+v", stats)
+	}
+}
+
+// TestFoldParityStraggler charges one rank private compute before each
+// collective, so its clock (and only its clock) diverges from its class.
+// The fold must either split that rank into its own class or fall back —
+// and either way reproduce per-rank clocks exactly.
+func TestFoldParityStraggler(t *testing.T) {
+	stats := assertFoldParity(t, 32, 8, nil, func(p *Proc) error {
+		c := p.CommWorld()
+		for i := 0; i < 2; i++ {
+			if c.Rank() == 13 {
+				c.ChargeCompute(vtime.Micros(37 * (i + 1)))
+			}
+			if err := c.AllreduceN(nil, nil, 16*1024, Float32, OpSum); err != nil {
+				return err
+			}
+		}
+		return c.Barrier()
+	})
+	if stats.Folded+stats.Fallback == 0 {
+		t.Errorf("straggler workload never reached the fold gather: %+v", stats)
+	}
+}

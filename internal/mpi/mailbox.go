@@ -79,22 +79,34 @@ func (r *envRing) removeAt(i int) {
 
 // srcQueues holds one context's pending messages indexed by sender rank.
 // Small worlds use a dense per-source array (one load per lookup); huge
-// worlds index through a map instead, because a dense array per mailbox
-// costs O(size^2) aggregate memory while a rank's working set of senders
-// is only O(log size) for collective traffic.
+// worlds index through a tiny inline store backed by a map, because a dense
+// array per mailbox costs O(size^2) aggregate memory while a rank's working
+// set of senders is only O(log size) for collective traffic — and the first
+// few inline slots cover nearly all of it without a map allocation. A
+// source lives in the inline store or the map, never both: inserts go
+// inline until it fills, then overflow to the map.
 type srcQueues struct {
-	bySrc []envRing
-	byMap map[int32]*envRing
+	bySrc    []envRing
+	nsmall   int8
+	smallSrc [srcSmallMax]int32
+	small    [srcSmallMax]envRing
+	byMap    map[int32]*envRing
 }
+
+// srcSmallMax covers a binomial-tree rank's full sender set (its parent
+// plus the children that beat cut-through delivery) in the inline store.
+const srcSmallMax = 4
 
 // denseSrcMax bounds the worlds whose mailboxes use the dense per-source
 // index.
 const denseSrcMax = 2048
 
-// mailbox is the per-rank message store with tag matching.
+// mailbox is the per-rank message store with tag matching. Mailboxes are
+// laid out as one slab per world (NewWorld) with the condvar inline, so a
+// huge world costs one allocation, not two per rank.
 type mailbox struct {
 	mu   sync.Mutex
-	cond *sync.Cond
+	cond sync.Cond // cond.L points at mu; set once at world construction
 	seq  uint64
 	// owner is the receiving rank's Proc, bound for the duration of an
 	// event-engine run (nil otherwise). It routes deliver's wakeup through
@@ -106,26 +118,37 @@ type mailbox struct {
 	// waiting marks the owner rank as parked in match/peek; deliver only
 	// pays for Signal when somebody is actually listening.
 	waiting bool
+	// npend counts queued envelopes across every bucket. The event engine's
+	// symmetry folding needs "is this mailbox completely empty" in O(1) at
+	// gather time (fold.go); it is maintained at deliver and at every
+	// removal point in take.
+	npend int
 	// size is the world size: every bucket index allocates its by-source
 	// queues at full size immediately, so the hot ring() path never grows.
 	size int
 	// ctxs indexes pending messages by communicator context id. It grows
 	// with the highest context ever used and is not reclaimed: contexts in
 	// this runtime are few and long-lived (CommWorld plus the occasional
-	// Dup/Split), and an empty srcQueues is just the index itself.
-	ctxs []*srcQueues
+	// Dup/Split), and an empty srcQueues is just the index itself. Context
+	// 0 (CommWorld, effectively all benchmark traffic) lives inline, with
+	// an init flag standing in for the index's nil check.
+	ctxs     []*srcQueues
+	ctx0     srcQueues
+	ctx0init bool
 
 	// freelists, guarded by mu: consumed envelopes and the payload staging
 	// buffers they carried (the byte half of a scratchArena, sharing its
-	// power-of-two capacity classes).
-	envFree []*envelope
-	pay     scratchArena
-}
-
-func newMailbox(size int) *mailbox {
-	mb := &mailbox{size: size}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+	// power-of-two capacity classes). The first few envelopes come from
+	// inline seed storage and recycle through inline slots — mailboxes are
+	// slab-allocated per world, and steady-state collective traffic rarely
+	// has more than a couple of envelopes in flight per mailbox, so the
+	// heap freelist is overflow only.
+	envSeedN int8
+	envFreeN int8
+	envSeed  [2]envelope
+	envFreeA [4]*envelope
+	envFree  []*envelope
+	pay      scratchArena
 }
 
 // lock/unlock guard the mailbox under the goroutine engine and compile to
@@ -142,8 +165,19 @@ func (mb *mailbox) unlock() {
 	}
 }
 
-// ring returns the (ctx, src) bucket, growing the context index as needed.
-func (mb *mailbox) ring(ctx, src int) *envRing {
+// queues returns the context's queue index, creating it on first use; the
+// world-communicator context lives inline in the mailbox.
+func (mb *mailbox) queues(ctx int) *srcQueues {
+	if ctx == 0 {
+		q := &mb.ctx0
+		if !mb.ctx0init {
+			if mb.size <= denseSrcMax {
+				q.bySrc = make([]envRing, mb.size)
+			}
+			mb.ctx0init = true
+		}
+		return q
+	}
 	for len(mb.ctxs) <= ctx {
 		mb.ctxs = append(mb.ctxs, nil)
 	}
@@ -152,13 +186,46 @@ func (mb *mailbox) ring(ctx, src int) *envRing {
 		q = &srcQueues{}
 		if mb.size <= denseSrcMax {
 			q.bySrc = make([]envRing, mb.size)
-		} else {
-			q.byMap = make(map[int32]*envRing, 16)
 		}
 		mb.ctxs[ctx] = q
 	}
+	return q
+}
+
+// lookup returns the context's queue index, nil when the context has never
+// queued a message.
+func (mb *mailbox) lookup(ctx int) *srcQueues {
+	if ctx == 0 {
+		if !mb.ctx0init {
+			return nil
+		}
+		return &mb.ctx0
+	}
+	if ctx >= len(mb.ctxs) {
+		return nil
+	}
+	return mb.ctxs[ctx]
+}
+
+// ring returns the (ctx, src) bucket, growing the indexes as needed.
+func (mb *mailbox) ring(ctx, src int) *envRing {
+	q := mb.queues(ctx)
 	if q.bySrc != nil {
 		return &q.bySrc[src]
+	}
+	for i := 0; i < int(q.nsmall); i++ {
+		if q.smallSrc[i] == int32(src) {
+			return &q.small[i]
+		}
+	}
+	if int(q.nsmall) < srcSmallMax {
+		i := q.nsmall
+		q.smallSrc[i] = int32(src)
+		q.nsmall++
+		return &q.small[i]
+	}
+	if q.byMap == nil {
+		q.byMap = make(map[int32]*envRing, 16)
 	}
 	r := q.byMap[int32(src)]
 	if r == nil {
@@ -173,15 +240,17 @@ func (mb *mailbox) ring(ctx, src int) *envRing {
 // cut-through delivery to a runnable rank.
 func (l *eventLoop) srcBucketEmpty(gdst, ctx, src int) bool {
 	mb := l.w.mailboxes[gdst]
-	if ctx >= len(mb.ctxs) {
-		return true
-	}
-	q := mb.ctxs[ctx]
+	q := mb.lookup(ctx)
 	if q == nil {
 		return true
 	}
 	if q.bySrc != nil {
 		return q.bySrc[src].size == 0
+	}
+	for i := 0; i < int(q.nsmall); i++ {
+		if q.smallSrc[i] == int32(src) {
+			return q.small[i].size == 0
+		}
 	}
 	r := q.byMap[int32(src)]
 	return r == nil || r.size == 0
@@ -218,6 +287,7 @@ func (mb *mailbox) deliver(src, tag, ctx, size int, data []byte, arrival, wire, 
 	}
 	mb.seq++
 	mb.ring(ctx, src).push(e)
+	mb.npend++
 	wake := mb.waiting
 	mb.unlock()
 	if o := mb.owner; o != nil && o.ev != nil {
@@ -244,7 +314,7 @@ func (mb *mailbox) tryMatch(src, tag, ctx int, recycle *envelope) *envelope {
 	if recycle != nil {
 		mb.pay.put(recycle.data)
 		recycle.data = nil
-		mb.envFree = append(mb.envFree, recycle)
+		mb.putEnvelope(recycle)
 	}
 	return mb.take(src, tag, ctx)
 }
@@ -259,7 +329,7 @@ func (mb *mailbox) match(src, tag, ctx int, recycle *envelope) *envelope {
 	if recycle != nil {
 		mb.pay.put(recycle.data)
 		recycle.data = nil
-		mb.envFree = append(mb.envFree, recycle)
+		mb.putEnvelope(recycle)
 	}
 	if o := mb.owner; o != nil && o.ev != nil {
 		// Event engine: park the rank's coroutine; the next delivery that
@@ -317,14 +387,15 @@ func (mb *mailbox) take(src, tag, ctx int) *envelope {
 	// Fast path: an exact-source receive whose bucket head matches, the
 	// shape of essentially all collective traffic (per-(source, tag) FIFO
 	// means the expected message is at the head once it has arrived).
-	if src != AnySource && ctx < len(mb.ctxs) {
-		if q := mb.ctxs[ctx]; q != nil && q.bySrc != nil && src < len(q.bySrc) {
+	if src != AnySource {
+		if q := mb.lookup(ctx); q != nil && q.bySrc != nil && src < len(q.bySrc) {
 			ring := &q.bySrc[src]
 			if ring.size > 0 {
 				if e := ring.buf[ring.head]; tagMatches(tag, e.tag) {
 					ring.buf[ring.head] = nil
 					ring.head = (ring.head + 1) & (len(ring.buf) - 1)
 					ring.size--
+					mb.npend--
 					return e
 				}
 			}
@@ -332,6 +403,7 @@ func (mb *mailbox) take(src, tag, ctx int) *envelope {
 			for i := 0; i < ring.size; i++ {
 				if e := ring.at(i); tagMatches(tag, e.tag) {
 					ring.removeAt(i)
+					mb.npend--
 					return e
 				}
 			}
@@ -341,6 +413,7 @@ func (mb *mailbox) take(src, tag, ctx int) *envelope {
 	e, ring, i := mb.find(src, tag, ctx)
 	if ring != nil {
 		ring.removeAt(i)
+		mb.npend--
 	}
 	return e
 }
@@ -361,10 +434,10 @@ func tagMatches(want, have int) bool {
 // lowest delivery seq among every bucket's first tag match, which is
 // exactly the envelope the old single-queue scan would have returned.
 func (mb *mailbox) find(src, tag, ctx int) (*envelope, *envRing, int) {
-	if ctx >= len(mb.ctxs) || mb.ctxs[ctx] == nil {
+	q := mb.lookup(ctx)
+	if q == nil {
 		return nil, nil, 0
 	}
-	q := mb.ctxs[ctx]
 	if src != AnySource {
 		var ring *envRing
 		if q.bySrc != nil {
@@ -372,8 +445,18 @@ func (mb *mailbox) find(src, tag, ctx int) (*envelope, *envRing, int) {
 				return nil, nil, 0
 			}
 			ring = &q.bySrc[src]
-		} else if ring = q.byMap[int32(src)]; ring == nil {
-			return nil, nil, 0
+		} else {
+			for i := 0; i < int(q.nsmall); i++ {
+				if q.smallSrc[i] == int32(src) {
+					ring = &q.small[i]
+					break
+				}
+			}
+			if ring == nil {
+				if ring = q.byMap[int32(src)]; ring == nil {
+					return nil, nil, 0
+				}
+			}
 		}
 		for i := 0; i < ring.size; i++ {
 			if e := ring.at(i); tagMatches(tag, e.tag) {
@@ -406,6 +489,9 @@ func (mb *mailbox) find(src, tag, ctx int) (*envelope, *envRing, int) {
 			scan(&q.bySrc[s])
 		}
 	} else {
+		for i := 0; i < int(q.nsmall); i++ {
+			scan(&q.small[i])
+		}
 		for _, ring := range q.byMap {
 			scan(ring)
 		}
@@ -414,10 +500,32 @@ func (mb *mailbox) find(src, tag, ctx int) (*envelope, *envRing, int) {
 }
 
 func (mb *mailbox) getEnvelope() *envelope {
+	if n := mb.envFreeN; n > 0 {
+		mb.envFreeN--
+		e := mb.envFreeA[n-1]
+		mb.envFreeA[n-1] = nil
+		return e
+	}
 	if n := len(mb.envFree); n > 0 {
 		e := mb.envFree[n-1]
 		mb.envFree = mb.envFree[:n-1]
 		return e
 	}
+	if mb.envSeedN < int8(len(mb.envSeed)) {
+		e := &mb.envSeed[mb.envSeedN]
+		mb.envSeedN++
+		return e
+	}
 	return &envelope{}
+}
+
+// putEnvelope recycles a consumed envelope, preferring the inline slots.
+// The caller holds the mailbox lock.
+func (mb *mailbox) putEnvelope(e *envelope) {
+	if n := mb.envFreeN; n < int8(len(mb.envFreeA)) {
+		mb.envFreeA[n] = e
+		mb.envFreeN++
+		return
+	}
+	mb.envFree = append(mb.envFree, e)
 }

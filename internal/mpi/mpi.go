@@ -64,6 +64,11 @@ type Config struct {
 	// unknown names fail NewWorld. Missing or empty entries keep the
 	// Tuning-driven selection.
 	Algorithms map[Collective]string
+	// DisableFold turns off the event engine's symmetry folding (fold.go),
+	// forcing per-rank simulation of every collective. A debugging escape
+	// hatch: folding is bit-identical to per-rank execution, so the only
+	// observable difference is speed.
+	DisableFold bool
 }
 
 // World is a set of ranks sharing mailboxes and a cost model.
@@ -89,6 +94,17 @@ type World struct {
 
 	ctxMu   sync.Mutex
 	nextCtx int
+
+	// Symmetry-folding state (event engine only, single-threaded; fold.go).
+	// foldShapes caches the analyzed shape of a shared schedule keyed by
+	// rank 0's compiled-schedule pointer; foldNo records schedules proven
+	// unfoldable so later invocations skip the gather entirely. Both are
+	// cleared when a Run tears down (schedule pointers return to the pool).
+	foldShapes  map[*collSched]*foldShape
+	foldNo      map[*collSched]struct{}
+	foldStats   FoldStats
+	foldOff     bool
+	foldScratch foldScratch
 }
 
 // linkTabMaxRanks bounds the worlds that get the direct size*size link
@@ -192,11 +208,16 @@ func NewWorld(cfg Config) (*World, error) {
 		cfg: cfg, size: size, fullSub: cfg.Placement.FullySubscribed(),
 		policy:  Policy{Tuning: cfg.Tuning.withDefaults(), Forced: forced, defaulted: true},
 		nextCtx: 1,
+		foldOff: cfg.DisableFold,
 	}
 	w.buildLinkTables()
 	w.mailboxes = make([]*mailbox, size)
+	mbs := make([]mailbox, size) // one slab, not 2*size allocations
 	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox(size)
+		mb := &mbs[i]
+		mb.size = size
+		mb.cond.L = &mb.mu
+		w.mailboxes[i] = mb
 	}
 	w.worldGroup = make([]int, size)
 	for i := range w.worldGroup {
@@ -296,8 +317,10 @@ type Proc struct {
 	// touches only O(log size) peers per rank.
 	linkBusy       []vtime.Micros
 	linkBusySparse map[int32]vtime.Micros
-	// comm0 is the rank's cached world communicator.
-	comm0 *Comm
+	// comm0 is the rank's cached world communicator; comm0v is its inline
+	// storage, so CommWorld never allocates.
+	comm0  *Comm
+	comm0v Comm
 	// spent is the last consumed envelope, recycled into this rank's
 	// mailbox freelist on the next receive.
 	spent *envelope
@@ -322,7 +345,28 @@ type Proc struct {
 	// every iteration. A pure-function cache: it cannot change a single
 	// virtual-time number.
 	costMemo [8]ptptMemo
+	// foldLB is the rank's symbolic link-busy state left behind by a folded
+	// collective: one shared-per-class object holding (peer delta, busy
+	// until) pairs instead of materialized per-destination entries. Any
+	// non-fold touch of the link-busy state materializes it first (fold.go).
+	// lbDirty marks that the rank holds materialized link-busy entries a
+	// fold resolver cannot describe symbolically; both reset with ResetClock.
+	foldLB  *foldLB
+	lbDirty bool
+	// lbSmall* is a tiny inline store in front of the sparse map in huge
+	// worlds: collective traffic touches O(log size) distinct peers per
+	// rank, so the map (an allocation per insert growth) almost never
+	// engages. A destination lives in the inline store or the map, never
+	// both: inserts go inline until it fills, then overflow to the map, and
+	// an inline-resident destination is always updated in place.
+	lbSmallN   int8
+	lbSmallDst [lbSmallMax]int32
+	lbSmallVal [lbSmallMax]vtime.Micros
 }
+
+// lbSmallMax covers a recursive-doubling schedule at 64Ki ranks (log2 = 16
+// distinct peers) without touching the overflow map.
+const lbSmallMax = 16
 
 // linkBusyDenseMax bounds the worlds whose ranks track wire business in a
 // dense per-destination vector.
@@ -330,19 +374,49 @@ const linkBusyDenseMax = 2048
 
 // linkBusyUntil returns when this rank's wire to dst frees up.
 func (p *Proc) linkBusyUntil(dst int) vtime.Micros {
+	if p.foldLB != nil {
+		p.materializeFoldLB()
+	}
 	if p.linkBusy != nil {
 		return p.linkBusy[dst]
+	}
+	for i := 0; i < int(p.lbSmallN); i++ {
+		if p.lbSmallDst[i] == int32(dst) {
+			return p.lbSmallVal[i]
+		}
 	}
 	return p.linkBusySparse[int32(dst)]
 }
 
 // holdLink marks this rank's wire to dst busy until t.
 func (p *Proc) holdLink(dst int, t vtime.Micros) {
+	if p.foldLB != nil {
+		p.materializeFoldLB()
+	}
+	p.lbDirty = true
+	p.lbStore(dst, t)
+}
+
+// lbStore is the raw link-busy write shared by holdLink and the symbolic
+// state materialization.
+func (p *Proc) lbStore(dst int, t vtime.Micros) {
 	if p.world.size <= linkBusyDenseMax {
 		if p.linkBusy == nil {
 			p.linkBusy = make([]vtime.Micros, p.world.size)
 		}
 		p.linkBusy[dst] = t
+		return
+	}
+	for i := 0; i < int(p.lbSmallN); i++ {
+		if p.lbSmallDst[i] == int32(dst) {
+			p.lbSmallVal[i] = t
+			return
+		}
+	}
+	if _, inMap := p.linkBusySparse[int32(dst)]; !inMap && int(p.lbSmallN) < lbSmallMax {
+		p.lbSmallDst[p.lbSmallN] = int32(dst)
+		p.lbSmallVal[p.lbSmallN] = t
+		p.lbSmallN++
 		return
 	}
 	if p.linkBusySparse == nil {
@@ -402,7 +476,8 @@ func (p *Proc) AdvanceClock(d vtime.Micros) { p.clock.Advance(d) }
 // group slice, so repeated calls allocate nothing.
 func (p *Proc) CommWorld() *Comm {
 	if p.comm0 == nil {
-		p.comm0 = &Comm{proc: p, ctx: 0, group: p.world.worldGroup, rank: p.rank}
+		p.comm0v = Comm{proc: p, ctx: 0, group: p.world.worldGroup, rank: p.rank}
+		p.comm0 = &p.comm0v
 	}
 	return p.comm0
 }
@@ -419,4 +494,7 @@ func (p *Proc) ResetClock() {
 	p.clock.Set(0)
 	clear(p.linkBusy)
 	clear(p.linkBusySparse)
+	p.lbSmallN = 0
+	p.foldLB = nil
+	p.lbDirty = false
 }

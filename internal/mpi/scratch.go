@@ -13,9 +13,25 @@ package mpi
 // nondeterministic where make gave stable zeros. getRaw skips the clear
 // for the one caller that provably overwrites the whole buffer.
 type scratchArena struct {
-	bytes [payloadMaxClass + 1][][]byte
-	ints  [payloadMaxClass + 1][][]int
+	// seed is inline backing for the smallest class (64 B). Nearly every
+	// buffer a timing-only world stages — 24-byte reduction rows above
+	// all — lands there, and arenas are embedded in per-world slabs, so
+	// serving the first few tiny buffers from the struct itself keeps the
+	// steady-state sweep free of per-run make calls. small holds their
+	// freelist slots inline for the same reason: the spill slice in bytes
+	// would otherwise regrow once per arena per run.
+	seedN  int8
+	smallN int8
+	seed   [scratchSeeds][1 << payloadMinClass]byte
+	small  [scratchSeeds][]byte
+	bytes  [payloadMaxClass + 1][][]byte
+	ints   [payloadMaxClass + 1][][]int
 }
+
+// scratchSeeds bounds the inline buffers per arena; a binomial reduce
+// parent rarely holds more than a few staged rows at once, and overflow
+// just falls back to the heap classes.
+const scratchSeeds = 4
 
 func (a *scratchArena) get(n int) []byte {
 	b := a.getRaw(n)
@@ -30,6 +46,19 @@ func (a *scratchArena) getRaw(n int) []byte {
 	c := payloadClass(n)
 	if c > payloadMaxClass {
 		return make([]byte, n)
+	}
+	if c == payloadMinClass {
+		if l := a.smallN; l > 0 {
+			a.smallN--
+			b := a.small[l-1]
+			a.small[l-1] = nil
+			return b[:n]
+		}
+		if a.seedN < scratchSeeds {
+			b := a.seed[a.seedN][:]
+			a.seedN++
+			return b[:n]
+		}
 	}
 	if l := len(a.bytes[c]); l > 0 {
 		b := a.bytes[c][l-1]
@@ -46,6 +75,11 @@ func (a *scratchArena) put(b []byte) {
 	}
 	c := payloadClass(cap(b))
 	if c > payloadMaxClass || cap(b) != 1<<c {
+		return
+	}
+	if c == payloadMinClass && a.smallN < scratchSeeds {
+		a.small[a.smallN] = b[:cap(b)]
+		a.smallN++
 		return
 	}
 	a.bytes[c] = append(a.bytes[c], b[:cap(b)])

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector is compiled in; tests
+// that pin allocation counts skip under it.
+const raceEnabled = true

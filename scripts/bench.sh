@@ -20,6 +20,12 @@
 # at a sparse (16x1) and a folded (63x7) placement and carry the aggregate
 # message rate as msg_rate_per_sec — the perf baseline of the multi-pair
 # point-to-point family.
+#
+# The huge-world family (PR 6) runs at 1024/4096/16384/65536 ranks with
+# symmetry folding on, plus 1024/4096 fold-off rows; the JSON carries
+# fold_speedup_huge_world, the 4096-rank fold-off/fold-on wall-clock
+# ratio. The 65536-rank row is the scaling headline and is reported
+# honestly whatever it measures.
 set -euo pipefail
 
 out="${1:-BENCH.json}"
@@ -64,6 +70,8 @@ END {
 	printf "  \"cpu\": \"%s\",\n", cpu
 	if (("EngineLargeWorld/goroutine" in ns) && ("EngineLargeWorld/event" in ns))
 		printf "  \"engine_speedup_large_world\": %.2f,\n", ns["EngineLargeWorld/goroutine"] / ns["EngineLargeWorld/event"]
+	if (("EngineHugeWorldNoFold/4096" in ns) && ("EngineHugeWorld/4096" in ns))
+		printf "  \"fold_speedup_huge_world\": %.2f,\n", ns["EngineHugeWorldNoFold/4096"] / ns["EngineHugeWorld/4096"]
 	if (m > 0) {
 		printf "  \"multi_pair_message_rate\": [\n"
 		for (i = 0; i < m; i++)

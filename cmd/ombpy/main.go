@@ -52,6 +52,7 @@ func main() {
 		engine  = flag.String("engine", "auto", "execution engine: auto (event for timing-only runs), goroutine, event")
 		fold    = flag.Bool("fold", true, "let the event engine fold symmetric ranks (false forces every rank to execute; reported numbers are identical either way)")
 		algo    = flag.String("algorithm", "", "force collective algorithms: a name for this benchmark's collective, coll=name pairs, \"all\" to sweep every algorithm, \"list\" to show the registry")
+		faults  = flag.String("faults", "", "deterministic fault plan, e.g. \"kill:rank=3,after=2:allreduce; noise:sigma=5us; jitter:link=0.1; seed:42\"")
 		par     = flag.Int("parallel", 0, "worker count for the -algorithm all sweep (0 = serial)")
 		asJSON  = flag.Bool("json", false, "emit the report as JSON")
 		plot    = flag.Bool("plot", false, "render the series as an ASCII chart")
@@ -96,6 +97,7 @@ func main() {
 		TimingOnly: *timing,
 		Engine:     *engine,
 		NoFold:     !*fold,
+		Faults:     *faults,
 	}
 
 	if *algo == "all" {

@@ -36,6 +36,7 @@ func main() {
 		par    = flag.Int("parallel", 0, "sweep worker count for multi-variant experiments (0 = serial)")
 		engine = flag.String("engine", "auto", "execution engine for every run: auto (event for timing-only runs), goroutine, event")
 		fold   = flag.Bool("fold", true, "let the event engine fold symmetric ranks (false forces every rank to execute; reported numbers are identical either way)")
+		faults = flag.String("faults", "", "deterministic fault plan applied to every run, e.g. \"noise:sigma=2us; jitter:link=0.1; seed:7\"")
 	)
 	flag.Parse()
 	plotCharts = *plot
@@ -50,6 +51,7 @@ func main() {
 	core.SetDefaultSweepWorkers(*par)
 	core.SetDefaultEngine(*engine)
 	core.SetDefaultFold(*fold)
+	core.SetDefaultFaults(*faults)
 
 	switch {
 	case *list:

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// faultEngines are the engine configurations a fault-injected run must
+// agree across: same classified failure, same perturbed numbers, byte for
+// byte. The event engine needs timing-only worlds.
+var faultEngines = []struct {
+	name       string
+	engine     string
+	timingOnly bool
+}{
+	{"goroutine", "goroutine", true},
+	{"event", "event", true},
+}
+
+// TestRunClassifiesKillFailure runs a fault scenario under a kill plan and
+// checks Run returns a classified Report.Failure — not an error, not a
+// hang — identically on both engines.
+func TestRunClassifiesKillFailure(t *testing.T) {
+	var want *Failure
+	for _, eng := range faultEngines {
+		opts := quickOpts(FaultAllreduce, ModeC)
+		opts.Ranks, opts.PPN = 8, 4
+		opts.MaxSize = 4 * 1024
+		opts.Engine = eng.engine
+		opts.TimingOnly = eng.timingOnly
+		opts.Faults = "kill:rank=3,after=5:allreduce"
+		rep, err := Run(opts)
+		if err != nil {
+			t.Fatalf("%s: Run = %v, want classified failure", eng.name, err)
+		}
+		f := rep.Failure
+		if f == nil {
+			t.Fatalf("%s: Report.Failure is nil under a kill plan", eng.name)
+		}
+		if f.Code != "MPI_ERR_PROC_FAILED" && f.Code != "RANK_KILLED" {
+			t.Fatalf("%s: failure code %q", eng.name, f.Code)
+		}
+		if len(f.Failed) != 1 || f.Failed[0] != 3 {
+			t.Fatalf("%s: failure blames %v, want [3]", eng.name, f.Failed)
+		}
+		if want == nil {
+			want = f
+			continue
+		}
+		if !reflect.DeepEqual(want, f) {
+			t.Fatalf("engines disagree on the classified failure:\n%s: %+v\n%s: %+v",
+				faultEngines[0].name, want, eng.name, f)
+		}
+	}
+}
+
+// TestFaultReportJSONFields pins the fault keys of the report schema: a
+// fault-injected run serializes its plan and failure, and a clean run of
+// the same options omits both keys entirely (the golden-fixture guarantee).
+func TestFaultReportJSONFields(t *testing.T) {
+	opts := quickOpts(Allreduce, ModeC)
+	opts.Ranks, opts.PPN = 4, 2
+	opts.MaxSize = 1024
+	clean, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanJSON, err := json.Marshal(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cleanKeys map[string]json.RawMessage
+	if err := json.Unmarshal(cleanJSON, &cleanKeys); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"faults", "failure"} {
+		if _, ok := cleanKeys[key]; ok {
+			t.Fatalf("clean report serializes %q; no-fault schema must be unchanged", key)
+		}
+	}
+
+	opts.Faults = "kill:rank=1,after=2:allreduce"
+	failed, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failedJSON, err := json.Marshal(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failedKeys map[string]json.RawMessage
+	if err := json.Unmarshal(failedJSON, &failedKeys); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"faults", "failure"} {
+		if _, ok := failedKeys[key]; !ok {
+			t.Fatalf("fault-injected report is missing %q key", key)
+		}
+	}
+}
+
+// TestFaultNoiseSweepDeterministic re-runs a noise+jitter sweep across
+// serial and parallel workers and across both engines: every combination
+// must serialize byte-identically — the seeded perturbation depends only
+// on the plan, never on the schedule or the engine.
+func TestFaultNoiseSweepDeterministic(t *testing.T) {
+	marshal := func(engine string, workers int) []byte {
+		base := quickOpts(Allreduce, ModeC)
+		base.Ranks, base.PPN = 8, 4
+		base.MaxSize = 8 * 1024
+		base.Engine = engine
+		base.TimingOnly = true
+		base.Faults = "noise:sigma=3us; jitter:link=0.15; seed:42"
+		sweep := Sweep{
+			Base:    base,
+			Workers: workers,
+			Variants: []Variant{
+				{Name: "allreduce", Mutate: func(o *Options) {}},
+				{Name: "bcast", Mutate: func(o *Options) { o.Benchmark = Bcast }},
+				{Name: "alltoall", Mutate: func(o *Options) { o.Benchmark = Alltoall; o.MaxSize = 1024 }},
+			},
+		}
+		res, err := sweep.Run()
+		if err != nil {
+			t.Fatalf("engine %s workers %d: %v", engine, workers, err)
+		}
+		blob, err := json.Marshal(res.Reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	want := marshal("goroutine", 1)
+	for _, eng := range []string{"goroutine", "event"} {
+		for _, workers := range []int{1, 4} {
+			if eng == "goroutine" && workers == 1 {
+				continue
+			}
+			got := marshal(eng, workers)
+			if string(got) != string(want) {
+				t.Fatalf("noise sweep not deterministic: engine %s workers %d differs from serial goroutine",
+					eng, workers)
+			}
+		}
+	}
+
+	// The perturbation is live (differs from a clean run) and seeded
+	// (differs under another seed).
+	cleanOpts := quickOpts(Allreduce, ModeC)
+	cleanOpts.Ranks, cleanOpts.PPN = 8, 4
+	cleanOpts.MaxSize = 8 * 1024
+	cleanOpts.TimingOnly = true
+	clean, err := Run(cleanOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisyOpts := cleanOpts
+	noisyOpts.Faults = "noise:sigma=3us; jitter:link=0.15; seed:42"
+	noisy, err := Run(noisyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(clean.Series.Rows, noisy.Series.Rows) {
+		t.Fatal("noise plan did not perturb the numbers")
+	}
+	reseedOpts := cleanOpts
+	reseedOpts.Faults = "noise:sigma=3us; jitter:link=0.15; seed:43"
+	reseed, err := Run(reseedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(noisy.Series.Rows, reseed.Series.Rows) {
+		t.Fatal("different seeds produced identical noisy numbers")
+	}
+}

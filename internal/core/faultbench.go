@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+// Fault-scenario benchmark family: the registry collectives re-run under a
+// mandatory fault plan (Options.Faults / the CLIs' -faults flag). A
+// scenario is the collective latency pipeline unchanged — under noise or
+// jitter it reports perturbed-but-deterministic rows, and under a kill
+// plan the run terminates with a structured Report.Failure instead of a
+// hang, which is exactly what the family exists to demonstrate and pin.
+
+// Fault-scenario benchmarks.
+const (
+	FaultAllreduce Benchmark = "fault_allreduce"
+	FaultBcast     Benchmark = "fault_bcast"
+	FaultAlltoall  Benchmark = "fault_alltoall"
+	FaultBarrier   Benchmark = "fault_barrier"
+)
+
+const groupFault = "fault scenarios (-faults required)"
+
+// requireFaults is the family's validation hook: a fault scenario without
+// a plan is a configuration error, not a silent clean run.
+func requireFaults(o Options) error {
+	if o.Faults == "" {
+		return fmt.Errorf("core: %s needs a fault plan (-faults \"kill:rank=1,after=2:allreduce\" or \"noise:sigma=5us\")", o.Benchmark)
+	}
+	return nil
+}
+
+// faultBody runs the underlying collective's latency pipeline; the fault
+// plan does its work inside the runtime.
+func faultBody(under Benchmark) func(*Bench) (stats.Row, error) {
+	return func(b *Bench) (stats.Row, error) { return runCollective(b, under) }
+}
+
+func init() {
+	fault := func(name Benchmark, under Benchmark, summary string, s BenchmarkSpec) {
+		s.Name, s.Summary = name, summary
+		s.Kind, s.Group, s.MinRanks = KindCollective, groupFault, 2
+		s.Modes = []Mode{ModeC}
+		s.Validate = requireFaults
+		s.Body = faultBody(under)
+		RegisterBenchmark(s)
+	}
+	fault(FaultAllreduce, Allreduce, "MPI_Allreduce under a fault plan", BenchmarkSpec{
+		Algo: mpi.CollAllreduce, Reduces: true,
+	})
+	fault(FaultBcast, Bcast, "MPI_Bcast under a fault plan", BenchmarkSpec{
+		Algo: mpi.CollBcast,
+	})
+	fault(FaultAlltoall, Alltoall, "MPI_Alltoall under a fault plan", BenchmarkSpec{
+		Algo: mpi.CollAlltoall, Buffers: buffersAllpair,
+	})
+	fault(FaultBarrier, Barrier, "MPI_Barrier under a fault plan", BenchmarkSpec{
+		FixedSizes: []int{0},
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/mpi4py"
 	"repro/internal/netmodel"
@@ -125,6 +126,12 @@ type Options struct {
 	// "rd", "raben", ...). Names are canonicalised and validated; a nil
 	// map takes the process default set via SetDefaultAlgorithms.
 	Algorithms map[string]string
+	// Faults is a deterministic fault-injection spec (see internal/faults:
+	// "kill:rank=3,after=2:allreduce; noise:sigma=5us; jitter:link=0.1").
+	// A run whose world fails mid-benchmark reports the structured failure
+	// in Report.Failure instead of aborting; the empty string (after
+	// SetDefaultFaults) simulates a perfect machine at zero cost.
+	Faults string
 }
 
 // defaultEngine is the process-wide engine default applied when
@@ -172,6 +179,14 @@ func (o Options) engine() (mpi.Engine, error) {
 	}
 	return eng, nil
 }
+
+// defaultFaults is the process-wide fault-plan default applied when
+// Options.Faults is empty; the CLIs' -faults flag sets it.
+var defaultFaults string
+
+// SetDefaultFaults installs the process-wide fault-injection spec. It is
+// meant to be called once at CLI startup, before any Run.
+func SetDefaultFaults(spec string) { defaultFaults = spec }
 
 // defaultAlgorithms is the process-wide forced-algorithm default applied
 // when Options.Algorithms is nil -- the CLIs' -algorithm flag sets it, the
@@ -288,6 +303,9 @@ func (o Options) withDefaults() Options {
 	if o.Algorithms == nil {
 		o.Algorithms = defaultAlgorithms
 	}
+	if o.Faults == "" {
+		o.Faults = defaultFaults
+	}
 	if defaultNoFold {
 		o.NoFold = true
 	}
@@ -345,6 +363,9 @@ func (o Options) validate() error {
 	}
 	if _, err := o.mpiAlgorithms(); err != nil {
 		return err
+	}
+	if _, err := faults.Parse(o.Faults); err != nil {
+		return fmt.Errorf("core: -faults: %w", err)
 	}
 	return nil
 }

@@ -10,15 +10,19 @@ import (
 
 // reportJSON is the stable serialization schema of a Report.
 type reportJSON struct {
-	Benchmark string    `json:"benchmark"`
-	Cluster   string    `json:"cluster"`
-	Impl      string    `json:"impl"`
-	Mode      string    `json:"mode"`
-	Buffer    string    `json:"buffer,omitempty"`
-	GPU       bool      `json:"gpu"`
-	Ranks     int       `json:"ranks"`
-	PPN       int       `json:"ppn"`
-	Rows      []rowJSON `json:"rows"`
+	Benchmark string `json:"benchmark"`
+	Cluster   string `json:"cluster"`
+	Impl      string `json:"impl"`
+	Mode      string `json:"mode"`
+	Buffer    string `json:"buffer,omitempty"`
+	GPU       bool   `json:"gpu"`
+	Ranks     int    `json:"ranks"`
+	PPN       int    `json:"ppn"`
+	// Faults and Failure appear only on fault-injected runs, keeping the
+	// no-fault schema (and its golden fixtures) byte-identical.
+	Faults  string    `json:"faults,omitempty"`
+	Rows    []rowJSON `json:"rows"`
+	Failure *Failure  `json:"failure,omitempty"`
 }
 
 type rowJSON struct {
@@ -49,6 +53,8 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 	if r.Options.Mode != ModeC {
 		out.Buffer = r.Options.Buffer.String()
 	}
+	out.Faults = r.Options.Faults
+	out.Failure = r.Failure
 	for _, row := range r.Series.Rows {
 		out.Rows = append(out.Rows, rowJSON{
 			Size: row.Size, AvgUs: row.AvgUs, MinUs: row.MinUs,
@@ -89,6 +95,9 @@ func (r *Report) Text() string {
 			fmt.Fprintf(&sb, "%-12s %12.2f %12.2f %12.2f\n",
 				stats.HumanBytes(row.Size), row.AvgUs, row.MinUs, row.MaxUs)
 		}
+	}
+	if f := r.Failure; f != nil {
+		fmt.Fprintf(&sb, "# FAILED: %s\n", f.Message)
 	}
 	return sb.String()
 }

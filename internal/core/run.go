@@ -2,10 +2,12 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
 	"repro/internal/stats"
@@ -16,6 +18,53 @@ import (
 type Report struct {
 	Options Options
 	Series  stats.Series
+	// Failure is the structured fault outcome of a run whose world failed
+	// under the fault plan (Options.Faults); nil for a clean run. The rows
+	// completed before the failure stay in Series.
+	Failure *Failure
+}
+
+// Failure is the report-level view of a fault-plan failure: which rank the
+// plan killed (or which survivor observed the failure), where, and when.
+type Failure struct {
+	// Code is "MPI_ERR_PROC_FAILED" for a survivor's observation and
+	// "RANK_KILLED" when the run's first classified error is the killed
+	// rank's own terminal error.
+	Code string `json:"code"`
+	// Rank is the rank the error was observed on.
+	Rank int `json:"rank"`
+	// Failed lists the dead ranks (the killed rank itself for RANK_KILLED).
+	Failed []int `json:"failed"`
+	// Collective and Step locate the blocked operation; Step is -1 for
+	// point-to-point operations.
+	Collective string `json:"collective,omitempty"`
+	Step       int    `json:"step"`
+	// TimeUs is the observing rank's virtual clock, microseconds.
+	TimeUs float64 `json:"time_us"`
+	// Message is the underlying error text.
+	Message string `json:"message"`
+}
+
+// classifyFailure maps a world error to its structured report row; nil when
+// the error is not a fault-plan outcome.
+func classifyFailure(err error) *Failure {
+	var killed *mpi.RankKilledError
+	if errors.As(err, &killed) {
+		return &Failure{
+			Code: "RANK_KILLED", Rank: killed.Rank, Failed: []int{killed.Rank},
+			Collective: string(killed.Collective), Step: -1,
+			TimeUs: float64(killed.Time), Message: err.Error(),
+		}
+	}
+	var failed *mpi.RankFailedError
+	if errors.As(err, &failed) {
+		return &Failure{
+			Code: failed.Code, Rank: failed.Rank, Failed: failed.Failed,
+			Collective: string(failed.Collective), Step: failed.Step,
+			TimeUs: float64(failed.Time), Message: err.Error(),
+		}
+	}
+	return nil
 }
 
 // Run executes one benchmark configuration and returns its per-size series.
@@ -49,6 +98,10 @@ func Run(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	plan, err := faults.Parse(opts.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("core: -faults: %w", err)
+	}
 	world, err := mpi.NewWorld(mpi.Config{
 		Placement:   place,
 		Model:       model,
@@ -58,6 +111,7 @@ func Run(opts Options) (*Report, error) {
 		Tuning:      opts.Tuning,
 		Algorithms:  algorithms,
 		DisableFold: opts.NoFold,
+		Faults:      plan,
 	})
 	if err != nil {
 		return nil, err
@@ -119,6 +173,14 @@ func Run(opts Options) (*Report, error) {
 		return nil
 	})
 	if err != nil {
+		// A fault-plan failure is a classified outcome, not an abort: the
+		// report keeps the rows completed before the failure and carries
+		// the structured failure row.
+		if f := classifyFailure(err); f != nil {
+			report.Failure = f
+			report.Series.Name = seriesName(opts)
+			return report, nil
+		}
 		return nil, err
 	}
 	report.Series.Name = seriesName(opts)

@@ -138,9 +138,18 @@ func TestAllCollectivesRunBothModes(t *testing.T) {
 			if b.Kind() == KindOverlap && mode != ModeC {
 				continue // overlap benchmarks are C-mode only
 			}
+			if !b.spec().SupportsMode(mode) {
+				continue // e.g. fault scenarios are C-mode only
+			}
 			opts := quickOpts(b, mode)
 			opts.Ranks, opts.PPN = 8, 4
 			opts.MaxSize = 16 * 1024
+			if b.spec().Group == groupFault {
+				// Fault scenarios refuse to run without a plan; a small
+				// noise plan keeps them on the clean path through the
+				// latency pipeline.
+				opts.Faults = "noise:sigma=1us"
+			}
 			rep, err := Run(opts)
 			if err != nil {
 				t.Fatalf("%s %v: %v", b, mode, err)

@@ -37,6 +37,15 @@ func (c *Comm) Ibarrier() (*Request, error) {
 // barrierAlg stands in for the algorithm pointer in the step cache.
 const collBarrier Collective = "barrier"
 
+// Labels for the directly built (non-registry) collectives, used by the
+// fault layer to name the collective in kill rules and failure errors.
+const (
+	collReduce  Collective = "reduce"
+	collGather  Collective = "gather"
+	collScatter Collective = "scatter"
+	collScan    Collective = "scan"
+)
+
 var barrierAlg = &Algorithm{Name: "dissemination", Collective: collBarrier}
 
 func (c *Comm) barrierStart() *collSched {
@@ -55,15 +64,22 @@ func (c *Comm) barrierStart() *collSched {
 		key := replayKey{ctx: c.ctx, coll: collBarrier}
 		s, known := c.replaySched(key)
 		if s != nil {
+			s.coll = collBarrier
 			return s
 		}
 		if !known {
 			s, _ = c.compileCachedSched(key,
 				stepKey{alg: barrierAlg, rank: c.rank, commSize: p}, 0, 0, build)
+			if s != nil {
+				s.coll = collBarrier
+			}
 			return s
 		}
 	}
 	s, _ := c.buildSched(0, 0, build)
+	if s != nil {
+		s.coll = collBarrier
+	}
 	return s
 }
 
@@ -226,6 +242,7 @@ func (c *Comm) reduceStart(sbuf, rbuf []byte, n int, dt DType, op Op, root int) 
 	}
 	p := len(c.group)
 	s := c.getSched()
+	s.coll = collReduce
 	s.dt, s.op = dt, op
 	// Accumulator starts as a copy of the local contribution.
 	var acc, tmp []byte
@@ -292,6 +309,7 @@ func (c *Comm) gatherStart(sbuf []byte, n int, rbuf []byte, root int) (*collSche
 		return nil, fmt.Errorf("mpi: Gather recv buffer %d < %d", len(rbuf), p*n)
 	}
 	s := c.getSched()
+	s.coll = collGather
 	// Binomial gather in relative-rank space: each node accumulates the
 	// blocks of its subtree contiguously (relative order), then root
 	// rotates to absolute order.
@@ -348,6 +366,7 @@ func (c *Comm) scatterStart(sbuf, rbuf []byte, n, root int) (*collSched, error) 
 		return nil, fmt.Errorf("mpi: Scatter send buffer %d < %d", len(sbuf), p*n)
 	}
 	s := c.getSched()
+	s.coll = collScatter
 	rel := (c.rank - root + p) % p
 	sub := subtreeSize(rel, p)
 	var stage []byte

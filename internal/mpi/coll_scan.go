@@ -65,6 +65,7 @@ func (c *Comm) scanStart(sbuf, rbuf []byte, n int, dt DType, op Op, exclusive bo
 	p := len(c.group)
 	carry := sbuf != nil && rbuf != nil
 	s := c.getSched()
+	s.coll = collScan
 	s.dt, s.op = dt, op
 
 	// acc: the value this rank forwards (op of a contiguous rank window

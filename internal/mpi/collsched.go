@@ -88,6 +88,14 @@ type collSched struct {
 	steps []collStep
 	pc    int
 
+	// coll labels the invocation for fault injection and diagnostics
+	// (which collective a kill rule matched, where a survivor was blocked);
+	// empty for unlabeled builders. faultEntered marks that the
+	// collective-entry fault hook has run for this invocation, so a
+	// nonblocking collective's Wait-side driveSched does not double-count.
+	coll         Collective
+	faultEntered bool
+
 	// pending is the handshake of the last opPost (nil after an eager
 	// post); pendingSet distinguishes "eager post outstanding" from "no
 	// post outstanding" so builder bugs trip the panic below.
@@ -165,6 +173,7 @@ func (c *Comm) getSchedClass(light bool) *collSched {
 	s.cached, s.inUse = false, false
 	s.prices, s.postIdx = s.prices[:0], 0
 	s.shared = false
+	s.coll, s.faultEntered = "", false
 	return s
 }
 
@@ -186,6 +195,7 @@ func (s *collSched) finish() {
 		s.phase = 0
 		s.owner = nil
 		s.inUse = false
+		s.faultEntered = false
 		return
 	}
 	for i, b := range s.bufs {
@@ -279,22 +289,27 @@ func (s *collSched) postStep(peer int, buf []byte, n int) {
 }
 
 // drainStep completes the outstanding posted send; without block it
-// reports false when the handshake has not been reported yet.
-func (s *collSched) drainStep(block bool) bool {
+// reports false when the handshake has not been reported yet. The error is
+// a fault-plan failure: the handshake's peer died and the stall detector
+// broke the wait.
+func (s *collSched) drainStep(block bool) (bool, error) {
 	if s.pending != nil {
 		if block {
-			s.c.completeSend(s.pending)
+			if err := s.c.completeSend(s.pending); err != nil {
+				s.pending, s.pendingSet = nil, false
+				return false, err
+			}
 		} else {
 			done, ok := s.pending.tryDone()
 			if !ok {
-				return false
+				return false, nil
 			}
 			s.c.proc.clock.AdvanceTo(done)
 			s.c.proc.putRendezvous(s.pending)
 		}
 	}
 	s.pending, s.pendingSet = nil, false
-	return true
+	return true, nil
 }
 
 // recvStep consumes the peer's message of this collective into dst; with
@@ -324,7 +339,11 @@ func (s *collSched) execStep(block bool) (bool, error) {
 			s.postStep(st.peer, st.src, st.n)
 			s.phase = 1
 		}
-		if !s.drainStep(block) {
+		ok, err := s.drainStep(block)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
 			return false, nil
 		}
 		s.phase = 0
@@ -343,7 +362,11 @@ func (s *collSched) execStep(block bool) (bool, error) {
 			}
 			s.phase = 2
 		}
-		if !s.drainStep(block) {
+		ok, err := s.drainStep(block)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
 			return false, nil
 		}
 		s.phase = 0
@@ -353,7 +376,11 @@ func (s *collSched) execStep(block bool) (bool, error) {
 		if !s.pendingSet {
 			panic("mpi: collective schedule waitSend without post")
 		}
-		if !s.drainStep(block) {
+		ok, err := s.drainStep(block)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
 			return false, nil
 		}
 	case opRecv:
@@ -393,10 +420,15 @@ func (s *collSched) execStep(block bool) (bool, error) {
 // drainPending completes an outstanding posted send after a failed receive
 // step, mirroring sendrecvRaw's error path: the message was already
 // injected, so its handshake must be drained (and recycled) even though
-// the schedule is being abandoned.
+// the schedule is being abandoned. Once the world is in failure mode the
+// handshake's peer may be dead, so the drain is dropped instead of
+// blocking (the handshake object is abandoned to the GC).
 func (s *collSched) drainPending() {
 	if s.pendingSet && s.pending != nil {
-		s.c.completeSend(s.pending)
+		p := s.c.proc
+		if p.failure == nil && !p.world.failedFlag.Load() {
+			_ = s.c.completeSend(s.pending)
+		}
 	}
 	s.pending, s.pendingSet = nil, false
 }
@@ -407,11 +439,24 @@ func (s *collSched) drainPending() {
 // engine the drive is handed to the event loop instead (same steps, same
 // clock arithmetic, two coroutine switches total).
 func (c *Comm) driveSched(s *collSched) error {
+	if c.proc.world.faults != nil && !s.faultEntered {
+		s.faultEntered = true
+		if err := c.proc.faultCollEnter(s); err != nil {
+			s.drainPending()
+			s.finish()
+			return err
+		}
+	}
 	if c.proc.ev != nil {
 		return c.driveSchedEvent(s)
 	}
 	for s.pc < len(s.steps) {
 		if _, err := s.execStep(true); err != nil {
+			// A stall-detector failure surfaces from the blocked primitive
+			// without schedule context; attach it here.
+			if fe, ok := err.(*RankFailedError); ok && fe.Collective == "" {
+				fe.Collective, fe.Step = s.coll, s.pc
+			}
 			s.drainPending()
 			s.finish()
 			return err
@@ -506,6 +551,7 @@ func (c *Comm) startColl(coll Collective, sel Selection, call collCall) (*collSc
 		key := replayKey{ctx: c.ctx, coll: coll, n: call.n, root: call.root, dt: call.dt, op: call.op}
 		s, known := c.replaySched(key)
 		if s != nil {
+			s.coll = coll
 			return s, nil
 		}
 		alg, err := c.algorithm(coll, sel)
@@ -516,12 +562,20 @@ func (c *Comm) startColl(coll Collective, sel Selection, call collCall) (*collSc
 		if known {
 			// An overlapping invocation of the same shape is still in
 			// flight; run this one as an uncached one-off.
-			return c.buildSched(call.dt, call.op, build)
+			s, err := c.buildSched(call.dt, call.op, build)
+			if s != nil {
+				s.coll = coll
+			}
+			return s, err
 		}
-		return c.compileCachedSched(key,
+		s, err = c.compileCachedSched(key,
 			stepKey{alg: alg, rank: c.rank, commSize: len(c.group),
 				n: call.n, root: call.root, dt: call.dt, op: call.op},
 			call.dt, call.op, build)
+		if s != nil {
+			s.coll = coll
+		}
+		return s, err
 	}
 	alg, err := c.algorithm(coll, sel)
 	if err != nil {
@@ -529,6 +583,7 @@ func (c *Comm) startColl(coll Collective, sel Selection, call collCall) (*collSc
 	}
 	s := c.getSched()
 	s.dt, s.op = call.dt, call.op
+	s.coll = coll
 	if err := alg.build(c, call, s); err != nil {
 		s.finish()
 		return nil, err
@@ -545,6 +600,15 @@ func (c *Comm) collRequest(s *collSched) (*Request, error) {
 	if s == nil {
 		r.complete(Status{}, nil)
 		return r, nil
+	}
+	if c.proc.world.faults != nil && !s.faultEntered {
+		s.faultEntered = true
+		if err := c.proc.faultCollEnter(s); err != nil {
+			s.finish()
+			r.complete(Status{}, err)
+			r.release() // the caller never sees this request
+			return nil, err
+		}
 	}
 	r.sched = s
 	s.owner = r

@@ -333,6 +333,9 @@ func (l *eventLoop) wakeFor(p *Proc, ctx, src, tag int) {
 // runEvent is World.Run on the event engine.
 func (w *World) runEvent(body func(p *Proc) error) error {
 	growEventCaches(w.size)
+	if w.faults != nil {
+		w.resetFaultRun()
+	}
 	l := &eventLoop{w: w, ranks: make([]*eventRank, w.size)}
 	l.heap = make([]*eventRank, 0, w.size)
 	// Procs and rank states are allocated as two slabs: at tens of
@@ -385,7 +388,17 @@ func (w *World) runEvent(body func(p *Proc) error) error {
 		clear(w.foldNo)
 	}()
 
-	l.driveUntil(nil)
+	// Drive until done. A drained run queue with ranks still parked is a
+	// stall: when the fault plan has killed ranks, failStalled errors-out
+	// and re-queues every parked survivor (which may park again in cleanup
+	// code, so the resolution loops); otherwise the stall is a genuine
+	// deadlock reported below.
+	for {
+		l.driveUntil(nil)
+		if l.done >= w.size || !l.failStalled() {
+			break
+		}
+	}
 
 	for r, er := range l.ranks {
 		if er.set && er.err != nil {
@@ -393,8 +406,7 @@ func (w *World) runEvent(body func(p *Proc) error) error {
 		}
 	}
 	if l.done < w.size {
-		return fmt.Errorf("mpi: event engine deadlock: %d of %d ranks blocked with no pending events",
-			w.size-l.done, w.size)
+		return l.deadlockErr()
 	}
 	return nil
 }
@@ -545,14 +557,19 @@ func (c *Comm) driveSchedEvent(s *collSched) error {
 }
 
 // completeSendEvent is completeSend's wait loop under the event engine.
-func (c *Comm) completeSendEvent(rdv *rendezvous) vtime.Micros {
+// The error is a fault-plan failure: the receiver died and failStalled
+// broke the park.
+func (c *Comm) completeSendEvent(rdv *rendezvous) (vtime.Micros, error) {
 	er := c.proc.ev
 	for !rdv.ready {
+		if c.proc.failure != nil {
+			return 0, c.proc.failure
+		}
 		er.wait = waitRdv
 		c.proc.park()
 	}
 	rdv.ready = false
-	return rdv.val
+	return rdv.val, nil
 }
 
 // drainDirect is cut-through completion of a rendezvous report: when the

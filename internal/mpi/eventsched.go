@@ -67,6 +67,7 @@ func (c *Comm) replaySched(key replayKey) (s *collSched, known bool) {
 	s.phase = 0
 	s.pending, s.pendingSet = nil, false
 	s.owner = nil
+	s.faultEntered = false
 	return s, true
 }
 
@@ -342,6 +343,7 @@ func scrubSched(s *collSched) {
 	s.pending, s.pendingSet = nil, false
 	s.phase = 0
 	s.owner = nil
+	s.coll, s.faultEntered = "", false
 }
 
 // retainSched enters a freshly built schedule into the replay cache when

@@ -238,7 +238,11 @@ type foldGather struct {
 // nonblocking collectives may join a gather.
 func (l *eventLoop) foldEligible(c *Comm, s *collSched) bool {
 	w := l.w
-	if w.foldOff || !s.cached || c.ctx != 0 || w.size < 2 || w.size > foldMaxRanks ||
+	// A fault plan disables folding outright: noise/jitter draws and kill
+	// checks happen per rank per invocation, which is exactly the symmetry
+	// the fold exploits — bailing here keeps fold-on and fold-off runs
+	// bit-identical under faults.
+	if w.foldOff || w.faults != nil || !s.cached || c.ctx != 0 || w.size < 2 || w.size > foldMaxRanks ||
 		len(c.group) != w.size || w.cfg.Trace != nil || len(c.proc.activeScheds) != 0 {
 		return false
 	}

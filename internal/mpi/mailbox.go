@@ -323,7 +323,11 @@ func (mb *mailbox) tryMatch(src, tag, ctx int, recycle *envelope) *envelope {
 // removes it. Matching is FIFO per (source, tag) pair, which together with
 // single-threaded ranks gives MPI's non-overtaking guarantee. A previously
 // consumed envelope may be passed in for recycling under the same lock.
-func (mb *mailbox) match(src, tag, ctx int, recycle *envelope) *envelope {
+// Under a fault plan match can return nil: the rank this receive depends
+// on is dead and the stall detector broke the wait (queued messages are
+// always consumed before the failure check, so a satisfiable match never
+// reports failure).
+func (mb *mailbox) match(p *Proc, src, tag, ctx int, recycle *envelope) *envelope {
 	mb.lock()
 	defer mb.unlock()
 	if recycle != nil {
@@ -338,13 +342,23 @@ func (mb *mailbox) match(src, tag, ctx int, recycle *envelope) *envelope {
 			if e := mb.take(src, tag, ctx); e != nil {
 				return e
 			}
+			if o.failure != nil {
+				return nil
+			}
 			o.parkFor(ctx, src, tag)
 		}
 	}
+	wd := p.world.wd
 	yielded := false
 	for {
 		if e := mb.take(src, tag, ctx); e != nil {
 			return e
+		}
+		if p.failure != nil {
+			return nil
+		}
+		if wd != nil && wd.failedNow() {
+			return nil
 		}
 		// Yield once before parking: the sender this rank is waiting on is
 		// usually runnable, so handing it the CPU gets the message queued
@@ -357,28 +371,55 @@ func (mb *mailbox) match(src, tag, ctx int, recycle *envelope) *envelope {
 			mb.mu.Lock()
 			continue
 		}
-		mb.waiting = true
-		mb.cond.Wait()
-		mb.waiting = false
+		if wd != nil {
+			// Registration happens under mb.mu, and so does the stall
+			// declaration's wake pass, so a Signal can never slip between
+			// the registration and the Wait.
+			wd.enterMsg(p.rank, src, tag, ctx)
+			mb.waiting = true
+			mb.cond.Wait()
+			mb.waiting = false
+			wd.exit(p.rank)
+		} else {
+			mb.waiting = true
+			mb.cond.Wait()
+			mb.waiting = false
+		}
 	}
 }
 
 // peek blocks until a message matching (src, tag, ctx) is queued and
-// returns it without removing it.
-func (mb *mailbox) peek(src, tag, ctx int) *envelope {
+// returns it without removing it. Like match, peek returns nil when the
+// stall detector declares failure while the rank is parked.
+func (mb *mailbox) peek(p *Proc, src, tag, ctx int) *envelope {
 	mb.lock()
 	defer mb.unlock()
+	wd := p.world.wd
 	for {
 		if _, ring, i := mb.find(src, tag, ctx); ring != nil {
 			return ring.at(i)
+		}
+		if p.failure != nil {
+			return nil
 		}
 		if o := mb.owner; o != nil && o.ev != nil {
 			o.parkFor(ctx, src, tag)
 			continue
 		}
-		mb.waiting = true
-		mb.cond.Wait()
-		mb.waiting = false
+		if wd != nil && wd.failedNow() {
+			return nil
+		}
+		if wd != nil {
+			wd.enterMsg(p.rank, src, tag, ctx)
+			mb.waiting = true
+			mb.cond.Wait()
+			mb.waiting = false
+			wd.exit(p.rank)
+		} else {
+			mb.waiting = true
+			mb.cond.Wait()
+			mb.waiting = false
+		}
 	}
 }
 

@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/netmodel"
 	"repro/internal/topology"
 	"repro/internal/vtime"
@@ -69,6 +71,13 @@ type Config struct {
 	// hatch: folding is bit-identical to per-rank execution, so the only
 	// observable difference is speed.
 	DisableFold bool
+	// Faults installs a deterministic fault-injection plan (rank kills,
+	// OS-noise stragglers, link jitter; see internal/faults). nil simulates
+	// a perfect machine at zero cost on the hot path. A plan with kills
+	// arms the failure semantics of fault.go: killed ranks stop with
+	// RankKilledError, surviving ranks' blocked operations complete with
+	// RankFailedError instead of deadlocking.
+	Faults *faults.Plan
 }
 
 // World is a set of ranks sharing mailboxes and a cost model.
@@ -105,6 +114,17 @@ type World struct {
 	foldStats   FoldStats
 	foldOff     bool
 	foldScratch foldScratch
+
+	// Fault-injection state (fault.go). faults aliases cfg.Faults for the
+	// hot-path nil check; dead lists ranks killed by the plan this Run;
+	// failedFlag latches once a stall has been declared so abandoned
+	// handshakes stop blocking; wd is the goroutine engine's stall
+	// detector, non-nil only while a killing plan Runs.
+	faults     *faults.Plan
+	deadMu     sync.Mutex
+	dead       []int
+	failedFlag atomic.Bool
+	wd         *watchdog
 }
 
 // linkTabMaxRanks bounds the worlds that get the direct size*size link
@@ -204,11 +224,20 @@ func NewWorld(cfg Config) (*World, error) {
 			"Engine %q for data-carrying runs", cfg.Engine, EngineGoroutine)
 	}
 	size := cfg.Placement.Size()
+	if cfg.Faults != nil {
+		for _, k := range cfg.Faults.Kills {
+			if k.Rank < 0 || k.Rank >= size {
+				return nil, fmt.Errorf("mpi: fault plan kills rank %d but the world has ranks 0..%d",
+					k.Rank, size-1)
+			}
+		}
+	}
 	w := &World{
 		cfg: cfg, size: size, fullSub: cfg.Placement.FullySubscribed(),
 		policy:  Policy{Tuning: cfg.Tuning.withDefaults(), Forced: forced, defaulted: true},
 		nextCtx: 1,
 		foldOff: cfg.DisableFold,
+		faults:  cfg.Faults,
 	}
 	w.buildLinkTables()
 	w.mailboxes = make([]*mailbox, size)
@@ -273,12 +302,21 @@ func (w *World) Run(body func(p *Proc) error) error {
 	if w.cfg.Engine == EngineEvent {
 		return w.runEvent(body)
 	}
+	if w.faults != nil {
+		w.resetFaultRun()
+		if w.faults.HasKills() {
+			w.wd = newWatchdog(w)
+		}
+	}
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	wg.Add(w.size)
 	for r := 0; r < w.size; r++ {
 		go func(rank int) {
 			defer wg.Done()
+			if wd := w.wd; wd != nil {
+				defer wd.rankDone(rank)
+			}
 			defer func() {
 				if rec := recover(); rec != nil {
 					errs[rank] = fmt.Errorf("panic: %v\n%s", rec, debug.Stack())
@@ -289,6 +327,10 @@ func (w *World) Run(body func(p *Proc) error) error {
 		}(r)
 	}
 	wg.Wait()
+	if w.wd != nil {
+		w.wd.shutdown()
+		w.wd = nil
+	}
 	for r, err := range errs {
 		if err != nil {
 			return &RankError{Rank: r, Err: err}
@@ -362,6 +404,16 @@ type Proc struct {
 	lbSmallN   int8
 	lbSmallDst [lbSmallMax]int32
 	lbSmallVal [lbSmallMax]vtime.Micros
+	// Fault-injection state (fault.go), untouched when no plan is
+	// installed. collInvoke counts the rank's collective entries and keys
+	// its noise draws; msgSeq counts posted messages and keys its jitter
+	// draws; killSeen counts matching invocations per kill rule (lazily
+	// sized to the plan); failure is the rank's terminal fault error —
+	// once set, every blocking operation returns it.
+	collInvoke int
+	msgSeq     uint64
+	killSeen   []int32
+	failure    error
 }
 
 // lbSmallMax covers a recursive-doubling schedule at 64Ki ranks (log2 = 16

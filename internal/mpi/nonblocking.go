@@ -152,10 +152,11 @@ func (r *Request) Wait() (Status, error) {
 		st, err := r.comm.recvBytes(r.src, r.tag, r.buf, r.max)
 		r.complete(st, err)
 	} else {
+		var err error
 		if r.sent {
-			r.comm.completeSend(r.ps)
+			err = r.comm.completeSend(r.ps)
 		}
-		r.complete(Status{}, nil)
+		r.complete(Status{}, err)
 	}
 	r.release()
 	return r.status, r.err
@@ -242,12 +243,35 @@ func Waitany(reqs []*Request) (int, Status, error) {
 		if !active {
 			return -1, Status{}, nil
 		}
+		// A declared stall means none of the pending requests can ever
+		// complete (the verification pass saw them unprogressable): error
+		// out instead of polling forever.
+		if proc.failure != nil || proc.world.failedFlag.Load() {
+			return -1, Status{}, proc.parkFailure()
+		}
 		// Nothing completed this pass: hand the CPU to peer ranks before
 		// polling again. Under the event engine the rank parks instead;
 		// any delivery into its mailbox or rendezvous completion wakes it
 		// for the next poll.
 		if proc.ev != nil {
 			proc.park()
+		} else if wd := proc.world.wd; wd != nil {
+			// Register the outstanding rendezvous handshakes so the stall
+			// verification can prove none of them is already reported (a
+			// reported handshake would complete on the next poll pass).
+			var rdvs []*rendezvous
+			for _, r := range reqs {
+				if r == nil || r.pooled || r.done {
+					continue
+				}
+				if r.ps != nil {
+					rdvs = append(rdvs, r.ps)
+				}
+				if r.sched != nil && r.sched.pending != nil {
+					rdvs = append(rdvs, r.sched.pending)
+				}
+			}
+			wd.pollWait(proc.rank, rdvs)
 		} else {
 			runtime.Gosched()
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/faults"
 	"repro/internal/netmodel"
 	"repro/internal/topology"
 	"repro/internal/vtime"
@@ -94,6 +95,17 @@ func (c *Comm) postSendPriced(gdst, tag int, data []byte, size int, link topolog
 	}
 	p.clock.Advance(cost.SendOverhead)
 
+	// Link jitter stretches this message's wire time by a seeded factor on
+	// [1, 1+Jitter). The draw is keyed on the rank's message counter, which
+	// advances identically on both engines, and the cached cost struct is
+	// never mutated (it is shared across invocations).
+	wire := cost.Wire
+	if f := w.faults; f != nil && f.Jitter > 0 {
+		p.msgSeq++
+		u := faults.Uniform(f.Seed, uint64(p.rank), jitterStream+p.msgSeq)
+		wire += vtime.Micros(float64(cost.Wire) * f.Jitter * u)
+	}
+
 	// Payloads move whenever the caller supplied a buffer, except that
 	// timing-only worlds (CarryData false) drop payloads above ctlCarryMax
 	// so huge-scale experiments never materialise terabytes. Control-plane
@@ -115,32 +127,32 @@ func (c *Comm) postSendPriced(gdst, tag int, data []byte, size int, link topolog
 		p.holdLink(gdst, start+cost.Transmit)
 		if l := p.evLoop(); l != nil {
 			if l.deliverDirect(gdst, c.rank, p.rank, tag, c.ctx, size,
-				carried, start+cost.Wire, 0, cost.RecvOverhead, nil) {
+				carried, start+wire, 0, cost.RecvOverhead, nil) {
 				return nil
 			}
 			if l.pullForward(gdst) && l.deliverDirect(gdst, c.rank, p.rank, tag, c.ctx, size,
-				carried, start+cost.Wire, 0, cost.RecvOverhead, nil) {
+				carried, start+wire, 0, cost.RecvOverhead, nil) {
 				return nil
 			}
 		}
 		w.mailboxes[gdst].deliver(c.rank, tag, c.ctx, size, carried,
-			start+cost.Wire, 0, cost.RecvOverhead, nil)
+			start+wire, 0, cost.RecvOverhead, nil)
 		return nil
 	}
 	rdv := p.getRendezvous()
 	rdv.senderReady = p.clock.Now()
 	if l := p.evLoop(); l != nil {
 		if l.deliverDirect(gdst, c.rank, p.rank, tag, c.ctx, size,
-			carried, 0, cost.Wire, cost.RecvOverhead, rdv) {
+			carried, 0, wire, cost.RecvOverhead, rdv) {
 			return rdv
 		}
 		if l.pullForward(gdst) && l.deliverDirect(gdst, c.rank, p.rank, tag, c.ctx, size,
-			carried, 0, cost.Wire, cost.RecvOverhead, rdv) {
+			carried, 0, wire, cost.RecvOverhead, rdv) {
 			return rdv
 		}
 	}
 	w.mailboxes[gdst].deliver(c.rank, tag, c.ctx, size, carried,
-		0, cost.Wire, cost.RecvOverhead, rdv)
+		0, wire, cost.RecvOverhead, rdv)
 	return rdv
 }
 
@@ -154,14 +166,37 @@ func (p *Proc) evLoop() *eventLoop {
 }
 
 // completeSend blocks until the rendezvous transfer finishes and advances
-// the sender clock to its completion instant. It is a no-op for eager sends.
-func (c *Comm) completeSend(rdv *rendezvous) {
+// the sender clock to its completion instant. It is a no-op for eager
+// sends. The error is a fault-plan failure: the receiver died and the
+// stall detector broke the wait (the handshake is abandoned, not
+// recycled).
+func (c *Comm) completeSend(rdv *rendezvous) error {
 	if rdv == nil {
-		return
+		return nil
 	}
 	var done vtime.Micros
 	if c.proc.ev != nil {
-		done = c.completeSendEvent(rdv)
+		var err error
+		if done, err = c.completeSendEvent(rdv); err != nil {
+			return err
+		}
+	} else if wd := c.proc.world.wd; wd != nil {
+		select {
+		case done = <-rdv.done:
+		default:
+			runtime.Gosched()
+			wd.enterRdv(c.proc.rank, rdv)
+			select {
+			case done = <-rdv.done:
+				wd.exit(c.proc.rank)
+			case <-wd.failedCh:
+				// The stall verification saw this handshake unreported while
+				// every rank was parked, so the report can never arrive: the
+				// two channels are never both ready.
+				wd.exit(c.proc.rank)
+				return c.proc.parkFailure()
+			}
+		}
 	} else {
 		select {
 		case done = <-rdv.done:
@@ -176,6 +211,7 @@ func (c *Comm) completeSend(rdv *rendezvous) {
 	// The receiver has read payload and senderReady before reporting done,
 	// so the handshake can be reused for the next large message.
 	c.proc.putRendezvous(rdv)
+	return nil
 }
 
 // recvBytes implements blocking receive on a communicator. src is a
@@ -188,7 +224,13 @@ func (c *Comm) recvBytes(src, tag int, buf []byte, max int) (Status, error) {
 	// its payload buffer) under the lock match takes anyway.
 	spent := p.spent
 	p.spent = nil
-	return c.finishRecv(mb.match(src, tag, c.ctx, spent), buf, max)
+	e := mb.match(p, src, tag, c.ctx, spent)
+	if e == nil {
+		// The stall detector broke the wait: a rank this receive depended
+		// on is dead.
+		return Status{}, p.parkFailure()
+	}
+	return c.finishRecv(e, buf, max)
 }
 
 // tryRecvBytes is the non-blocking form of recvBytes: when no matching
@@ -270,8 +312,7 @@ func (c *Comm) Send(buf []byte, dst, tag int) error {
 	if err := checkTag(tag); err != nil {
 		return err
 	}
-	c.completeSend(c.postSend(dst, tag, buf, len(buf)))
-	return nil
+	return c.completeSend(c.postSend(dst, tag, buf, len(buf)))
 }
 
 // Recv performs a blocking receive into buf from communicator rank src
@@ -299,8 +340,7 @@ func (c *Comm) SendN(buf []byte, n, dst, tag int) error {
 	if err := checkTag(tag); err != nil {
 		return err
 	}
-	c.completeSend(c.postSend(dst, tag, buf, n))
-	return nil
+	return c.completeSend(c.postSend(dst, tag, buf, n))
 }
 
 // RecvN is Recv with an explicit maximum byte count; buf may be nil in
@@ -334,7 +374,10 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 		}
 	}
 	p := c.proc
-	e := p.world.mailboxes[p.rank].peek(src, tag, c.ctx)
+	e := p.world.mailboxes[p.rank].peek(p, src, tag, c.ctx)
+	if e == nil {
+		return Status{}, p.parkFailure()
+	}
 	if e.rdv == nil {
 		p.clock.AdvanceTo(e.arrival)
 	} else {
@@ -366,7 +409,9 @@ func (c *Comm) Sendrecv(sbuf []byte, dst, stag int, rbuf []byte, src, rtag int) 
 	}
 	rdv := c.postSend(dst, stag, sbuf, len(sbuf))
 	st, err := c.recvBytes(src, rtag, rbuf, len(rbuf))
-	c.completeSend(rdv)
+	if serr := c.completeSend(rdv); err == nil {
+		err = serr
+	}
 	return st, err
 }
 
@@ -397,7 +442,9 @@ func (c *Comm) SendrecvN(sbuf []byte, sn, dst, stag int, rbuf []byte, rn, src, r
 func (c *Comm) sendrecvRaw(sbuf []byte, ssize, dst, stag int, rbuf []byte, rsize, src, rtag int) (Status, error) {
 	rdv := c.postSend(dst, stag, sbuf, ssize)
 	st, err := c.recvBytes(src, rtag, rbuf, rsize)
-	c.completeSend(rdv)
+	if serr := c.completeSend(rdv); err == nil {
+		err = serr
+	}
 	return st, err
 }
 

@@ -26,6 +26,11 @@
 # fold_speedup_huge_world, the 4096-rank fold-off/fold-on wall-clock
 # ratio. The 65536-rank row is the scaling headline and is reported
 # honestly whatever it measures.
+#
+# The fault layer (PR 7) must cost nothing when no plan is given: the JSON
+# carries fault_path_overhead, the fresh 4096-rank huge-world ns/op divided
+# by the same row in the committed BENCH_PR6.json pre-fault baseline. A
+# value near 1.0 means the no-plan hot path did not regress.
 set -euo pipefail
 
 out="${1:-BENCH.json}"
@@ -33,6 +38,12 @@ micro_time="${2:-2s}"
 large_time="${3:-10x}"
 
 cd "$(dirname "$0")/.."
+
+# Pre-fault-layer baseline for the no-plan overhead ratio.
+base_ns=""
+if [ -f BENCH_PR6.json ] && command -v jq >/dev/null 2>&1; then
+	base_ns=$(jq -r '.benchmarks[] | select(.name=="EngineHugeWorld/4096") | .ns_per_op' BENCH_PR6.json)
+fi
 
 micro=$(go test ./internal/mpi -run '^$' \
 	-bench 'BenchmarkEagerSendRecv|BenchmarkRendezvousExchange|BenchmarkAllreduce64|BenchmarkIallreduceOverlap' \
@@ -42,7 +53,7 @@ large=$(go test . -run '^$' -bench 'BenchmarkEngineLargeWorld|BenchmarkEngineHug
 mbw=$(go test . -run '^$' -bench 'BenchmarkMultiPairMessageRate' \
 	-benchtime="$large_time" -count=1)
 
-printf '%s\n%s\n%s\n' "$micro" "$large" "$mbw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+printf '%s\n%s\n%s\n' "$micro" "$large" "$mbw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v base_ns="$base_ns" '
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -72,6 +83,8 @@ END {
 		printf "  \"engine_speedup_large_world\": %.2f,\n", ns["EngineLargeWorld/goroutine"] / ns["EngineLargeWorld/event"]
 	if (("EngineHugeWorldNoFold/4096" in ns) && ("EngineHugeWorld/4096" in ns))
 		printf "  \"fold_speedup_huge_world\": %.2f,\n", ns["EngineHugeWorldNoFold/4096"] / ns["EngineHugeWorld/4096"]
+	if (base_ns != "" && ("EngineHugeWorld/4096" in ns))
+		printf "  \"fault_path_overhead\": %.3f,\n", ns["EngineHugeWorld/4096"] / base_ns
 	if (m > 0) {
 		printf "  \"multi_pair_message_rate\": [\n"
 		for (i = 0; i < m; i++)

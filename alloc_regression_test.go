@@ -21,6 +21,12 @@ var allocCeilings = []struct {
 }{
 	{1024, 33_000},
 	{4096, 109_188}, // >=4x under the 436_752/run PR5 baseline
+	// The schedfold PR's slab pools (rank/mailbox/rank-state) plus the
+	// class-indexed token memo hold a warm 16Ki run to ~71k mallocs —
+	// under a fifth of the 341_444/run it recorded pre-schedfold. The
+	// ceiling leaves jitter headroom while still tripping if any single
+	// pool stops recycling.
+	{16384, 100_000},
 }
 
 func hugeWorldRun(t *testing.T, ranks int) {

@@ -34,29 +34,30 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "latency", "benchmark name (see -list)")
-		cluster = flag.String("cluster", "frontera", "cluster model: "+strings.Join(topology.Names(), ", "))
-		impl    = flag.String("impl", "mvapich2", "MPI implementation: mvapich2, intelmpi")
-		mode    = flag.String("mode", "py", "mode: c (OMB baseline), py (OMB-Py), pickle")
-		buffer  = flag.String("buffer", "numpy", "buffer library: bytearray, numpy, cupy, pycuda, numba")
-		gpu     = flag.Bool("gpu", false, "bind ranks to GPUs and use device buffers")
-		ranks   = flag.Int("ranks", 2, "number of MPI ranks")
-		ppn     = flag.Int("ppn", 1, "processes per node")
-		minSize = flag.Int("min", 1, "smallest message size in bytes")
-		maxSize = flag.Int("max", 1<<20, "largest message size in bytes")
-		iters   = flag.Int("iters", 100, "timed iterations per size")
-		warmup  = flag.Int("warmup", 10, "warm-up iterations per size")
-		window  = flag.Int("window", 64, "window size for bandwidth tests")
-		pairs   = flag.Int("pairs", 0, "pair count for the multi-pair benchmarks (0 = ranks/2)")
-		timing  = flag.Bool("timing-only", false, "skip payloads (huge-scale runs)")
-		engine  = flag.String("engine", "auto", "execution engine: auto (event for timing-only runs), goroutine, event")
-		fold    = flag.Bool("fold", true, "let the event engine fold symmetric ranks (false forces every rank to execute; reported numbers are identical either way)")
-		algo    = flag.String("algorithm", "", "force collective algorithms: a name for this benchmark's collective, coll=name pairs, \"all\" to sweep every algorithm, \"list\" to show the registry")
-		faults  = flag.String("faults", "", "deterministic fault plan, e.g. \"kill:rank=3,after=2:allreduce; noise:sigma=5us; jitter:link=0.1; seed:42\"")
-		par     = flag.Int("parallel", 0, "worker count for the -algorithm all sweep (0 = serial)")
-		asJSON  = flag.Bool("json", false, "emit the report as JSON")
-		plot    = flag.Bool("plot", false, "render the series as an ASCII chart")
-		list    = flag.Bool("list", false, "list available benchmarks")
+		bench     = flag.String("bench", "latency", "benchmark name (see -list)")
+		cluster   = flag.String("cluster", "frontera", "cluster model: "+strings.Join(topology.Names(), ", "))
+		impl      = flag.String("impl", "mvapich2", "MPI implementation: mvapich2, intelmpi")
+		mode      = flag.String("mode", "py", "mode: c (OMB baseline), py (OMB-Py), pickle")
+		buffer    = flag.String("buffer", "numpy", "buffer library: bytearray, numpy, cupy, pycuda, numba")
+		gpu       = flag.Bool("gpu", false, "bind ranks to GPUs and use device buffers")
+		ranks     = flag.Int("ranks", 2, "number of MPI ranks")
+		ppn       = flag.Int("ppn", 1, "processes per node")
+		minSize   = flag.Int("min", 1, "smallest message size in bytes")
+		maxSize   = flag.Int("max", 1<<20, "largest message size in bytes")
+		iters     = flag.Int("iters", 100, "timed iterations per size")
+		warmup    = flag.Int("warmup", 10, "warm-up iterations per size")
+		window    = flag.Int("window", 64, "window size for bandwidth tests")
+		pairs     = flag.Int("pairs", 0, "pair count for the multi-pair benchmarks (0 = ranks/2)")
+		timing    = flag.Bool("timing-only", false, "skip payloads (huge-scale runs)")
+		engine    = flag.String("engine", "auto", "execution engine: auto (event for timing-only runs), goroutine, event")
+		fold      = flag.Bool("fold", true, "let the event engine fold symmetric ranks (false forces every rank to execute; reported numbers are identical either way)")
+		schedfold = flag.Bool("schedfold", true, "let the event engine compile and replay collective schedules per equivalence class (false keeps the schedule-level gather; reported numbers are identical either way)")
+		algo      = flag.String("algorithm", "", "force collective algorithms: a name for this benchmark's collective, coll=name pairs, \"all\" to sweep every algorithm, \"list\" to show the registry")
+		faults    = flag.String("faults", "", "deterministic fault plan, e.g. \"kill:rank=3,after=2:allreduce; noise:sigma=5us; jitter:link=0.1; seed:42\"")
+		par       = flag.Int("parallel", 0, "worker count for the -algorithm all sweep (0 = serial)")
+		asJSON    = flag.Bool("json", false, "emit the report as JSON")
+		plot      = flag.Bool("plot", false, "render the series as an ASCII chart")
+		list      = flag.Bool("list", false, "list available benchmarks")
 	)
 	flag.Parse()
 
@@ -80,24 +81,25 @@ func main() {
 	check(err)
 
 	opts := core.Options{
-		Benchmark:  b,
-		Cluster:    *cluster,
-		Impl:       mpiImpl,
-		Mode:       m,
-		Buffer:     lib,
-		UseGPU:     *gpu,
-		Ranks:      *ranks,
-		PPN:        *ppn,
-		MinSize:    *minSize,
-		MaxSize:    *maxSize,
-		Iters:      *iters,
-		Warmup:     *warmup,
-		Window:     *window,
-		Pairs:      *pairs,
-		TimingOnly: *timing,
-		Engine:     *engine,
-		NoFold:     !*fold,
-		Faults:     *faults,
+		Benchmark:   b,
+		Cluster:     *cluster,
+		Impl:        mpiImpl,
+		Mode:        m,
+		Buffer:      lib,
+		UseGPU:      *gpu,
+		Ranks:       *ranks,
+		PPN:         *ppn,
+		MinSize:     *minSize,
+		MaxSize:     *maxSize,
+		Iters:       *iters,
+		Warmup:      *warmup,
+		Window:      *window,
+		Pairs:       *pairs,
+		TimingOnly:  *timing,
+		Engine:      *engine,
+		NoFold:      !*fold,
+		NoSchedFold: !*schedfold,
+		Faults:      *faults,
 	}
 
 	if *algo == "all" {

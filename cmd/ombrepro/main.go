@@ -27,16 +27,17 @@ import (
 
 func main() {
 	var (
-		id     = flag.String("experiment", "", "experiment id (fig1..fig34, table1..table3, algo_*)")
-		all    = flag.Bool("all", false, "run every experiment")
-		heavy  = flag.Bool("heavy", false, "include the 896-rank full-subscription experiments")
-		list   = flag.Bool("list", false, "list experiment ids")
-		plot   = flag.Bool("plot", false, "render each experiment's series as an ASCII chart")
-		algo   = flag.String("algorithm", "", "force collective algorithms for every run, as coll=name pairs (e.g. allgather=ring,allreduce=rd)")
-		par    = flag.Int("parallel", 0, "sweep worker count for multi-variant experiments (0 = serial)")
-		engine = flag.String("engine", "auto", "execution engine for every run: auto (event for timing-only runs), goroutine, event")
-		fold   = flag.Bool("fold", true, "let the event engine fold symmetric ranks (false forces every rank to execute; reported numbers are identical either way)")
-		faults = flag.String("faults", "", "deterministic fault plan applied to every run, e.g. \"noise:sigma=2us; jitter:link=0.1; seed:7\"")
+		id        = flag.String("experiment", "", "experiment id (fig1..fig34, table1..table3, algo_*)")
+		all       = flag.Bool("all", false, "run every experiment")
+		heavy     = flag.Bool("heavy", false, "include the 896-rank full-subscription experiments")
+		list      = flag.Bool("list", false, "list experiment ids")
+		plot      = flag.Bool("plot", false, "render each experiment's series as an ASCII chart")
+		algo      = flag.String("algorithm", "", "force collective algorithms for every run, as coll=name pairs (e.g. allgather=ring,allreduce=rd)")
+		par       = flag.Int("parallel", 0, "sweep worker count for multi-variant experiments (0 = serial)")
+		engine    = flag.String("engine", "auto", "execution engine for every run: auto (event for timing-only runs), goroutine, event")
+		fold      = flag.Bool("fold", true, "let the event engine fold symmetric ranks (false forces every rank to execute; reported numbers are identical either way)")
+		schedfold = flag.Bool("schedfold", true, "let the event engine compile and replay collective schedules per equivalence class (false keeps the schedule-level gather; reported numbers are identical either way)")
+		faults    = flag.String("faults", "", "deterministic fault plan applied to every run, e.g. \"noise:sigma=2us; jitter:link=0.1; seed:7\"")
 	)
 	flag.Parse()
 	plotCharts = *plot
@@ -51,6 +52,7 @@ func main() {
 	core.SetDefaultSweepWorkers(*par)
 	core.SetDefaultEngine(*engine)
 	core.SetDefaultFold(*fold)
+	core.SetDefaultSchedFold(*schedfold)
 	core.SetDefaultFaults(*faults)
 
 	switch {

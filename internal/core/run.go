@@ -103,19 +103,23 @@ func Run(opts Options) (*Report, error) {
 		return nil, fmt.Errorf("core: -faults: %w", err)
 	}
 	world, err := mpi.NewWorld(mpi.Config{
-		Placement:   place,
-		Model:       model,
-		Engine:      engine,
-		PyMode:      opts.Mode != ModeC,
-		CarryData:   !opts.TimingOnly,
-		Tuning:      opts.Tuning,
-		Algorithms:  algorithms,
-		DisableFold: opts.NoFold,
-		Faults:      plan,
+		Placement:        place,
+		Model:            model,
+		Engine:           engine,
+		PyMode:           opts.Mode != ModeC,
+		CarryData:        !opts.TimingOnly,
+		Tuning:           opts.Tuning,
+		Algorithms:       algorithms,
+		DisableFold:      opts.NoFold,
+		DisableSchedFold: opts.NoSchedFold,
+		Faults:           plan,
 	})
 	if err != nil {
 		return nil, err
 	}
+	// The world is sweep-local: hand its slabs back for the next sweep's
+	// same-sized world once this one is done.
+	defer world.Release()
 
 	sizes := stats.PowersOfTwo(opts.MinSize, opts.MaxSize)
 	if len(opts.Sizes) > 0 {
@@ -130,11 +134,11 @@ func Run(opts Options) (*Report, error) {
 	// Per-rank state comes from one slab: a heap-allocated ops and a fresh
 	// Bench per size add three allocations per rank per run, which at
 	// thousands of ranks is a visible slice of the sweep's allocation bill.
-	type rankState struct {
-		o ops
-		b Bench
-	}
-	states := make([]rankState, opts.Ranks)
+	// The slab itself is recycled across sweeps (takeRankStates) for the
+	// same reason the mpi slabs are: a huge-world benchmark iteration
+	// otherwise pays tens of MB of page faults and garbage per run.
+	states := takeRankStates(opts.Ranks)
+	defer putRankStates(states)
 
 	err = world.Run(func(p *mpi.Proc) error {
 		c := p.CommWorld()
@@ -159,7 +163,7 @@ func Run(opts Options) (*Report, error) {
 			}
 			p.ResetClock()
 			iters, warmup := iterCounts(opts, size)
-			st.b = Bench{opts: opts, o: o, size: size, iters: iters, warmup: warmup}
+			st.b = Bench{opts: opts, o: o, size: size, iters: iters, warmup: warmup, proc: p}
 			row, err := spec.Body(&st.b)
 			if err != nil {
 				return fmt.Errorf("size %d: %w", size, err)
@@ -185,6 +189,42 @@ func Run(opts Options) (*Report, error) {
 	}
 	report.Series.Name = seriesName(opts)
 	return report, nil
+}
+
+// rankState is one rank's benchmark-loop state; Run draws the per-sweep
+// slab of them from a single-slot cross-sweep pool.
+type rankState struct {
+	o ops
+	b Bench
+}
+
+var rankStatePool struct {
+	mu   sync.Mutex
+	slab []rankState
+}
+
+// takeRankStates returns a zeroed rank-state slab of length n, recycling
+// the retained one when the size matches.
+func takeRankStates(n int) []rankState {
+	rankStatePool.mu.Lock()
+	slab := rankStatePool.slab
+	if len(slab) == n {
+		rankStatePool.slab = nil
+	} else {
+		slab = nil
+	}
+	rankStatePool.mu.Unlock()
+	if slab == nil {
+		return make([]rankState, n)
+	}
+	clear(slab)
+	return slab
+}
+
+func putRankStates(slab []rankState) {
+	rankStatePool.mu.Lock()
+	rankStatePool.slab = slab
+	rankStatePool.mu.Unlock()
 }
 
 func seriesName(o Options) string {

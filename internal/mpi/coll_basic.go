@@ -46,20 +46,40 @@ const (
 	collScan    Collective = "scan"
 )
 
-var barrierAlg = &Algorithm{Name: "dissemination", Collective: collBarrier}
+var barrierAlg = &Algorithm{Name: "dissemination", Collective: collBarrier,
+	build: buildBarrierDiss}
+
+// buildBarrierDiss compiles the dissemination barrier; the call is unused
+// (a barrier has no buffers, sizes or root).
+func buildBarrierDiss(c *Comm, _ collCall, s *collSched) error {
+	sendTo, recvFrom := c.dissPeers(len(c.group))
+	for k := range sendTo {
+		s.exchange(sendTo[k], nil, 0, recvFrom[k], nil, 0)
+	}
+	return nil
+}
 
 func (c *Comm) barrierStart() *collSched {
 	p := len(c.group)
 	if p == 1 {
 		return nil
 	}
-	build := func(s *collSched) error {
-		sendTo, recvFrom := c.dissPeers(p)
-		for k := range sendTo {
-			s.exchange(sendTo[k], nil, 0, recvFrom[k], nil, 0)
+	if c.proc.ev != nil {
+		key := foldKey{shape: shapeKey{coll: collBarrier}, seq: c.collSeq}
+		if c.proc.ev.loop.schedFoldEligible(c, key.shape) {
+			c.proc.foldPend = foldPending{key: key}
+			return schedFoldPending
 		}
-		return nil
 	}
+	return c.compileBarrierSched()
+}
+
+// compileBarrierSched is the barrier's per-rank compile/replay — the
+// schedule-fold fallback and the whole path when folding is off or the
+// engine is goroutine-based.
+func (c *Comm) compileBarrierSched() *collSched {
+	p := len(c.group)
+	build := func(s *collSched) error { return buildBarrierDiss(c, collCall{}, s) }
 	if c.proc.ev != nil {
 		key := replayKey{ctx: c.ctx, coll: collBarrier}
 		s, known := c.replaySched(key)

@@ -117,8 +117,10 @@ type collSched struct {
 	// tearing it down; inUse guards against replaying it while a previous
 	// invocation is still in flight; prices caches the post steps' message
 	// prices across replays (one entry per posting step, in post order,
-	// cursor postIdx).
+	// cursor postIdx). keyN/keyRoot are the replay key's shape stamps,
+	// valid while cached (schedShapeKey reads them for the fold gather).
 	cached, inUse bool
+	keyN, keyRoot int
 	prices        []stepPrice
 	postIdx       int
 	// shared marks steps as borrowed from the process-wide stepCache:
@@ -218,6 +220,12 @@ func (s *collSched) finish() {
 		}
 	}
 	s.owner = nil
+	if cap(p.schedFree) == 0 {
+		// First release after a Run reset: size the freelist once for the
+		// handful of schedules a rank cycles through, instead of paying the
+		// 1→2→4 append-doubling chain on every rank of every Run.
+		p.schedFree = make([]*collSched, 0, 8)
+	}
 	p.schedFree = append(p.schedFree, s)
 }
 
@@ -439,6 +447,13 @@ func (s *collSched) drainPending() {
 // engine the drive is handed to the event loop instead (same steps, same
 // clock arithmetic, two coroutine switches total).
 func (c *Comm) driveSched(s *collSched) error {
+	if s == schedFoldPending {
+		// Schedule folding deferred the compile (schedfold.go): gather on
+		// the invocation key; only a fallback materializes a schedule. The
+		// fault hook below cannot be skipped by this: fault plans disable
+		// the deferral outright.
+		return c.schedFoldDrive()
+	}
 	if c.proc.world.faults != nil && !s.faultEntered {
 		s.faultEntered = true
 		if err := c.proc.faultCollEnter(s); err != nil {
@@ -543,39 +558,21 @@ func (c *Comm) nextCollTag() int {
 
 // startColl selects the algorithm for one collective invocation, compiles
 // its schedule and returns it ready to drive. Under the event engine,
+// buffer-free invocations eligible for schedule folding defer the compile
+// entirely (the schedFoldPending sentinel; see schedfold.go) — in the
+// steady folded state no schedule object ever exists for them. Ineligible
 // buffer-free invocations hit the replay cache: the schedule compiled for
 // this (algorithm, size, root, dtype, op) shape is re-armed instead of
 // rebuilt (see eventsched.go).
 func (c *Comm) startColl(coll Collective, sel Selection, call collCall) (*collSched, error) {
 	if c.proc.ev != nil && call.replayable() {
-		key := replayKey{ctx: c.ctx, coll: coll, n: call.n, root: call.root, dt: call.dt, op: call.op}
-		s, known := c.replaySched(key)
-		if s != nil {
-			s.coll = coll
-			return s, nil
+		key := foldKey{shape: shapeKey{coll: coll, n: call.n, root: call.root,
+			dt: call.dt, op: call.op}, seq: c.collSeq}
+		if c.proc.ev.loop.schedFoldEligible(c, key.shape) {
+			c.proc.foldPend = foldPending{key: key, sel: sel, call: call}
+			return schedFoldPending, nil
 		}
-		alg, err := c.algorithm(coll, sel)
-		if err != nil {
-			return nil, err
-		}
-		build := func(s *collSched) error { return alg.build(c, call, s) }
-		if known {
-			// An overlapping invocation of the same shape is still in
-			// flight; run this one as an uncached one-off.
-			s, err := c.buildSched(call.dt, call.op, build)
-			if s != nil {
-				s.coll = coll
-			}
-			return s, err
-		}
-		s, err = c.compileCachedSched(key,
-			stepKey{alg: alg, rank: c.rank, commSize: len(c.group),
-				n: call.n, root: call.root, dt: call.dt, op: call.op},
-			call.dt, call.op, build)
-		if s != nil {
-			s.coll = coll
-		}
-		return s, err
+		return c.compileReplayColl(coll, sel, call)
 	}
 	alg, err := c.algorithm(coll, sel)
 	if err != nil {
@@ -591,10 +588,53 @@ func (c *Comm) startColl(coll Collective, sel Selection, call collCall) (*collSc
 	return s, nil
 }
 
+// compileReplayColl is the event engine's per-rank compile/replay of a
+// buffer-free collective invocation — the schedule-fold fallback path and
+// the whole path when schedule folding is off.
+func (c *Comm) compileReplayColl(coll Collective, sel Selection, call collCall) (*collSched, error) {
+	key := replayKey{ctx: c.ctx, coll: coll, n: call.n, root: call.root, dt: call.dt, op: call.op}
+	s, known := c.replaySched(key)
+	if s != nil {
+		s.coll = coll
+		return s, nil
+	}
+	alg, err := c.algorithm(coll, sel)
+	if err != nil {
+		return nil, err
+	}
+	build := func(s *collSched) error { return alg.build(c, call, s) }
+	if known {
+		// An overlapping invocation of the same shape is still in
+		// flight; run this one as an uncached one-off.
+		s, err := c.buildSched(call.dt, call.op, build)
+		if s != nil {
+			s.coll = coll
+		}
+		return s, err
+	}
+	s, err = c.compileCachedSched(key,
+		stepKey{alg: alg, rank: c.rank, commSize: len(c.group),
+			n: call.n, root: call.root, dt: call.dt, op: call.op},
+		call.dt, call.op, build)
+	if s != nil {
+		s.coll = coll
+	}
+	return s, err
+}
+
 // collRequest wraps a compiled schedule (nil for a trivially complete
 // collective) into a Request, executes the deterministic prefix, and
 // registers the schedule with the rank's progress list.
 func (c *Comm) collRequest(s *collSched) (*Request, error) {
+	if s == schedFoldPending {
+		// A nonblocking post must never park in a key gather (overlap
+		// semantics depend on returning to the caller), so the deferred
+		// compile materializes here unconditionally.
+		var err error
+		if s, err = c.materializePending(&c.proc.foldPend); err != nil {
+			return nil, err
+		}
+	}
 	r := c.proc.getRequest()
 	r.comm = c
 	if s == nil {

@@ -11,14 +11,17 @@ import (
 // (its proc) and must only be used from that rank's goroutine; the
 // "collective" methods must be called by every member.
 type Comm struct {
-	proc  *Proc
-	ctx   int
-	group []int // communicator rank -> world rank
-	rank  int   // this process's communicator rank
 	// collSeq counts the communicator's collective invocations; each one
 	// is stamped with its own internal tag (see nextCollTag). Collective
 	// calls are collectively ordered, so every member's counter agrees.
+	// First field on purpose: a fold resolution bumps every world rank's
+	// comm0v.collSeq, and here it shares the Proc's first cache line with
+	// the clock that fanout writes anyway (see the Proc layout comment).
 	collSeq int
+	proc    *Proc
+	ctx     int
+	group   []int // communicator rank -> world rank
+	rank    int   // this process's communicator rank
 }
 
 // Rank returns this process's rank within the communicator.

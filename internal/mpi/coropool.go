@@ -1,0 +1,148 @@
+package mpi
+
+// Worker-pooled rank coroutines. The event engine runs every rank body on
+// an iter.Pull coroutine; creating one costs a fresh goroutine plus ~8
+// small allocations of iterator state, and a Run needs one per rank. At
+// 64Ki ranks that setup was the single largest allocation source of a
+// steady-state huge-world sweep — more than the simulation itself — because
+// every benchmark iteration builds a new world and re-created all of them.
+//
+// A coroWorker decouples the coroutine from the Run: its sequence function
+// is a loop that runs one bound (rank, body) pair, then parks in an idle
+// yield instead of returning, so the next Run can rebind and resume it.
+// Workers are pooled process-wide; a warm Run performs zero coroutine
+// setup. Only cleanly finished workers return to the pool — a worker
+// stopped mid-body (loop shutdown after an error, a fault kill) unwinds
+// and dies exactly as the unpooled coroutine did.
+
+import (
+	"fmt"
+	"iter"
+	"runtime/debug"
+	"sync"
+)
+
+// coroWorker is one pooled rank coroutine.
+type coroWorker struct {
+	next  func() (struct{}, bool)
+	stop  func()
+	yield func(struct{}) bool
+	// er/body are the current binding; a nil er parks the worker idle (its
+	// state between Runs). Only the binding Run's driver touches a bound
+	// worker; the pool lock orders rebinds across Runs.
+	er   *eventRank
+	body func(p *Proc) error
+}
+
+// newCoroWorker creates a worker and advances it to its idle yield, so
+// yield is captured and bind can hand it to the rank.
+func newCoroWorker() *coroWorker {
+	cw := &coroWorker{}
+	cw.next, cw.stop = iter.Pull(func(yield func(struct{}) bool) {
+		cw.yield = yield
+		for {
+			if cw.er == nil {
+				// Idle: park until the next Run rebinds (or stop kills us).
+				if !yield(struct{}{}) {
+					return
+				}
+				continue
+			}
+			cw.runBody()
+			cw.er, cw.body = nil, nil
+		}
+	})
+	cw.next()
+	return cw
+}
+
+// runBody executes the bound rank body with the engine's termination
+// contract: the body's result (or a recovered panic) lands in er.err, and
+// er.finished tells the resuming driveUntil that this resume ended the
+// body rather than parking it. An eventStop unwind (loop shutdown) is
+// swallowed here and then kills the worker: its next idle yield reports
+// the stop and the sequence function returns.
+func (cw *coroWorker) runBody() {
+	er := cw.er
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, stopped := rec.(eventStop); !stopped {
+				er.err = fmt.Errorf("panic: %v\n%s", rec, debug.Stack())
+				er.set = true
+			}
+		}
+		er.finished = true
+	}()
+	err := cw.body(er.proc)
+	if !er.set {
+		er.err, er.set = err, true
+	}
+}
+
+// bind attaches the worker to one rank of one Run.
+func (cw *coroWorker) bind(er *eventRank, body func(p *Proc) error) {
+	cw.er, cw.body = er, body
+	er.cw = cw
+	er.next, er.stop, er.yield = cw.next, cw.stop, cw.yield
+	er.finished = false
+}
+
+// coroPool is the process-wide free list of idle workers. Each idle worker
+// retains one parked goroutine (a few KiB of stack after shrinking);
+// coroPoolMax bounds the retained set the way growEventCaches bounds the
+// schedule slabs. Overflowing workers are stopped, not leaked — and this
+// is capacity pooling, not result caching, so the overflow is deliberately
+// not counted in cacheOverflows: dropping a worker re-runs no simulation
+// work, it only re-pays coroutine setup.
+var coroPool struct {
+	mu   sync.Mutex
+	free []*coroWorker
+}
+
+const coroPoolMax = 1 << 17
+
+// takeCoroWorkers returns n workers: pooled ones first, fresh for the
+// shortfall.
+func takeCoroWorkers(n int) []*coroWorker {
+	ws := make([]*coroWorker, n)
+	coroPool.mu.Lock()
+	free := coroPool.free
+	k := len(free)
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		ws[i] = free[len(free)-1-i]
+		free[len(free)-1-i] = nil
+	}
+	coroPool.free = free[:len(free)-k]
+	coroPool.mu.Unlock()
+	for i := k; i < n; i++ {
+		ws[i] = newCoroWorker()
+	}
+	return ws
+}
+
+// releaseCoroWorkers returns the Run's cleanly finished workers to the
+// pool; anything else (stopped mid-body, errored out) is already dead or
+// dies with the Run.
+func releaseCoroWorkers(ranks []*eventRank) {
+	var kill []*coroWorker
+	coroPool.mu.Lock()
+	for _, er := range ranks {
+		cw := er.cw
+		er.cw = nil
+		if cw == nil || er.state != rankDone {
+			continue
+		}
+		if len(coroPool.free) < coroPoolMax {
+			coroPool.free = append(coroPool.free, cw)
+		} else {
+			kill = append(kill, cw)
+		}
+	}
+	coroPool.mu.Unlock()
+	for _, cw := range kill {
+		cw.stop()
+	}
+}

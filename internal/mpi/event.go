@@ -42,8 +42,6 @@ package mpi
 
 import (
 	"fmt"
-	"iter"
-	"runtime/debug"
 
 	"repro/internal/vtime"
 )
@@ -144,10 +142,15 @@ type eventRank struct {
 	// sift comparisons stay one load instead of a pointer chase.
 	key vtime.Micros
 	// yield suspends the rank's coroutine back to the loop; next resumes
-	// it; stop unwinds it. All three come from iter.Pull.
-	yield func(struct{}) bool
-	next  func() (struct{}, bool)
-	stop  func()
+	// it; stop unwinds it. All three come from the rank's pooled worker
+	// coroutine (coropool.go). finished is set by the worker when a resume
+	// ran the body to its end rather than parking it — the worker then
+	// idles at a yield instead of exiting, so next still reports alive.
+	yield    func(struct{}) bool
+	next     func() (struct{}, bool)
+	stop     func()
+	cw       *coroWorker
+	finished bool
 	// sched, when non-nil, is a blocking collective schedule the loop
 	// advances stacklessly instead of resuming the coroutine; schedErr
 	// carries its outcome back to the blocked driveSched call. driving
@@ -338,11 +341,13 @@ func (w *World) runEvent(body func(p *Proc) error) error {
 	}
 	l := &eventLoop{w: w, ranks: make([]*eventRank, w.size)}
 	l.heap = make([]*eventRank, 0, w.size)
-	// Procs and rank states are allocated as two slabs: at tens of
-	// thousands of ranks, two allocations instead of 2*size is a measurable
-	// slice of world-construction cost.
-	procs := make([]Proc, w.size)
-	ers := make([]eventRank, w.size)
+	// Procs and rank states come as two recycled slabs (slabpool.go): at
+	// tens of thousands of ranks, re-clearing the previous Run's slabs is
+	// far cheaper than faulting in ~200MB of fresh pages per iteration and
+	// garbage-collecting them afterwards.
+	overflowsAtStart := cacheOverflows.Load()
+	procs, ers := takeRankSlabs(w.size)
+	workers := takeCoroWorkers(w.size)
 	for r := 0; r < w.size; r++ {
 		p := &procs[r]
 		p.world, p.rank = w, r
@@ -352,22 +357,10 @@ func (w *World) runEvent(body func(p *Proc) error) error {
 		l.ranks[r] = er
 		w.mailboxes[r].owner = p
 		w.mailboxes[r].noLock = true
-		er.next, er.stop = iter.Pull(func(yield func(struct{}) bool) {
-			er.yield = yield
-			defer func() {
-				if rec := recover(); rec != nil {
-					if _, stopped := rec.(eventStop); stopped {
-						return
-					}
-					er.err = fmt.Errorf("panic: %v\n%s", rec, debug.Stack())
-					er.set = true
-				}
-			}()
-			err := body(p)
-			if !er.set {
-				er.err, er.set = err, true
-			}
-		})
+		// Seed the Proc-side pending mirror: a prior errored Run of this
+		// world may have left undelivered envelopes behind.
+		p.mbPend = int32(w.mailboxes[r].npend)
+		workers[r].bind(er, body)
 		l.push(er)
 	}
 	defer func() {
@@ -378,14 +371,19 @@ func (w *World) runEvent(body func(p *Proc) error) error {
 			er.proc.ev = nil
 			er.proc.harvestScheds()
 		}
+		releaseCoroWorkers(l.ranks)
 		for _, mb := range w.mailboxes {
 			mb.owner = nil
 			mb.noLock = false
 		}
-		// Harvested schedules return to the pool and their pointers may be
-		// reused by a later Run; drop shape verdicts keyed by them.
-		clear(w.foldShapes)
-		clear(w.foldNo)
+		// Shape verdicts are keyed by invocation value (shapeKey), not by
+		// schedule pointers, so foldShapes/foldNo survive the teardown:
+		// harvested schedules returning to the pool cannot alias them.
+		w.schedFoldStats.CacheOverflows += cacheOverflows.Load() - overflowsAtStart
+		// Every pointer into the rank slabs is now severed (mailbox owners
+		// above, schedule comms via harvest, per-Proc freelists die with
+		// their Proc), so the slabs can serve the next Run of this size.
+		putRankSlabs(procs, ers)
 	}()
 
 	// Drive until done. A drained run queue with ranks still parked is a
@@ -514,11 +512,13 @@ func (l *eventLoop) driveUntil(target *eventRank) {
 		if DebugCounters != nil {
 			DebugCounters[6]++
 		}
-		if _, alive := er.next(); !alive {
+		if _, alive := er.next(); !alive || er.finished {
 			er.state = rankDone
 			l.done++
 		}
-		// alive means the rank parked again; park already marked it blocked.
+		// alive and not finished means the rank parked again; park already
+		// marked it blocked. (A finished rank's worker idles at a yield for
+		// the pool, so next reports alive even though the body is over.)
 	}
 }
 

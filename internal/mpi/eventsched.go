@@ -147,9 +147,15 @@ func storeSharedSteps(key stepKey, steps []collStep) bool {
 			return true
 		}
 		// A parallel world published this key between the Load and here:
-		// fall through to the one refund.
+		// refund the one reservation.
+		stepCacheBytes.Add(-bytes)
+		return false
 	}
 	stepCacheBytes.Add(-bytes)
+	// Budget overflow: this shape will be recompiled per world from now on.
+	// Count it — silent reuse degradation looks exactly like a perf
+	// regression (see CacheOverflowCount; bench.sh fails loudly on it).
+	cacheOverflows.Add(1)
 	return false
 }
 
@@ -230,7 +236,11 @@ func (st *schedStoreState) keep(s *collSched) {
 		} else {
 			st.heavy = append(st.heavy, s)
 		}
+		return
 	}
+	// Budget overflow: the schedule is dropped to the GC and the next world
+	// re-allocates it. Count it — see CacheOverflowCount.
+	cacheOverflows.Add(1)
 }
 
 // schedStore.max starts sized to cover the full working set of a
@@ -354,6 +364,9 @@ func (c *Comm) retainSched(key replayKey, s *collSched) {
 	}
 	s.cached = true
 	s.inUse = true
+	// Stamp the invocation shape so the schedule-level fold can recover the
+	// value key of a cached schedule (schedShapeKey).
+	s.keyN, s.keyRoot = key.n, key.root
 	posts := 0
 	for i := range s.steps {
 		switch s.steps[i].op {

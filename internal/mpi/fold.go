@@ -40,6 +40,7 @@ package mpi
 import (
 	"math"
 
+	"repro/internal/topology"
 	"repro/internal/vtime"
 )
 
@@ -177,10 +178,14 @@ type foldPartition struct {
 	sendCls, recvCls [][]int32
 }
 
-// foldShape is the once-per-schedule analysis of a gathered collective.
+// foldShape is the once-per-shape analysis of a collective invocation. The
+// structural half (kind, steps, classes, peer tables, per-class byte
+// snapshots) is deterministic in (algorithm, comm size, invocation shape,
+// link tables) and shareable across worlds through schedfold.go's
+// process-wide structure cache; costs and parts are per-world (prices
+// depend on the model and PyMode; the partition cache mutates).
 type foldShape struct {
 	ok     bool
-	scheds []*collSched
 	kind   foldKind
 	steps  []foldStep
 	nslots int
@@ -194,20 +199,17 @@ type foldShape struct {
 	identIdx         []int32
 	costs            [][]foldCost
 	sendCls, recvCls [][]int32
+	// repN/repSendN snapshot each refined class representative's per-step
+	// (recv bytes, send bytes), so a cached structure re-prices under
+	// another world's model without recompiling any schedule.
+	repN, repSendN [][]int32
+	// dom/domLink pin the exact link tables the analysis used; the
+	// process-wide structure cache verifies them on every hit (its key
+	// carries only their hash). nil for shapes that never leave a world.
+	dom     []int32
+	domLink []topology.LinkClass
 
 	parts []*foldPartition
-}
-
-// sameScheds verifies the cached shape still describes these schedule
-// objects (pool reuse across Runs invalidates pointers; runEvent clears the
-// cache, this is the in-Run guard).
-func (sh *foldShape) sameScheds(scheds []*collSched) bool {
-	for r, s := range scheds {
-		if sh.scheds[r] != s {
-			return false
-		}
-	}
-	return true
 }
 
 // slotOfDelta resolves a send delta to its wire slot, -1 when the shape has
@@ -224,52 +226,66 @@ func (sh *foldShape) slotOfDelta(d int) int {
 }
 
 // foldGather is the event loop's in-progress gather of ranks parked at an
-// eligible collective.
+// eligible collective. Two kinds of join feed it, never mixed within a
+// world: key joins (schedule folding on — the rank brings only its
+// invocation key, no schedule exists) and schedule joins (schedule folding
+// off — the rank brings its compiled schedule, whose key is derived from
+// the replay stamps).
 type foldGather struct {
 	scheds []*collSched
+	keys   []foldKey
 	ranks  []*eventRank
 	order  []int32
 	joined int
+	// keyed marks a gather of key joins; pend points at any joiner's
+	// deferred invocation (key equality proves they are interchangeable),
+	// used by the resolver to probe-compile a shape on the first miss. The
+	// pointee lives in the joiner's Proc and stays valid while that rank is
+	// parked in this gather.
+	keyed bool
+	pend  *foldPending
+}
+
+// schedShapeKey recovers the invocation shape of a cached compiled schedule
+// from the replay stamps retainSched recorded on it.
+func schedShapeKey(s *collSched) shapeKey {
+	return shapeKey{coll: s.coll, n: s.keyN, root: s.keyRoot, dt: s.dt, op: s.op}
 }
 
 // foldEligible is the cheap per-rank pre-check run at the top of
 // driveSchedEvent: only full-world, context-0, cached (buffer-free)
 // schedules on untraced worlds with an empty mailbox and no outstanding
-// nonblocking collectives may join a gather.
+// nonblocking collectives may join a gather. With schedule folding on, the
+// gather happens at collective entry instead (schedFoldEligible), so this
+// schedule-level gate stays closed.
 func (l *eventLoop) foldEligible(c *Comm, s *collSched) bool {
 	w := l.w
 	// A fault plan disables folding outright: noise/jitter draws and kill
 	// checks happen per rank per invocation, which is exactly the symmetry
 	// the fold exploits — bailing here keeps fold-on and fold-off runs
 	// bit-identical under faults.
-	if w.foldOff || w.faults != nil || !s.cached || c.ctx != 0 || w.size < 2 || w.size > foldMaxRanks ||
+	if w.foldOff || !w.schedFoldOff || w.faults != nil || !s.cached || c.ctx != 0 ||
+		w.size < 2 || w.size > foldMaxRanks ||
 		len(c.group) != w.size || w.cfg.Trace != nil || len(c.proc.activeScheds) != 0 {
 		return false
 	}
-	if w.mailboxes[c.proc.rank].npend != 0 {
+	if c.proc.mbPend != 0 {
 		return false
 	}
-	if _, no := w.foldNo[s]; no {
+	if _, no := w.foldNo[schedShapeKey(s)]; no {
 		return false
 	}
 	return true
 }
 
-// foldJoin adds the rank to the gather. The last joiner resolves the whole
-// invocation; everyone else parks until the resolver wakes them. It reports
-// true when the collective was folded (clock and link state already hold
-// the exit values and finish has run) and false when the rank must drive
-// its schedule normally.
-func (l *eventLoop) foldJoin(er *eventRank, s *collSched) bool {
+// foldJoinCommon adds the rank to the gather and parks it unless it is the
+// last joiner, which resolves the whole invocation on its own stack. It
+// reports true when the collective was folded (clock and link state already
+// hold the exit values) and false when the rank must fall back to per-rank
+// execution.
+func (l *eventLoop) foldJoinCommon(er *eventRank, r int) bool {
 	g := &l.fold
 	w := l.w
-	if g.scheds == nil {
-		g.scheds = make([]*collSched, w.size)
-		g.ranks = make([]*eventRank, w.size)
-		g.order = make([]int32, 0, w.size)
-	}
-	r := er.proc.rank
-	g.scheds[r] = s
 	g.ranks[r] = er
 	g.order = append(g.order, int32(r))
 	g.joined++
@@ -285,16 +301,62 @@ func (l *eventLoop) foldJoin(er *eventRank, s *collSched) bool {
 	return false
 }
 
+func (l *eventLoop) foldGatherInit() {
+	g := &l.fold
+	w := l.w
+	g.scheds = make([]*collSched, w.size)
+	g.keys = make([]foldKey, w.size)
+	g.ranks = make([]*eventRank, w.size)
+	g.order = make([]int32, 0, w.size)
+}
+
+// foldJoin is the schedule join (schedule folding off): the rank brings its
+// compiled, cached schedule; on a fold the resolver runs its finish.
+func (l *eventLoop) foldJoin(er *eventRank, s *collSched) bool {
+	g := &l.fold
+	if g.ranks == nil {
+		l.foldGatherInit()
+	}
+	r := er.proc.rank
+	g.scheds[r] = s
+	g.keys[r] = foldKey{shape: schedShapeKey(s), seq: s.tag - tagCollBase}
+	g.keyed = false
+	return l.foldJoinCommon(er, r)
+}
+
+// foldJoinKey is the key join (schedule folding on): the rank brings only
+// its deferred invocation; no schedule object exists, and on a fold none
+// ever will — the resolver advances the communicator's collective sequence
+// in the fan-out instead of finish.
+func (l *eventLoop) foldJoinKey(er *eventRank, pend *foldPending) bool {
+	g := &l.fold
+	if g.ranks == nil {
+		l.foldGatherInit()
+	}
+	r := er.proc.rank
+	g.scheds[r] = nil
+	g.keys[r] = pend.key
+	g.keyed = true
+	g.pend = pend
+	return l.foldJoinCommon(er, r)
+}
+
 // resolveFold runs on the last joiner's stack once every live rank has
 // gathered: verify the invocation is uniform, fold it, and wake everyone.
 func (l *eventLoop) resolveFold() bool {
 	w := l.w
 	if l.fold.joined == w.size && l.tryFold() {
 		w.foldStats.Folded++
+		if l.fold.keyed {
+			w.schedFoldStats.GatherHits++
+		}
 		l.foldRelease(true)
 		return true
 	}
 	w.foldStats.Fallback++
+	if l.fold.keyed {
+		w.schedFoldStats.Fallbacks++
+	}
 	l.foldRelease(false)
 	return false
 }
@@ -329,48 +391,52 @@ func (l *eventLoop) releaseFoldStalled() bool {
 		return false
 	}
 	l.w.foldStats.Released++
+	if l.fold.keyed {
+		l.w.schedFoldStats.Fallbacks++
+	}
 	l.foldRelease(false)
 	return true
 }
 
-// tryFold validates the gathered invocation and simulates it per class.
+// tryFold validates the gathered invocation and simulates it per class:
+// every rank must have joined with the identical key (same collective,
+// shape and sequence number — the proof they are in the same invocation),
+// and no delivery may have raced into a mailbox after its rank joined.
 func (l *eventLoop) tryFold() bool {
 	w := l.w
 	g := &l.fold
 	p := w.size
-	scheds := g.scheds
-	s0 := scheds[0]
-	if s0 == nil {
-		return false
-	}
-	tag := s0.tag
+	key0 := g.keys[0]
 	for r := 1; r < p; r++ {
-		if scheds[r] == nil || scheds[r].tag != tag {
+		if g.keys[r] != key0 {
 			return false
 		}
 	}
-	// Deliveries that raced in after a rank joined make its mailbox
-	// non-empty now even though it was empty at join time.
 	for r := 0; r < p; r++ {
-		if w.mailboxes[r].npend != 0 {
+		// Proc-side mirror of mailbox npend: one line the resolver's token
+		// scan is about to touch anyway, not a cold mailbox line per rank.
+		if l.ranks[r].proc.mbPend != 0 {
 			return false
 		}
 	}
-	sh := w.foldShapes[s0]
-	if sh == nil || !sh.sameScheds(scheds) {
-		sh = buildFoldShape(w, scheds)
-		if w.foldShapes == nil {
-			w.foldShapes = make(map[*collSched]*foldShape, 8)
+	sk := key0.shape
+	sh := w.foldShapes[sk]
+	if sh == nil {
+		if g.keyed {
+			sh = l.buildFoldShapeProbe(sk, g.pend)
+		} else {
+			sh = buildFoldShapeScheds(w, g.scheds)
 		}
-		w.foldShapes[s0] = sh
+		if w.foldShapes == nil {
+			w.foldShapes = make(map[shapeKey]*foldShape, 8)
+		}
+		w.foldShapes[sk] = sh
 	}
 	if !sh.ok {
 		if w.foldNo == nil {
-			w.foldNo = make(map[*collSched]struct{}, p)
+			w.foldNo = make(map[shapeKey]struct{}, 8)
 		}
-		for _, s := range scheds {
-			w.foldNo[s] = struct{}{}
-		}
+		w.foldNo[sk] = struct{}{}
 		return false
 	}
 	return sh.simulate(l)
@@ -384,98 +450,220 @@ func foldMix(h, v uint64) uint64 {
 	return h
 }
 
-// buildFoldShape analyzes the gathered schedules once. A shape that fails
-// any uniformity requirement comes back with ok=false and is remembered in
-// World.foldNo so later invocations skip the gather.
-func buildFoldShape(w *World, scheds []*collSched) *foldShape {
-	p := w.size
-	sh := &foldShape{scheds: append([]*collSched(nil), scheds...)}
-	steps0 := scheds[0].steps
+// foldExtract is the kind- and byte-level digest of one rank-complete step
+// walk: per-step ops and deltas from rank 0, the surviving global delta
+// kind, and the (recv bytes, send bytes) of every (rank, step) — all a
+// shape analysis needs, with no reference to any schedule object. Streaming
+// extraction keeps at most one rank's step list alive at a time, so a probe
+// pass over 64Ki ranks holds two int32 arrays instead of 64Ki compiled
+// schedules.
+type foldExtract struct {
+	p, ns        int
+	steps        []foldStep
+	kind         foldKind
+	nslots       int
+	slotDeltas   []int32
+	nArr, sendNA []int32 // p*ns each; meaningful on exchange/reduce steps
+}
+
+// foldExtractSteps walks every rank's step list (rank 0's is passed
+// directly; stepsOf produces the rest, and may reuse one buffer between
+// calls) and digests them, returning nil as soon as any uniformity
+// requirement fails: same length and op sequence everywhere, only
+// exchange/reduce/copy primitives, one global self-inverse peer delta
+// family across all steps, and no truncating message.
+func foldExtractSteps(p int, steps0 []collStep, stepsOf func(r int) []collStep) *foldExtract {
 	ns := len(steps0)
-	for r := 1; r < p; r++ {
-		if len(scheds[r].steps) != ns {
-			return sh
-		}
-	}
-	sh.steps = make([]foldStep, ns)
-	kind := foldKindNone
-	for k := 0; k < ns; k++ {
-		op := steps0[k].op
-		for r := 1; r < p; r++ {
-			if scheds[r].steps[k].op != op {
-				return sh
-			}
-		}
-		fs := &sh.steps[k]
-		fs.op = op
+	fx := &foldExtract{p: p, ns: ns, steps: make([]foldStep, ns)}
+	hasExch := false
+	for k, st := range steps0 {
+		fs := &fx.steps[k]
+		fs.op = st.op
 		fs.slot = -1
-		switch op {
+		switch st.op {
 		case opReduce, opReduceNC, opCopy:
 			// Local; no peers.
 		case opExchange:
-			sd, k1, ok := detectFoldDelta(scheds, k, kind, true, p)
-			if !ok {
-				return sh
+			// Rank 0 exposes the deltas directly: 0^d == (0+d) mod p == d.
+			if st.sendPeer < 0 || st.sendPeer >= p || st.peer < 0 || st.peer >= p {
+				return nil
 			}
-			rd, k2, ok := detectFoldDelta(scheds, k, k1, false, p)
-			if !ok || k2 != k1 {
-				return sh
-			}
-			kind = k1
-			// The rank sending to r must be the rank r receives from.
-			if kind == foldKindXor {
-				if sd != rd {
-					return sh
-				}
-			} else if (int(sd)+int(rd))%p != 0 {
-				return sh
-			}
-			fs.sendDelta, fs.recvDelta = sd, rd
-			slot := sh.slotOfDelta(int(sd))
-			if slot < 0 {
-				slot = sh.nslots
-				sh.slotDeltas = append(sh.slotDeltas, sd)
-				sh.nslots++
-			}
-			fs.slot = int32(slot)
-			// The per-rank path errors when a message would truncate; a
-			// fold must surface that too, so such shapes do not fold.
-			for r := 0; r < p; r++ {
-				sender := foldApply(kind, r, int(rd), p)
-				if scheds[sender].steps[k].sendN > scheds[r].steps[k].n {
-					return sh
-				}
-			}
+			fs.sendDelta, fs.recvDelta = int32(st.sendPeer), int32(st.peer)
+			hasExch = true
 		default:
-			return sh
+			return nil
 		}
 	}
-	sh.kind = kind
+	fx.nArr = make([]int32, p*ns)
+	fx.sendNA = make([]int32, p*ns)
+	// Both delta kinds start as candidates and are eliminated per (rank,
+	// step); a shape may not mix kinds (modular and xor wires alias
+	// differently across ranks), so one survivor must explain every step.
+	xorOK, modOK := hasExch, hasExch
+	for r := 0; r < p; r++ {
+		st := stepsOf(r)
+		if len(st) != ns {
+			return nil
+		}
+		base := r * ns
+		for k := 0; k < ns; k++ {
+			fs := &fx.steps[k]
+			if st[k].op != fs.op {
+				return nil
+			}
+			switch fs.op {
+			case opExchange:
+				if xorOK && (st[k].sendPeer != r^int(fs.sendDelta) || st[k].peer != r^int(fs.recvDelta)) {
+					xorOK = false
+				}
+				if modOK && (st[k].sendPeer != foldApply(foldKindMod, r, int(fs.sendDelta), p) ||
+					st[k].peer != foldApply(foldKindMod, r, int(fs.recvDelta), p)) {
+					modOK = false
+				}
+				if !xorOK && !modOK {
+					return nil
+				}
+				fx.nArr[base+k] = int32(st[k].n)
+				fx.sendNA[base+k] = int32(st[k].sendN)
+			case opReduce:
+				fx.nArr[base+k] = int32(st[k].n)
+			}
+		}
+	}
+	switch {
+	case !hasExch:
+		fx.kind = foldKindNone
+	case xorOK && fx.checkKind(foldKindXor):
+		fx.kind = foldKindXor
+	case modOK && fx.checkKind(foldKindMod):
+		fx.kind = foldKindMod
+	default:
+		return nil
+	}
+	// Wire slots, one per distinct send delta.
+	for k := range fx.steps {
+		fs := &fx.steps[k]
+		if fs.op != opExchange {
+			continue
+		}
+		slot := int32(-1)
+		for i, sd := range fx.slotDeltas {
+			if sd == fs.sendDelta {
+				slot = int32(i)
+				break
+			}
+		}
+		if slot < 0 {
+			slot = int32(len(fx.slotDeltas))
+			fx.slotDeltas = append(fx.slotDeltas, fs.sendDelta)
+		}
+		fs.slot = slot
+	}
+	fx.nslots = len(fx.slotDeltas)
+	return fx
+}
 
-	// Structural classes: signature over per-step (bytes, outbound link),
-	// interned by hash with exact verification, then refined so every class
-	// agrees on the class of each step peer.
+// checkKind verifies a surviving candidate end to end: every exchange
+// step's delta pair must be self-inverse under the kind (the rank sending
+// to r is the rank r receives from), and no message may truncate (the
+// per-rank path errors on truncation; a fold must surface that too, so
+// such shapes do not fold).
+func (fx *foldExtract) checkKind(kind foldKind) bool {
+	p, ns := fx.p, fx.ns
+	for k := range fx.steps {
+		fs := &fx.steps[k]
+		if fs.op != opExchange {
+			continue
+		}
+		if kind == foldKindXor {
+			if fs.sendDelta != fs.recvDelta {
+				return false
+			}
+		} else if (int(fs.sendDelta)+int(fs.recvDelta))%p != 0 {
+			return false
+		}
+		for r := 0; r < p; r++ {
+			sender := foldApply(kind, r, int(fs.recvDelta), p)
+			if fx.sendNA[sender*ns+k] > fx.nArr[r*ns+k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// structEqual is the exact comparison behind the structural-signature hash.
+func (fx *foldExtract) structEqual(w *World, a, b int) bool {
+	if a == b {
+		return true
+	}
+	ns := fx.ns
+	ba, bb := a*ns, b*ns
+	for k := range fx.steps {
+		fs := &fx.steps[k]
+		switch fs.op {
+		case opExchange:
+			if fx.nArr[ba+k] != fx.nArr[bb+k] || fx.sendNA[ba+k] != fx.sendNA[bb+k] {
+				return false
+			}
+			da := foldApply(fx.kind, a, int(fs.sendDelta), fx.p)
+			db := foldApply(fx.kind, b, int(fs.sendDelta), fx.p)
+			if w.link(a, da) != w.link(b, db) {
+				return false
+			}
+		case opReduce:
+			if fx.nArr[ba+k] != fx.nArr[bb+k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildFoldShapeScheds analyzes a schedule-join gather (schedule folding
+// off). A shape that fails any uniformity requirement comes back with
+// ok=false and is remembered in World.foldNo so later invocations skip the
+// gather.
+func buildFoldShapeScheds(w *World, scheds []*collSched) *foldShape {
+	fx := foldExtractSteps(w.size, scheds[0].steps, func(r int) []collStep {
+		return scheds[r].steps
+	})
+	if fx == nil {
+		return &foldShape{}
+	}
+	return buildFoldShapeFx(w, fx)
+}
+
+// buildFoldShapeFx turns an extracted digest into a full shape: structural
+// classes (signature over per-step bytes and outbound link, interned by
+// hash with exact verification, then refined so every class agrees on the
+// class of each step peer), per-class byte snapshots, and this world's
+// price tables.
+func buildFoldShapeFx(w *World, fx *foldExtract) *foldShape {
+	p, ns := fx.p, fx.ns
+	sh := &foldShape{kind: fx.kind, steps: fx.steps,
+		nslots: fx.nslots, slotDeltas: fx.slotDeltas}
 	class := make([]int32, p)
 	var reps []int32
 	buckets := make(map[uint64][]int32)
 	for r := 0; r < p; r++ {
 		h := uint64(foldFNV)
-		st := scheds[r].steps
+		base := r * ns
 		for k := range sh.steps {
 			fs := &sh.steps[k]
 			switch fs.op {
 			case opExchange:
-				gdst := foldApply(kind, r, int(fs.sendDelta), p)
-				h = foldMix(h, uint64(st[k].n))
-				h = foldMix(h, uint64(st[k].sendN))
+				gdst := foldApply(fx.kind, r, int(fs.sendDelta), p)
+				h = foldMix(h, uint64(fx.nArr[base+k]))
+				h = foldMix(h, uint64(fx.sendNA[base+k]))
 				h = foldMix(h, uint64(w.link(r, gdst)))
 			case opReduce:
-				h = foldMix(h, uint64(st[k].n))
+				h = foldMix(h, uint64(fx.nArr[base+k]))
 			}
 		}
 		id := int32(-1)
 		for _, cand := range buckets[h] {
-			if sh.structEqual(w, scheds, r, int(reps[cand])) {
+			if fx.structEqual(w, r, int(reps[cand])) {
 				id = cand
 				break
 			}
@@ -495,104 +683,51 @@ func buildFoldShape(w *World, scheds []*collSched) *foldShape {
 		sh.identIdx[i] = int32(i)
 	}
 	sh.sendCls, sh.recvCls = sh.peerTables(class, sh.nclass, sh.reps)
+	sh.repN = make([][]int32, sh.nclass)
+	sh.repSendN = make([][]int32, sh.nclass)
+	for i := 0; i < sh.nclass; i++ {
+		rep := int(sh.reps[i])
+		sh.repN[i] = append([]int32(nil), fx.nArr[rep*ns:(rep+1)*ns]...)
+		sh.repSendN[i] = append([]int32(nil), fx.sendNA[rep*ns:(rep+1)*ns]...)
+	}
+	sh.costs = w.foldCostsFor(sh)
+	sh.ok = true
+	return sh
+}
 
-	// Price tables: the same pure netmodel calls priceTo makes per rank.
+// foldCostsFor prices a shape's per-(class, step) table under this world's
+// model — the same pure netmodel calls priceTo makes per rank.
+func (w *World) foldCostsFor(sh *foldShape) [][]foldCost {
 	model := w.cfg.Model
 	py := w.cfg.PyMode
 	fullSub := w.fullSub
-	sh.costs = make([][]foldCost, sh.nclass)
+	p := w.size
+	costs := make([][]foldCost, sh.nclass)
 	for i := 0; i < sh.nclass; i++ {
 		rep := int(sh.reps[i])
-		st := scheds[rep].steps
-		cc := make([]foldCost, ns)
+		cc := make([]foldCost, len(sh.steps))
 		for k := range sh.steps {
 			fs := &sh.steps[k]
 			switch fs.op {
 			case opExchange:
-				gdst := foldApply(kind, rep, int(fs.sendDelta), p)
+				gdst := foldApply(sh.kind, rep, int(fs.sendDelta), p)
 				link := w.link(rep, gdst)
-				pc := model.PtPt(link, st[k].sendN, py, fullSub)
+				sendN := int(sh.repSendN[i][k])
+				pc := model.PtPt(link, sendN, py, fullSub)
 				c := &cc[k]
 				c.sendOver, c.wire, c.transmit = pc.SendOverhead, pc.Wire, pc.Transmit
 				c.recvOver, c.eager = pc.RecvOverhead, pc.Eager
 				if py {
 					// Collective tags are always internal (> MaxUserTag).
-					c.pyLock = model.PyOpLock(link, st[k].sendN, true, fullSub)
+					c.pyLock = model.PyOpLock(link, sendN, true, fullSub)
 				}
 			case opReduce:
-				cc[k].compute = model.Compute(st[k].n, py, fullSub)
+				cc[k].compute = model.Compute(int(sh.repN[i][k]), py, fullSub)
 			}
 		}
-		sh.costs[i] = cc
+		costs[i] = cc
 	}
-	sh.ok = true
-	return sh
-}
-
-// detectFoldDelta finds the global delta of step k's send (or recv) peer
-// map, trying the hinted kind first (a shape may not mix kinds: modular and
-// xor wires alias differently across ranks).
-func detectFoldDelta(scheds []*collSched, k int, hint foldKind, send bool, p int) (int32, foldKind, bool) {
-	peerOf := func(r int) int {
-		st := &scheds[r].steps[k]
-		if send {
-			return st.sendPeer
-		}
-		return st.peer
-	}
-	d := peerOf(0) // rank 0: 0^d == (0+d) mod p == d
-	if d < 0 || d >= p {
-		return 0, hint, false
-	}
-	try := func(kind foldKind) bool {
-		for r := 1; r < p; r++ {
-			if peerOf(r) != foldApply(kind, r, d, p) {
-				return false
-			}
-		}
-		return true
-	}
-	if hint != foldKindNone {
-		if try(hint) {
-			return int32(d), hint, true
-		}
-		return 0, hint, false
-	}
-	if try(foldKindXor) {
-		return int32(d), foldKindXor, true
-	}
-	if try(foldKindMod) {
-		return int32(d), foldKindMod, true
-	}
-	return 0, hint, false
-}
-
-// structEqual is the exact comparison behind the structural-signature hash.
-func (sh *foldShape) structEqual(w *World, scheds []*collSched, a, b int) bool {
-	if a == b {
-		return true
-	}
-	p := len(scheds)
-	sa, sb := scheds[a].steps, scheds[b].steps
-	for k := range sh.steps {
-		fs := &sh.steps[k]
-		switch fs.op {
-		case opExchange:
-			if sa[k].n != sb[k].n || sa[k].sendN != sb[k].sendN {
-				return false
-			}
-			da := foldApply(sh.kind, a, int(fs.sendDelta), p)
-			db := foldApply(sh.kind, b, int(fs.sendDelta), p)
-			if w.link(a, da) != w.link(b, db) {
-				return false
-			}
-		case opReduce:
-			if sa[k].n != sb[k].n {
-				return false
-			}
-		}
-	}
-	return true
+	return costs
 }
 
 // refinePartition refines cls by every exchange step's send and recv peer
@@ -737,6 +872,14 @@ type foldScratch struct {
 	toks     []foldTokInfo
 	seedPool []vtime.Micros
 	seedUsed int
+	// clsTok memoizes, per structural class, the first token interned for
+	// that class this invocation (-1 when unseen), with tokKeys holding
+	// each token's key in parallel to toks. Ranks of one structural class
+	// share an identical history in the steady folded state, so the memo
+	// compare replaces a map hash of the 56-byte key on all but the first
+	// rank of each class.
+	clsTok  []int32
+	tokKeys []foldTok
 }
 
 // snapSeeds copies a dirty rank's seed vector into the arena and returns the
@@ -916,7 +1059,13 @@ func (sh *foldShape) simulate(l *eventLoop) bool {
 		}
 		tokMap := scr.tokMap
 		toks = scr.toks[:0]
+		tokKeys := scr.tokKeys[:0]
 		scr.seedUsed = 0
+		scr.clsTok = foldGrowI32(scr.clsTok, sh.nclass)
+		clsTok := scr.clsTok
+		for i := range clsTok {
+			clsTok[i] = -1
+		}
 		var lastKey foldTok
 		lastTok := int32(-1)
 		for r := 0; r < p; r++ {
@@ -932,6 +1081,15 @@ func (sh *foldShape) simulate(l *eventLoop) bool {
 				tokOf[r] = lastTok
 				continue
 			}
+			// Class memo: in the steady folded state every rank of a
+			// structural class carries the same token, so only the class's
+			// first rank pays the map.
+			if t := clsTok[key.sc]; t >= 0 && key == tokKeys[t] &&
+				(!key.dirty || foldSeedsEqual(seeds, toks[t].seeds)) {
+				tokOf[r] = t
+				lastKey, lastTok = key, t
+				continue
+			}
 			var id int32
 			probe := key
 			for {
@@ -943,6 +1101,7 @@ func (sh *foldShape) simulate(l *eventLoop) bool {
 						info.seeds = scr.snapSeeds(seeds)
 					}
 					toks = append(toks, info)
+					tokKeys = append(tokKeys, key)
 					tokMap[probe] = id
 					break
 				}
@@ -953,9 +1112,13 @@ func (sh *foldShape) simulate(l *eventLoop) bool {
 				probe.salt++
 			}
 			tokOf[r] = id
+			if clsTok[key.sc] < 0 {
+				clsTok[key.sc] = id
+			}
 			lastKey, lastTok = key, id
 		}
 		scr.toks = toks // keep the grown capacity for the next invocation
+		scr.tokKeys = tokKeys
 		ident = 2*len(toks) >= p
 	}
 
@@ -1149,7 +1312,16 @@ func (sh *foldShape) simulate(l *eventLoop) bool {
 		}
 		pr.clock.Set(clock[i])
 		pr.foldLB = &slab[i]
-		g.scheds[r].finish()
+		if s := g.scheds[r]; s != nil {
+			s.finish()
+		} else {
+			// Key join: no schedule was ever compiled. The invocation still
+			// consumed the communicator's collective sequence number (every
+			// fallback or per-rank path bumps it through nextCollTag), so
+			// advance it here to keep tag sequences identical across
+			// folded, fallback and fold-off executions.
+			pr.comm0.collSeq++
+		}
 	}
 	return true
 }

@@ -18,20 +18,21 @@ import (
 // fall back" regression cannot pass as parity.
 
 // runFoldParity runs body on an event-engine world and returns every
-// rank's final clock plus the world's fold counters.
-func runFoldParity(t *testing.T, ranks, ppn int, disableFold bool, algorithms map[Collective]string, body func(p *Proc) error) ([]vtime.Micros, FoldStats) {
+// rank's final clock plus the world's fold counters (both levels).
+func runFoldParity(t *testing.T, ranks, ppn int, disableFold, disableSchedFold bool, algorithms map[Collective]string, body func(p *Proc) error) ([]vtime.Micros, FoldStats, SchedFoldStats) {
 	t.Helper()
 	place, err := topology.NewPlacement(&topology.Frontera, ranks, ppn, topology.Block, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	w, err := NewWorld(Config{
-		Placement:   place,
-		Model:       netmodel.MustNew(&topology.Frontera, netmodel.MVAPICH2),
-		CarryData:   false,
-		Engine:      EngineEvent,
-		DisableFold: disableFold,
-		Algorithms:  algorithms,
+		Placement:        place,
+		Model:            netmodel.MustNew(&topology.Frontera, netmodel.MVAPICH2),
+		CarryData:        false,
+		Engine:           EngineEvent,
+		DisableFold:      disableFold,
+		DisableSchedFold: disableSchedFold,
+		Algorithms:       algorithms,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -45,27 +46,37 @@ func runFoldParity(t *testing.T, ranks, ppn int, disableFold bool, algorithms ma
 		return nil
 	})
 	if err != nil {
-		t.Fatalf("fold=%v: %v", !disableFold, err)
+		t.Fatalf("fold=%v schedfold=%v: %v", !disableFold, !disableSchedFold, err)
 	}
-	return end, w.FoldStats()
+	return end, w.FoldStats(), w.SchedFoldStats()
 }
 
-// assertFoldParity runs body folded and unfolded and fails on any clock
-// divergence; it returns the folded run's counters for the caller to pin.
-func assertFoldParity(t *testing.T, ranks, ppn int, algorithms map[Collective]string, body func(p *Proc) error) FoldStats {
+// assertFoldParity runs body three ways — per-rank execution, the
+// schedule-level gather (schedule folding disabled), and full schedule
+// folding — and fails on any clock divergence; it returns the fully folded
+// run's counters at both levels for the caller to pin.
+func assertFoldParity(t *testing.T, ranks, ppn int, algorithms map[Collective]string, body func(p *Proc) error) (FoldStats, SchedFoldStats) {
 	t.Helper()
-	want, offStats := runFoldParity(t, ranks, ppn, true, algorithms, body)
-	got, stats := runFoldParity(t, ranks, ppn, false, algorithms, body)
+	want, offStats, _ := runFoldParity(t, ranks, ppn, true, true, algorithms, body)
+	mid, _, midSF := runFoldParity(t, ranks, ppn, false, true, algorithms, body)
+	got, stats, sf := runFoldParity(t, ranks, ppn, false, false, algorithms, body)
 	if offStats.Folded != 0 {
 		t.Errorf("DisableFold world still folded %d invocations", offStats.Folded)
 	}
+	if midSF != (SchedFoldStats{}) {
+		t.Errorf("DisableSchedFold world still touched schedule folding: %+v", midSF)
+	}
 	for r := 0; r < ranks; r++ {
+		if mid[r] != want[r] {
+			t.Errorf("rank %d: virtual end time diverged: fold-off %v, sched-gather %v",
+				r, want[r], mid[r])
+		}
 		if got[r] != want[r] {
-			t.Errorf("rank %d: virtual end time diverged: fold-off %v, folded %v",
+			t.Errorf("rank %d: virtual end time diverged: fold-off %v, schedule-folded %v",
 				r, want[r], got[r])
 		}
 	}
-	return stats
+	return stats, sf
 }
 
 // TestFoldParitySymmetric pins the happy path: a fully symmetric world-comm
@@ -75,7 +86,7 @@ func TestFoldParitySymmetric(t *testing.T) {
 	for _, shape := range [][2]int{{16, 1}, {8, 4}, {64, 8}} {
 		ranks, ppn := shape[0], shape[1]
 		t.Run(fmt.Sprintf("%dx%d", ranks, ppn), func(t *testing.T) {
-			stats := assertFoldParity(t, ranks, ppn, nil, func(p *Proc) error {
+			stats, sf := assertFoldParity(t, ranks, ppn, nil, func(p *Proc) error {
 				c := p.CommWorld()
 				for i := 0; i < 3; i++ {
 					if err := c.AllreduceN(nil, nil, 16*1024, Float32, OpSum); err != nil {
@@ -87,6 +98,17 @@ func TestFoldParitySymmetric(t *testing.T) {
 			if stats.Folded == 0 {
 				t.Errorf("symmetric workload never folded: %+v", stats)
 			}
+			// A fully symmetric world-comm workload must resolve every
+			// invocation at class level — no per-rank schedule may have been
+			// compiled, replayed or fallen back to.
+			if sf.GatherHits == 0 || sf.Fallbacks != 0 {
+				t.Errorf("symmetric workload not fully schedule-folded: %+v", sf)
+			}
+			// Shapes come from a probe compile on first sight or from the
+			// process-wide structure cache afterwards; both count.
+			if sf.ClassesCompiled+sf.StructHits == 0 {
+				t.Errorf("schedule-folded run resolved no shape: %+v", sf)
+			}
 		})
 	}
 }
@@ -96,7 +118,7 @@ func TestFoldParitySymmetric(t *testing.T) {
 // communicators taking turns. The engine may fold whatever symmetry
 // survives, but the clocks must match per-rank execution exactly.
 func TestFoldParitySplitHalves(t *testing.T) {
-	stats := assertFoldParity(t, 63, 7, nil, func(p *Proc) error {
+	stats, _ := assertFoldParity(t, 63, 7, nil, func(p *Proc) error {
 		c := p.CommWorld()
 		half, err := c.Split(c.Rank()%2, c.Rank())
 		if err != nil {
@@ -126,7 +148,7 @@ func TestFoldParityForcedMix(t *testing.T) {
 		CollAllreduce: "recursive_doubling",
 		CollAllgather: "ring",
 	}
-	stats := assertFoldParity(t, 48, 8, algorithms, func(p *Proc) error {
+	stats, sf := assertFoldParity(t, 48, 8, algorithms, func(p *Proc) error {
 		c := p.CommWorld()
 		for i := 0; i < 2; i++ {
 			if err := c.AllreduceN(nil, nil, 16*1024, Float32, OpSum); err != nil {
@@ -141,6 +163,9 @@ func TestFoldParityForcedMix(t *testing.T) {
 	if stats.Folded == 0 {
 		t.Errorf("forced algorithm mix never folded: %+v", stats)
 	}
+	if sf.GatherHits == 0 {
+		t.Errorf("forced algorithm mix never resolved a key gather: %+v", sf)
+	}
 }
 
 // TestFoldParityStraggler charges one rank private compute before each
@@ -148,7 +173,7 @@ func TestFoldParityForcedMix(t *testing.T) {
 // The fold must either split that rank into its own class or fall back —
 // and either way reproduce per-rank clocks exactly.
 func TestFoldParityStraggler(t *testing.T) {
-	stats := assertFoldParity(t, 32, 8, nil, func(p *Proc) error {
+	stats, sf := assertFoldParity(t, 32, 8, nil, func(p *Proc) error {
 		c := p.CommWorld()
 		for i := 0; i < 2; i++ {
 			if c.Rank() == 13 {
@@ -162,5 +187,8 @@ func TestFoldParityStraggler(t *testing.T) {
 	})
 	if stats.Folded+stats.Fallback == 0 {
 		t.Errorf("straggler workload never reached the fold gather: %+v", stats)
+	}
+	if sf.GatherHits+sf.Fallbacks == 0 {
+		t.Errorf("straggler workload never reached the key gather: %+v", sf)
 	}
 }

@@ -288,6 +288,9 @@ func (mb *mailbox) deliver(src, tag, ctx, size int, data []byte, arrival, wire, 
 	mb.seq++
 	mb.ring(ctx, src).push(e)
 	mb.npend++
+	if o := mb.owner; o != nil {
+		o.mbPend = int32(mb.npend)
+	}
 	wake := mb.waiting
 	mb.unlock()
 	if o := mb.owner; o != nil && o.ev != nil {
@@ -436,7 +439,7 @@ func (mb *mailbox) take(src, tag, ctx int) *envelope {
 					ring.buf[ring.head] = nil
 					ring.head = (ring.head + 1) & (len(ring.buf) - 1)
 					ring.size--
-					mb.npend--
+					mb.dropPend()
 					return e
 				}
 			}
@@ -444,7 +447,7 @@ func (mb *mailbox) take(src, tag, ctx int) *envelope {
 			for i := 0; i < ring.size; i++ {
 				if e := ring.at(i); tagMatches(tag, e.tag) {
 					ring.removeAt(i)
-					mb.npend--
+					mb.dropPend()
 					return e
 				}
 			}
@@ -454,9 +457,18 @@ func (mb *mailbox) take(src, tag, ctx int) *envelope {
 	e, ring, i := mb.find(src, tag, ctx)
 	if ring != nil {
 		ring.removeAt(i)
-		mb.npend--
+		mb.dropPend()
 	}
 	return e
+}
+
+// dropPend decrements the pending count, keeping the owning rank's Proc
+// mirror (Proc.mbPend, read by the fold eligibility checks) in sync.
+func (mb *mailbox) dropPend() {
+	mb.npend--
+	if o := mb.owner; o != nil {
+		o.mbPend = int32(mb.npend)
+	}
 }
 
 // tagMatches reports whether a posted receive tag accepts an envelope tag.

@@ -71,6 +71,13 @@ type Config struct {
 	// hatch: folding is bit-identical to per-rank execution, so the only
 	// observable difference is speed.
 	DisableFold bool
+	// DisableSchedFold turns off schedule folding (schedfold.go): eligible
+	// collectives then compile/replay per-rank schedules first and the
+	// symmetry fold gathers on the schedule objects afterwards (the PR 6
+	// pipeline). Like DisableFold, a debugging escape hatch — schedule
+	// folding is bit-identical to per-rank execution. Implied by
+	// DisableFold.
+	DisableSchedFold bool
 	// Faults installs a deterministic fault-injection plan (rank kills,
 	// OS-noise stragglers, link jitter; see internal/faults). nil simulates
 	// a perfect machine at zero cost on the hot path. A plan with kills
@@ -87,6 +94,9 @@ type World struct {
 	fullSub   bool
 	policy    Policy
 	mailboxes []*mailbox
+	// mbSlab is the backing array of mailboxes, kept so Release can return
+	// it to the cross-world slab pool (slabpool.go).
+	mbSlab []mailbox
 	// worldGroup is the identity rank mapping shared by every rank's
 	// CommWorld communicator; it is never mutated after NewWorld.
 	worldGroup []int
@@ -104,16 +114,27 @@ type World struct {
 	ctxMu   sync.Mutex
 	nextCtx int
 
-	// Symmetry-folding state (event engine only, single-threaded; fold.go).
-	// foldShapes caches the analyzed shape of a shared schedule keyed by
-	// rank 0's compiled-schedule pointer; foldNo records schedules proven
-	// unfoldable so later invocations skip the gather entirely. Both are
-	// cleared when a Run tears down (schedule pointers return to the pool).
-	foldShapes  map[*collSched]*foldShape
-	foldNo      map[*collSched]struct{}
-	foldStats   FoldStats
-	foldOff     bool
+	// Symmetry-folding state (event engine only, single-threaded; fold.go
+	// and schedfold.go). foldShapes caches the analyzed shape of a
+	// collective invocation keyed by its value shape (collective, bytes,
+	// root, dtype, op); foldNo records shapes proven unfoldable so later
+	// invocations skip the gather entirely. Value keys survive Run
+	// teardowns: shapes outlive any schedule object.
+	foldShapes     map[shapeKey]*foldShape
+	foldNo         map[shapeKey]struct{}
+	foldStats      FoldStats
+	schedFoldStats SchedFoldStats
+	foldOff        bool
+	schedFoldOff   bool
+	// schedFoldOK pre-ands every per-world schedule-fold precondition
+	// (fold knobs, fault plan, trace, size bounds) so the per-invocation
+	// eligibility check on the collective hot path is one load.
+	schedFoldOK bool
 	foldScratch foldScratch
+	// linkSig fingerprints the placement's link tables so analyzed shapes
+	// can be shared across worlds with identical placements (schedfold.go's
+	// process-wide structure cache; hits verify the tables exactly).
+	linkSig uint64
 
 	// Fault-injection state (fault.go). faults aliases cfg.Faults for the
 	// hot-path nil check; dead lists ranks killed by the plan this Run;
@@ -165,6 +186,16 @@ func (w *World) buildLinkTables() {
 			w.domLink[a*w.domCount+b] = l
 		}
 	}
+	h := uint64(foldFNV)
+	h = foldMix(h, uint64(w.size))
+	h = foldMix(h, uint64(w.domCount))
+	for _, d := range w.dom {
+		h = foldMix(h, uint64(d))
+	}
+	for _, lc := range w.domLink {
+		h = foldMix(h, uint64(lc))
+	}
+	w.linkSig = h
 	if w.size <= linkTabMaxRanks {
 		w.linkTab = make([]topology.LinkClass, w.size*w.size)
 		for a := 0; a < w.size; a++ {
@@ -234,14 +265,21 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	w := &World{
 		cfg: cfg, size: size, fullSub: cfg.Placement.FullySubscribed(),
-		policy:  Policy{Tuning: cfg.Tuning.withDefaults(), Forced: forced, defaulted: true},
-		nextCtx: 1,
-		foldOff: cfg.DisableFold,
-		faults:  cfg.Faults,
+		policy:       Policy{Tuning: cfg.Tuning.withDefaults(), Forced: forced, defaulted: true},
+		nextCtx:      1,
+		foldOff:      cfg.DisableFold,
+		schedFoldOff: cfg.DisableFold || cfg.DisableSchedFold,
+		faults:       cfg.Faults,
 	}
+	w.schedFoldOK = !w.foldOff && !w.schedFoldOff && w.faults == nil &&
+		size >= 2 && size <= foldMaxRanks && cfg.Trace == nil
 	w.buildLinkTables()
 	w.mailboxes = make([]*mailbox, size)
-	mbs := make([]mailbox, size) // one slab, not 2*size allocations
+	// One slab, not 2*size allocations — drawn from the cross-world pool
+	// (slabpool.go) so a benchmark sweep's per-iteration worlds reuse one
+	// allocation; Release returns it.
+	mbs := takeMailboxSlab(size)
+	w.mbSlab = mbs
 	for i := range w.mailboxes {
 		mb := &mbs[i]
 		mb.size = size
@@ -253,6 +291,21 @@ func NewWorld(cfg Config) (*World, error) {
 		w.worldGroup[i] = i
 	}
 	return w, nil
+}
+
+// Release returns the world's slab memory to the cross-world pools so the
+// next same-sized world reuses it instead of re-allocating ~O(ranks)
+// memory. The world must not be used again afterwards — call it when the
+// world is done for good (core.Run does, once per sweep). Safe on an
+// errored or faulted world: recycled slabs are cleared before reuse, and
+// no Run-scoped pointer into the mailbox slab survives runEvent's
+// teardown. Idempotent.
+func (w *World) Release() {
+	mbs := w.mbSlab
+	w.mbSlab, w.mailboxes = nil, nil
+	if mbs != nil {
+		putMailboxSlab(mbs)
+	}
 }
 
 // Size returns the number of ranks in the world.
@@ -343,9 +396,31 @@ func (w *World) Run(body func(p *Proc) error) error {
 // ever used from that rank's goroutine (or, under the event engine, from
 // the one goroutine running the whole world).
 type Proc struct {
+	// Field order is deliberate up to comm0v: a fold resolution walks every
+	// rank of a huge world twice (token scan, then clock fanout; fold.go),
+	// and each walk's working set — clock, foldLB, lbDirty, mbPend, and
+	// comm0v.collSeq (first field of Comm) — lands in the Proc's first
+	// cache line instead of three lines scattered over a ~3KB struct.
 	world *World
 	rank  int
 	clock vtime.Clock
+	// foldLB is the rank's symbolic link-busy state left behind by a folded
+	// collective: one shared-per-class object holding (peer delta, busy
+	// until) pairs instead of materialized per-destination entries. Any
+	// non-fold touch of the link-busy state materializes it first (fold.go).
+	// lbDirty marks that the rank holds materialized link-busy entries a
+	// fold resolver cannot describe symbolically; both reset with ResetClock.
+	foldLB  *foldLB
+	lbDirty bool
+	// mbPend mirrors this rank's mailbox npend counter while an event-engine
+	// run owns the mailbox (mailbox.go maintains it alongside npend whenever
+	// owner is set). The fold eligibility checks read it from the Proc line
+	// they already touch instead of paying a cold mailbox line per rank.
+	mbPend int32
+	// comm0 is the rank's cached world communicator; comm0v is its inline
+	// storage, so CommWorld never allocates.
+	comm0  *Comm
+	comm0v Comm
 	// ev is the rank's event-engine state; nil under the goroutine engine.
 	// Every blocking primitive branches on it: instead of parking the OS
 	// thread it suspends the rank's coroutine (or hands its compiled
@@ -359,10 +434,6 @@ type Proc struct {
 	// touches only O(log size) peers per rank.
 	linkBusy       []vtime.Micros
 	linkBusySparse map[int32]vtime.Micros
-	// comm0 is the rank's cached world communicator; comm0v is its inline
-	// storage, so CommWorld never allocates.
-	comm0  *Comm
-	comm0v Comm
 	// spent is the last consumed envelope, recycled into this rank's
 	// mailbox freelist on the next receive.
 	spent *envelope
@@ -387,14 +458,12 @@ type Proc struct {
 	// every iteration. A pure-function cache: it cannot change a single
 	// virtual-time number.
 	costMemo [8]ptptMemo
-	// foldLB is the rank's symbolic link-busy state left behind by a folded
-	// collective: one shared-per-class object holding (peer delta, busy
-	// until) pairs instead of materialized per-destination entries. Any
-	// non-fold touch of the link-busy state materializes it first (fold.go).
-	// lbDirty marks that the rank holds materialized link-busy entries a
-	// fold resolver cannot describe symbolically; both reset with ResetClock.
-	foldLB  *foldLB
-	lbDirty bool
+	// foldPend is the invocation startColl deferred behind the
+	// schedFoldPending sentinel (schedfold.go): the key the blocking drive
+	// gathers on, plus everything needed to materialize a per-rank schedule
+	// if the gather falls back. Valid only between startColl and the
+	// immediately following driveSched/collRequest.
+	foldPend foldPending
 	// lbSmall* is a tiny inline store in front of the sparse map in huge
 	// worlds: collective traffic touches O(log size) distinct peers per
 	// rank, so the map (an allocation per insert growth) almost never

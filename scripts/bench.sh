@@ -4,7 +4,8 @@
 #   scripts/bench.sh [output.json] [micro-benchtime] [largeworld-benchtime]
 #
 # Defaults: BENCH.json, 2s for the internal/mpi micro-benchmarks, 10x for
-# the 256-rank large-world and the 1024/4096-rank huge-world benchmarks.
+# the 256-rank large-world and the 1024- to 262144-rank huge-world
+# benchmarks.
 # CI's smoke job passes 1x 1x so the suite runs once and the JSON artifact
 # is uploaded without burning minutes; BENCH_PR*.json files committed to
 # the repo are generated with the defaults and carry the pre-change
@@ -31,6 +32,15 @@
 # carries fault_path_overhead, the fresh 4096-rank huge-world ns/op divided
 # by the same row in the committed BENCH_PR6.json pre-fault baseline. A
 # value near 1.0 means the no-plan hot path did not regress.
+#
+# The schedule-folding family (PR 8) extends the huge-world sweep to
+# 262144 ranks and adds 4096/16384-rank rows with class-level schedule
+# folding disabled (the per-schedule gather fallback); the JSON carries
+# schedfold_speedup_huge_world, the 16384-rank schedfold-off/schedfold-on
+# wall-clock ratio. The huge-world benchmarks also self-check the
+# cross-world caches: a run that overflowed them fails (its ns/op would
+# measure cache thrashing, not the engine), and this script aborts loudly
+# with the benchmark output instead of recording the row.
 set -euo pipefail
 
 out="${1:-BENCH.json}"
@@ -48,8 +58,14 @@ fi
 micro=$(go test ./internal/mpi -run '^$' \
 	-bench 'BenchmarkEagerSendRecv|BenchmarkRendezvousExchange|BenchmarkAllreduce64|BenchmarkIallreduceOverlap' \
 	-benchmem -benchtime="$micro_time" -count=1)
-large=$(go test . -run '^$' -bench 'BenchmarkEngineLargeWorld|BenchmarkEngineHugeWorld' \
-	-benchmem -benchtime="$large_time" -count=1)
+# The huge-world benchmarks b.Fatal on cross-world cache overflow; surface
+# their output and abort instead of writing a JSON built from a bad run.
+if ! large=$(go test . -run '^$' -bench 'BenchmarkEngineLargeWorld|BenchmarkEngineHugeWorld' \
+	-benchmem -benchtime="$large_time" -count=1); then
+	printf '%s\n' "$large" >&2
+	echo "bench.sh: engine benchmarks failed (cache overflow or error above); no JSON written" >&2
+	exit 1
+fi
 mbw=$(go test . -run '^$' -bench 'BenchmarkMultiPairMessageRate' \
 	-benchtime="$large_time" -count=1)
 
@@ -83,6 +99,8 @@ END {
 		printf "  \"engine_speedup_large_world\": %.2f,\n", ns["EngineLargeWorld/goroutine"] / ns["EngineLargeWorld/event"]
 	if (("EngineHugeWorldNoFold/4096" in ns) && ("EngineHugeWorld/4096" in ns))
 		printf "  \"fold_speedup_huge_world\": %.2f,\n", ns["EngineHugeWorldNoFold/4096"] / ns["EngineHugeWorld/4096"]
+	if (("EngineHugeWorldNoSchedFold/16384" in ns) && ("EngineHugeWorld/16384" in ns))
+		printf "  \"schedfold_speedup_huge_world\": %.2f,\n", ns["EngineHugeWorldNoSchedFold/16384"] / ns["EngineHugeWorld/16384"]
 	if (base_ns != "" && ("EngineHugeWorld/4096" in ns))
 		printf "  \"fault_path_overhead\": %.3f,\n", ns["EngineHugeWorld/4096"] / base_ns
 	if (m > 0) {

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,6 +56,7 @@ func main() {
 		algo      = flag.String("algorithm", "", "force collective algorithms: a name for this benchmark's collective, coll=name pairs, \"all\" to sweep every algorithm, \"list\" to show the registry")
 		faults    = flag.String("faults", "", "deterministic fault plan, e.g. \"kill:rank=3,after=2:allreduce; noise:sigma=5us; jitter:link=0.1; seed:42\"")
 		par       = flag.Int("parallel", 0, "worker count for the -algorithm all sweep (0 = serial)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); expiry reports \"# FAILED: timeout\" instead of running on")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON")
 		plot      = flag.Bool("plot", false, "render the series as an ASCII chart")
 		list      = flag.Bool("list", false, "list available benchmarks")
@@ -102,15 +104,26 @@ func main() {
 		Faults:      *faults,
 	}
 
+	// The budget covers the whole invocation (a sweep shares one deadline
+	// across its variants); expiry unwinds through the engines' structured
+	// cancellation and is classified in Report.Failure, never an abort
+	// mid-sweep.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *algo == "all" {
-		runAlgorithmSweep(opts, *par, *asJSON, *plot)
+		runAlgorithmSweep(ctx, opts, *par, *asJSON, *plot)
 		return
 	}
 	if *algo != "" {
 		opts.Algorithms = parseAlgorithmFlag(*algo, b)
 	}
 
-	rep, err := core.Run(opts)
+	rep, err := core.RunContext(ctx, opts)
 	check(err)
 
 	switch {
@@ -155,10 +168,10 @@ func parseAlgorithmFlag(algo string, b core.Benchmark) map[string]string {
 // runAlgorithmSweep runs the benchmark once per registered algorithm of
 // its collective (skipping ones infeasible at this rank count) on the
 // parallel sweep engine and prints the aligned table.
-func runAlgorithmSweep(opts core.Options, workers int, asJSON, plot bool) {
+func runAlgorithmSweep(ctx context.Context, opts core.Options, workers int, asJSON, plot bool) {
 	variants, err := core.AlgorithmVariants(opts)
 	check(err)
-	res, err := core.Sweep{Base: opts, Variants: variants, Workers: workers}.Run()
+	res, err := core.Sweep{Base: opts, Variants: variants, Workers: workers}.RunContext(ctx)
 	check(err)
 	switch {
 	case asJSON:

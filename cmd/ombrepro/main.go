@@ -38,6 +38,7 @@ func main() {
 		fold      = flag.Bool("fold", true, "let the event engine fold symmetric ranks (false forces every rank to execute; reported numbers are identical either way)")
 		schedfold = flag.Bool("schedfold", true, "let the event engine compile and replay collective schedules per equivalence class (false keeps the schedule-level gather; reported numbers are identical either way)")
 		faults    = flag.String("faults", "", "deterministic fault plan applied to every run, e.g. \"noise:sigma=2us; jitter:link=0.1; seed:7\"")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget per benchmark run (0 = none); expiry reports a structured timeout failure instead of running on")
 	)
 	flag.Parse()
 	plotCharts = *plot
@@ -54,6 +55,7 @@ func main() {
 	core.SetDefaultFold(*fold)
 	core.SetDefaultSchedFold(*schedfold)
 	core.SetDefaultFaults(*faults)
+	core.SetDefaultTimeout(*timeout)
 
 	switch {
 	case *list:

@@ -1,0 +1,86 @@
+// Command ombserve runs the tuning service: an HTTP front end over the
+// deterministic simulator, built for auto-tuner query workloads — cached,
+// deduplicated, backpressured, and drained gracefully on SIGTERM. See
+// internal/serve for the API and hardening semantics.
+//
+// Usage:
+//
+//	ombserve -addr :8080 -workers 8 -queue 64 -request-timeout 60s
+//
+// Endpoints:
+//
+//	POST /sweep       run one benchmark configuration (JSON options in,
+//	                  report JSON out; X-Cache: hit|coalesced|miss)
+//	GET  /benchmarks  benchmark registry metadata
+//	GET  /healthz     liveness + service counters
+//	GET  /readyz      200 accepting, 503 draining
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth beyond the worker pool")
+	reqTimeout := flag.Duration("request-timeout", 60*time.Second, "per-simulation deadline")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget after SIGTERM")
+	cacheEntries := flag.Int("cache-entries", 4096, "result-cache capacity")
+	flag.Parse()
+
+	svc := serve.NewServer(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
+		CacheEntries:   *cacheEntries,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	// SIGTERM/SIGINT starts the drain; the context carries the signal.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "ombserve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "ombserve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: flip readiness (load balancers stop routing), stop
+	// accepting, let in-flight requests finish inside the drain budget,
+	// then cancel whatever is still running and close the listener hard.
+	fmt.Fprintf(os.Stderr, "ombserve: draining (budget %s)\n", *drainTimeout)
+	svc.StartDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "ombserve: drain deadline passed, canceling in-flight runs\n")
+		svc.CancelInFlight()
+		if err := httpSrv.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "ombserve: close: %v\n", err)
+		}
+	}
+
+	// Flush the final counters so an operator's last look at the drain has
+	// the cache and shed numbers in it.
+	stats, _ := json.Marshal(svc.Snapshot())
+	fmt.Fprintf(os.Stderr, "ombserve: final stats %s\n", stats)
+}

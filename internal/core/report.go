@@ -97,7 +97,14 @@ func (r *Report) Text() string {
 		}
 	}
 	if f := r.Failure; f != nil {
-		fmt.Fprintf(&sb, "# FAILED: %s\n", f.Message)
+		switch f.Code {
+		case "timeout", "canceled":
+			// Lead with the operational code so a glance (or a grep for
+			// "# FAILED: timeout") tells expiry apart from fault injection.
+			fmt.Fprintf(&sb, "# FAILED: %s (%s)\n", f.Code, f.Message)
+		default:
+			fmt.Fprintf(&sb, "# FAILED: %s\n", f.Message)
+		}
 	}
 	return sb.String()
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/mpi"
@@ -46,7 +48,7 @@ type Failure struct {
 }
 
 // classifyFailure maps a world error to its structured report row; nil when
-// the error is not a fault-plan outcome.
+// the error is neither a fault-plan nor a cancellation outcome.
 func classifyFailure(err error) *Failure {
 	var killed *mpi.RankKilledError
 	if errors.As(err, &killed) {
@@ -64,7 +66,35 @@ func classifyFailure(err error) *Failure {
 			TimeUs: float64(failed.Time), Message: err.Error(),
 		}
 	}
+	var canceled *mpi.CanceledError
+	if errors.As(err, &canceled) {
+		code := "canceled"
+		if canceled.Timeout() {
+			code = "timeout"
+		}
+		return &Failure{
+			Code: code, Rank: canceled.Rank, Failed: []int{},
+			Collective: string(canceled.Collective), Step: canceled.Step,
+			TimeUs: float64(canceled.Time), Message: err.Error(),
+		}
+	}
 	return nil
+}
+
+// defaultRunTimeout is the process-wide per-run deadline applied by
+// RunContext on top of whatever context the caller passes (the earliest
+// deadline wins); zero means no budget. The CLIs' -timeout flag sets it.
+var defaultRunTimeout time.Duration
+
+// SetDefaultTimeout installs the process-wide simulation time budget: every
+// Run (including the ones experiments issue internally) is canceled after d
+// and reports a `timeout` failure in Report.Failure instead of running on.
+// It is meant to be called once at CLI startup, before any Run.
+func SetDefaultTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	defaultRunTimeout = d
 }
 
 // Run executes one benchmark configuration and returns its per-size series.
@@ -73,6 +103,22 @@ func classifyFailure(err error) *Failure {
 // buffers from the spec's scaling, isolates each size, and calls the spec's
 // body — there is no per-benchmark dispatch here.
 func Run(opts Options) (*Report, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled or times out,
+// the simulation stops promptly on both engines and the outcome is
+// classified in Report.Failure (code "canceled" or "timeout") exactly like
+// a fault-plan failure — the rows completed before the cancel stay in the
+// report, and the world's cross-run pools remain reusable. The process-wide
+// SetDefaultTimeout budget, when set, is layered on top of ctx (the
+// earliest deadline wins).
+func RunContext(ctx context.Context, opts Options) (*Report, error) {
+	if defaultRunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, defaultRunTimeout)
+		defer cancel()
+	}
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -140,7 +186,7 @@ func Run(opts Options) (*Report, error) {
 	states := takeRankStates(opts.Ranks)
 	defer putRankStates(states)
 
-	err = world.Run(func(p *mpi.Proc) error {
+	err = world.RunContext(ctx, func(p *mpi.Proc) error {
 		c := p.CommWorld()
 		st := &states[c.Rank()]
 		o := &st.o
@@ -177,9 +223,9 @@ func Run(opts Options) (*Report, error) {
 		return nil
 	})
 	if err != nil {
-		// A fault-plan failure is a classified outcome, not an abort: the
-		// report keeps the rows completed before the failure and carries
-		// the structured failure row.
+		// A fault-plan failure or a cancellation is a classified outcome,
+		// not an abort: the report keeps the rows completed before the
+		// failure and carries the structured failure row.
 		if f := classifyFailure(err); f != nil {
 			report.Failure = f
 			report.Series.Name = seriesName(opts)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -63,6 +64,17 @@ type SweepResult struct {
 // sweep. If variants fail, the error of the earliest-declared failure is
 // returned, as a serial sweep would.
 func (s Sweep) Run() (*SweepResult, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: each variant runs under ctx (its
+// expiry is classified in that variant's Report.Failure), and a canceled
+// sweep stops launching queued variants instead of draining the whole
+// variant list — the producer and the workers both observe ctx. When the
+// cancel left variants unlaunched, the partial sweep is reported as an
+// error wrapping the context's cause; a sweep whose variants all completed
+// before the cancel returns its full result.
+func (s Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 	if len(s.Variants) == 0 {
 		return nil, fmt.Errorf("core: sweep has no variants")
 	}
@@ -91,17 +103,24 @@ func (s Sweep) Run() (*SweepResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue
 				}
-				reports[i], errs[i] = s.runVariant(i)
+				reports[i], errs[i] = s.runVariant(ctx, i)
 				if errs[i] != nil {
 					failed.Store(true)
 				}
 			}
 		}()
 	}
+	// The producer itself is fail-fast and cancellation-aware: it stops
+	// handing out queued variants on the first recorded error or cancel
+	// instead of pushing the whole list through workers that would only
+	// skip them one by one.
 	for i := range s.Variants {
+		if failed.Load() || ctx.Err() != nil {
+			break
+		}
 		jobs <- i
 	}
 	close(jobs)
@@ -116,17 +135,30 @@ func (s Sweep) Run() (*SweepResult, error) {
 			return nil, fmt.Errorf("core: sweep %s: %w", name, err)
 		}
 	}
+	if ctx.Err() != nil {
+		launched := 0
+		for _, r := range reports {
+			if r != nil {
+				launched++
+			}
+		}
+		if launched < len(s.Variants) {
+			return nil, fmt.Errorf("core: sweep canceled after %d of %d variants: %w",
+				launched, len(s.Variants), context.Cause(ctx))
+		}
+	}
 	return &SweepResult{Reports: reports}, nil
 }
 
-// runVariant derives and runs the i-th configuration.
-func (s Sweep) runVariant(i int) (*Report, error) {
+// runVariant derives and runs the i-th configuration under the sweep's
+// context.
+func (s Sweep) runVariant(ctx context.Context, i int) (*Report, error) {
 	v := s.Variants[i]
 	opts := s.Base
 	if v.Mutate != nil {
 		v.Mutate(&opts)
 	}
-	rep, err := Run(opts)
+	rep, err := RunContext(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -447,6 +447,25 @@ func (s *collSched) drainPending() {
 // engine the drive is handed to the event loop instead (same steps, same
 // clock arithmetic, two coroutine switches total).
 func (c *Comm) driveSched(s *collSched) error {
+	if c.proc.world.cancelOn {
+		// Cancellation checkpoint before any step runs: the canonical
+		// deterministic cancel site (cancel.go). The sentinel carries no
+		// schedule to release; a real one is finished like any errored
+		// drive.
+		coll := Collective("")
+		if s != schedFoldPending {
+			coll = s.coll
+		} else {
+			coll = c.proc.foldPend.key.shape.coll
+		}
+		if err := c.proc.cancelEnter(coll); err != nil {
+			if s != schedFoldPending {
+				s.drainPending()
+				s.finish()
+			}
+			return err
+		}
+	}
 	if s == schedFoldPending {
 		// Schedule folding deferred the compile (schedfold.go): gather on
 		// the invocation key; only a fallback materializes a schedule. The
@@ -467,10 +486,13 @@ func (c *Comm) driveSched(s *collSched) error {
 	}
 	for s.pc < len(s.steps) {
 		if _, err := s.execStep(true); err != nil {
-			// A stall-detector failure surfaces from the blocked primitive
-			// without schedule context; attach it here.
+			// A stall-detector (or cancel) failure surfaces from the blocked
+			// primitive without schedule context; attach it here.
 			if fe, ok := err.(*RankFailedError); ok && fe.Collective == "" {
 				fe.Collective, fe.Step = s.coll, s.pc
+			}
+			if ce, ok := err.(*CanceledError); ok && ce.Collective == "" {
+				ce.Collective, ce.Step = s.coll, s.pc
 			}
 			s.drainPending()
 			s.finish()
@@ -626,6 +648,21 @@ func (c *Comm) compileReplayColl(coll Collective, sel Selection, call collCall) 
 // collective) into a Request, executes the deterministic prefix, and
 // registers the schedule with the rank's progress list.
 func (c *Comm) collRequest(s *collSched) (*Request, error) {
+	if c.proc.world.cancelOn {
+		coll := Collective("")
+		switch {
+		case s == schedFoldPending:
+			coll = c.proc.foldPend.key.shape.coll
+		case s != nil:
+			coll = s.coll
+		}
+		if err := c.proc.cancelEnter(coll); err != nil {
+			if s != nil && s != schedFoldPending {
+				s.finish()
+			}
+			return nil, err
+		}
+	}
 	if s == schedFoldPending {
 		// A nonblocking post must never park in a key gather (overlap
 		// semantics depend on returning to the caller), so the deferred

@@ -237,6 +237,9 @@ type eventLoop struct {
 	slots  [8]*eventRank
 	nslots int
 	done   int
+	// ticks counts dequeue iterations; an armed world re-checks the cancel
+	// flag every cancelPollMask+1 of them (cancel.go).
+	ticks uint
 	// fold is the in-progress symmetry-fold gather: ranks that entered an
 	// eligible collective park here until every live rank has joined, then
 	// one resolve simulates the whole collective per equivalence class
@@ -387,13 +390,20 @@ func (w *World) runEvent(body func(p *Proc) error) error {
 	}()
 
 	// Drive until done. A drained run queue with ranks still parked is a
-	// stall: when the fault plan has killed ranks, failStalled errors-out
-	// and re-queues every parked survivor (which may park again in cleanup
-	// code, so the resolution loops); otherwise the stall is a genuine
-	// deadlock reported below.
+	// stall: a latched cancel fails every parked rank (failCanceled), a
+	// fault plan with killed ranks errors-out the survivors (failStalled) —
+	// both re-queue the woken ranks, which may park again in cleanup code,
+	// so the resolution loops; otherwise the stall is a genuine deadlock
+	// reported below.
 	for {
 		l.driveUntil(nil)
-		if l.done >= w.size || !l.failStalled() {
+		if l.done >= w.size {
+			break
+		}
+		if w.cancelRequested() && l.failCanceled() {
+			continue
+		}
+		if !l.failStalled() {
 			break
 		}
 	}
@@ -454,6 +464,14 @@ func (l *eventLoop) take() *eventRank {
 // reaches its frame when its caller's next() returns.
 func (l *eventLoop) driveUntil(target *eventRank) {
 	for target == nil || target.sched != nil {
+		if l.w.cancelOn {
+			// Cancellation poll: one counter bump per dequeue, one atomic
+			// load every cancelPollMask+1 events. failCanceled unwinds the
+			// parked ranks through the normal error path (cancel.go).
+			if l.ticks++; l.ticks&cancelPollMask == 0 && l.w.cancelRequested() {
+				l.failCanceled()
+			}
+		}
 		er := l.take()
 		if er == nil {
 			// Before declaring nothing runnable, release a stalled partial

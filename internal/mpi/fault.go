@@ -221,14 +221,18 @@ func (p *Proc) kill(s *collSched) error {
 }
 
 // parkFailure records (and returns) the rank's point-to-point failure
-// after a blocking wait was broken by the stall detector. driveSched
-// enriches the error with the collective and step when the wait was a
-// schedule's.
+// after a blocking wait was broken by the stall detector or by a cancel
+// signal. driveSched enriches the error with the collective and step when
+// the wait was a schedule's.
 func (p *Proc) parkFailure() error {
 	if p.failure == nil {
-		p.failure = &RankFailedError{
-			Code: ErrProcFailed, Rank: p.rank, Failed: p.world.deadSorted(),
-			Collective: "", Step: -1, Time: p.clock.Now(),
+		if p.world.cancelRequested() {
+			p.failure = p.cancelErr("", -1)
+		} else {
+			p.failure = &RankFailedError{
+				Code: ErrProcFailed, Rank: p.rank, Failed: p.world.deadSorted(),
+				Collective: "", Step: -1, Time: p.clock.Now(),
+			}
 		}
 	}
 	return p.failure

@@ -363,6 +363,14 @@ func (mb *mailbox) match(p *Proc, src, tag, ctx int, recycle *envelope) *envelop
 		if wd != nil && wd.failedNow() {
 			return nil
 		}
+		if p.world.cancelRequested() {
+			// The run was canceled: report no match, the caller's
+			// parkFailure turns it into a CanceledError. The flag is
+			// re-checked under mb.mu before every park, and cancelNow's
+			// signal pass takes the same lock, so the wakeup cannot be
+			// missed.
+			return nil
+		}
 		// Yield once before parking: the sender this rank is waiting on is
 		// usually runnable, so handing it the CPU gets the message queued
 		// without paying for a full park/wakeup cycle. Park only when the
@@ -410,6 +418,9 @@ func (mb *mailbox) peek(p *Proc, src, tag, ctx int) *envelope {
 			continue
 		}
 		if wd != nil && wd.failedNow() {
+			return nil
+		}
+		if p.world.cancelRequested() {
 			return nil
 		}
 		if wd != nil {

@@ -146,6 +146,17 @@ type World struct {
 	dead       []int
 	failedFlag atomic.Bool
 	wd         *watchdog
+
+	// Cancellation state (cancel.go). cancelOn is set only for the duration
+	// of a RunContext with a cancellable context, so an unarmed world pays a
+	// single boolean load per checkpoint; cancelFlag latches when the
+	// context fires, cancelCause carries context.Cause (written before the
+	// flag's release store), and cancelChan is closed on cancel to unpark
+	// the goroutine engine's rendezvous waiters.
+	cancelOn    bool
+	cancelFlag  atomic.Bool
+	cancelCause error
+	cancelChan  chan struct{}
 }
 
 // linkTabMaxRanks bounds the worlds that get the direct size*size link

@@ -195,6 +195,12 @@ func (c *Comm) completeSend(rdv *rendezvous) error {
 				// two channels are never both ready.
 				wd.exit(c.proc.rank)
 				return c.proc.parkFailure()
+			case <-c.proc.world.cancelChan:
+				// The run was canceled; the handshake is abandoned like a
+				// failed one (rdv.done is buffered, so a late report never
+				// blocks the receiver).
+				wd.exit(c.proc.rank)
+				return c.proc.parkFailure()
 			}
 		}
 	} else {
@@ -202,9 +208,15 @@ func (c *Comm) completeSend(rdv *rendezvous) error {
 		case done = <-rdv.done:
 		default:
 			// The receiver has not reported yet; hand it the CPU once before
-			// parking on the channel (see mailbox.match).
+			// parking on the channel (see mailbox.match). A nil cancelChan
+			// (unarmed world) never fires, leaving this the plain blocking
+			// receive it always was.
 			runtime.Gosched()
-			done = <-rdv.done
+			select {
+			case done = <-rdv.done:
+			case <-c.proc.world.cancelChan:
+				return c.proc.parkFailure()
+			}
 		}
 	}
 	c.proc.clock.AdvanceTo(done)

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeLoad is the in-process load test bench.sh records: a
+// concurrent mixed query stream against one service — 7/8 repeats of a hot
+// configuration (cache hits after the first), 1/8 cold configurations that
+// each pay for a fresh simulation. Beyond ns/op it reports the service-
+// level numbers an operator cares about: sustained qps, p99 latency, and
+// the cache-hit ratio of the mix.
+func BenchmarkServeLoad(b *testing.B) {
+	s := NewServer(Config{})
+	h := s.Handler()
+	hot := `{"benchmark":"latency","mode":"c","iters":50,"warmup":5,"max_size":1024}`
+	coldBody := func(n int64) string {
+		return fmt.Sprintf(`{"benchmark":"allreduce","mode":"c","ranks":64,"ppn":4,"iters":%d,"warmup":2,"max_size":4096}`, 10+n)
+	}
+	do := func(body string) int {
+		req := httptest.NewRequest("POST", "/sweep", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := do(hot); code != http.StatusOK { // warm the hot key
+		b.Fatalf("warm-up POST answered %d", code)
+	}
+
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, b.N)
+	var colds atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			body := hot
+			if i%8 == 7 {
+				body = coldBody(colds.Add(1))
+			}
+			i++
+			start := time.Now()
+			if code := do(body); code != http.StatusOK {
+				b.Errorf("POST answered %d", code)
+				return
+			}
+			d := time.Since(start)
+			mu.Lock()
+			lats = append(lats, d)
+			mu.Unlock()
+		}
+	})
+	b.StopTimer()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := lats[len(lats)*99/100]
+	snap := s.Snapshot()
+	served := snap.CacheHits + snap.CacheMisses + snap.Coalesced
+	b.ReportMetric(float64(len(lats))/b.Elapsed().Seconds(), "qps")
+	b.ReportMetric(float64(p99.Microseconds()), "p99_us")
+	b.ReportMetric(float64(snap.CacheHits)/float64(served), "hit_ratio")
+}

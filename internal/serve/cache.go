@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU of rendered report bodies keyed by
+// Options.CacheKey. Determinism makes eviction the only invalidation the
+// cache ever needs: a key's body can never go stale, it can only be
+// recomputed bit-identically. Bodies are stored (and served) verbatim, so
+// a hit is byte-identical to the miss that populated it.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key, refreshing its recency.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry when
+// the cache is full. Storing an existing key refreshes it (the body is
+// necessarily identical: keys are content addresses).
+func (c *resultCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the live entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

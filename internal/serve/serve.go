@@ -1,0 +1,366 @@
+// Package serve implements the tuning service: a long-running HTTP front
+// end over the deterministic simulator. The service exists because
+// algorithm tuning is a query workload — an auto-tuner probes many
+// configurations, most of them repeats — and determinism makes the
+// simulator an ideal server: every result is a pure function of its
+// canonicalized options, so responses are content-addressed, cacheable
+// forever, and deduplicatable while in flight.
+//
+// Hardening is the point, not an afterthought:
+//
+//   - Backpressure: a bounded worker pool plus a bounded admission queue;
+//     requests beyond both are shed immediately with 429 + Retry-After
+//     rather than queued without bound.
+//   - Timeouts: every simulation runs under a per-request deadline; expiry
+//     surfaces as the run's structured "timeout" failure, not a hung
+//     connection.
+//   - Client disconnects: a request whose last interested client went away
+//     cancels its simulation (PR 9's engine cancellation) instead of
+//     burning a worker on an answer nobody wants.
+//   - Panic isolation: a panicking run answers 500 and the server keeps
+//     serving.
+//   - Graceful drain: SIGTERM stops admission (readyz flips to 503 for
+//     load balancers), lets in-flight runs finish inside the drain
+//     deadline, then cancels whatever remains.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config tunes the service; zero values take the documented defaults.
+type Config struct {
+	// Workers bounds concurrently running simulations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds admitted-but-not-yet-running requests beyond the
+	// worker pool (default 64); admissions past Workers+QueueDepth shed.
+	QueueDepth int
+	// RequestTimeout is the per-simulation deadline (default 60s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds how long Drain waits for in-flight runs
+	// (default 10s). The HTTP entry point enforces it; the Server only
+	// records it for /healthz.
+	DrainTimeout time.Duration
+	// CacheEntries bounds the result cache (default 4096).
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	return c
+}
+
+// flight is one in-flight simulation, shared by every request that asked
+// for the same cache key while it ran. The leader goroutine fills status/
+// body and closes done; waiters (including the leader's own handler) hold
+// a reference counted in waiters, and the last one to give up cancels the
+// simulation.
+type flight struct {
+	key     string
+	ctx     context.Context
+	cancel  context.CancelFunc
+	waiters atomic.Int64
+	done    chan struct{}
+	status  int
+	body    []byte
+}
+
+// leave drops one waiter reference; the last leaving waiter cancels the
+// flight's simulation — nobody is left to read its answer.
+func (f *flight) leave() {
+	if f.waiters.Add(-1) == 0 {
+		f.cancel()
+	}
+}
+
+// NewServer builds a service with the given configuration. Mount it via
+// Handler; shut it down with StartDrain and, past the drain deadline,
+// CancelInFlight.
+func NewServer(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	base, cancelAll := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:       cfg,
+		baseCtx:   base,
+		cancelAll: cancelAll,
+		slots:     make(chan struct{}, cfg.Workers),
+		flights:   make(map[string]*flight),
+		cache:     newResultCache(cfg.CacheEntries),
+		mux:       http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s
+}
+
+// Service is the tuning service state behind the HTTP handlers.
+type Service struct {
+	cfg       Config
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	mux       *http.ServeMux
+
+	// slots is the worker pool: one token per concurrently running
+	// simulation. backlog counts admitted flights (running or queued);
+	// admission beyond Workers+QueueDepth sheds with 429.
+	slots   chan struct{}
+	backlog atomic.Int64
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	cache   *resultCache
+
+	draining atomic.Bool
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	shed      atomic.Int64
+	panics    atomic.Int64
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// StartDrain flips the service into draining mode: /readyz answers 503 so
+// load balancers stop routing here, and new /sweep requests are refused.
+// In-flight simulations keep running; the caller bounds them with
+// CancelInFlight after its drain deadline.
+func (s *Service) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// CancelInFlight cancels every running simulation (their requests answer
+// with structured "canceled" failures). Used after the drain deadline.
+func (s *Service) CancelInFlight() { s.cancelAll() }
+
+// Stats is the /healthz payload.
+type Stats struct {
+	Workers      int   `json:"workers"`
+	QueueDepth   int   `json:"queue_depth"`
+	Backlog      int64 `json:"backlog"`
+	CacheEntries int   `json:"cache_entries"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	Coalesced    int64 `json:"coalesced"`
+	Shed         int64 `json:"shed"`
+	Panics       int64 `json:"panics"`
+	Draining     bool  `json:"draining"`
+}
+
+// Snapshot returns the service counters (also served as /healthz).
+func (s *Service) Snapshot() Stats {
+	return Stats{
+		Workers:      s.cfg.Workers,
+		QueueDepth:   s.cfg.QueueDepth,
+		Backlog:      s.backlog.Load(),
+		CacheEntries: s.cache.len(),
+		CacheHits:    s.hits.Load(),
+		CacheMisses:  s.misses.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Shed:         s.shed.Load(),
+		Panics:       s.panics.Load(),
+		Draining:     s.draining.Load(),
+	}
+}
+
+// handleSweep is POST /sweep: resolve options, consult the cache, coalesce
+// with an identical in-flight run, or lead a new one under admission
+// control. The X-Cache header tells the client which path answered:
+// "hit" (served from cache, byte-identical to the original computation),
+// "coalesced" (shared an in-flight computation), or "miss" (led a fresh
+// computation).
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "serve: draining")
+		return
+	}
+	opts, err := decodeOptions(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := opts.CacheKey()
+	w.Header().Set("X-Cache-Key", key)
+	if body, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		// An identical computation is already running: join it instead of
+		// adding load.
+		f.waiters.Add(1)
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		w.Header().Set("X-Cache", "coalesced")
+		s.await(w, r, f)
+		return
+	}
+	// The flight may have finished between the cache check and the lock
+	// (results are cached before the flight unregisters, so the orders
+	// can't both miss): re-check before paying for a recomputation.
+	if body, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	// Leading a fresh computation costs a worker eventually; shed now if
+	// the pool and the queue are both full rather than queuing unboundedly.
+	if s.backlog.Load() >= int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		s.mu.Unlock()
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "serve: overloaded, try again")
+		return
+	}
+	s.backlog.Add(1)
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	f := &flight{key: key, ctx: ctx, cancel: cancel, done: make(chan struct{})}
+	f.waiters.Store(1)
+	s.flights[key] = f
+	s.mu.Unlock()
+	s.misses.Add(1)
+
+	go s.lead(f, opts)
+	w.Header().Set("X-Cache", "miss")
+	s.await(w, r, f)
+}
+
+// lead runs one simulation and publishes its answer on the flight. It runs
+// detached from any single request: coalesced waiters may outlive the
+// leader's client, and the flight's context — not the request's — carries
+// the cancellation (canceled when the last waiter leaves, the request
+// timeout expires, or CancelInFlight fires).
+func (s *Service) lead(f *flight, opts core.Options) {
+	defer close(f.done)
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			f.status = http.StatusInternalServerError
+			f.body = errorBody(fmt.Sprintf("serve: panic running sweep: %v", p))
+		}
+		s.mu.Lock()
+		delete(s.flights, f.key)
+		s.mu.Unlock()
+		s.backlog.Add(-1)
+		f.cancel()
+	}()
+
+	// Take a worker slot; a flight abandoned while queued never runs.
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	case <-f.ctx.Done():
+		f.status = http.StatusServiceUnavailable
+		f.body = errorBody("serve: canceled before running")
+		return
+	}
+
+	rep, err := core.RunContext(f.ctx, opts)
+	if err != nil {
+		f.status = http.StatusBadRequest
+		f.body = errorBody(err.Error())
+		return
+	}
+	body, err := json.Marshal(rep)
+	if err != nil {
+		f.status = http.StatusInternalServerError
+		f.body = errorBody(err.Error())
+		return
+	}
+	f.status = http.StatusOK
+	f.body = body
+	// Cache every deterministic outcome — clean runs and fault-plan
+	// failures alike (a fault plan is part of the options and replays
+	// bit-identically). Canceled and timed-out runs are the exception:
+	// they depend on wall-clock scheduling, not content, so a repeat must
+	// recompute.
+	if rep.Failure == nil || (rep.Failure.Code != "canceled" && rep.Failure.Code != "timeout") {
+		s.cache.put(f.key, body)
+	}
+}
+
+// await parks one request on a flight until the answer is published or the
+// client goes away. A leaving client drops its waiter reference; the last
+// one to leave cancels the simulation.
+func (s *Service) await(w http.ResponseWriter, r *http.Request, f *flight) {
+	select {
+	case <-f.done:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(f.status)
+		w.Write(f.body)
+	case <-r.Context().Done():
+		f.leave()
+	}
+}
+
+// handleBenchmarks is GET /benchmarks: the registry metadata.
+func (s *Service) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, listBenchmarks())
+}
+
+// handleHealthz is GET /healthz: liveness plus the service counters.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// handleReadyz is GET /readyz: 200 while accepting, 503 while draining, so
+// load balancers stop routing before the listener closes.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "serve: draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(errorBody(msg))
+}
+
+func errorBody(msg string) []byte {
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	return append(b, '\n')
+}

@@ -33,6 +33,12 @@
 # by the same row in the committed BENCH_PR6.json pre-fault baseline. A
 # value near 1.0 means the no-plan hot path did not regress.
 #
+# The serve_load row (PR 9) load-tests the tuning service in process:
+# BenchmarkServeLoad drives a concurrent mixed query stream (7/8 repeats of
+# a hot configuration, 1/8 cold ones) through the full HTTP handler stack —
+# cache, singleflight, admission control — and the JSON carries its
+# sustained qps, p99 latency and cache-hit ratio.
+#
 # The schedule-folding family (PR 8) extends the huge-world sweep to
 # 262144 ranks and adds 4096/16384-rank rows with class-level schedule
 # folding disabled (the per-schedule gather fallback); the JSON carries
@@ -68,8 +74,10 @@ if ! large=$(go test . -run '^$' -bench 'BenchmarkEngineLargeWorld|BenchmarkEngi
 fi
 mbw=$(go test . -run '^$' -bench 'BenchmarkMultiPairMessageRate' \
 	-benchtime="$large_time" -count=1)
+srv=$(go test ./internal/serve -run '^$' -bench 'BenchmarkServeLoad' \
+	-benchtime="$large_time" -count=1)
 
-printf '%s\n%s\n%s\n' "$micro" "$large" "$mbw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v base_ns="$base_ns" '
+printf '%s\n%s\n%s\n%s\n' "$micro" "$large" "$mbw" "$srv" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v base_ns="$base_ns" '
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -80,6 +88,17 @@ printf '%s\n%s\n%s\n' "$micro" "$large" "$mbw" | awk -v date="$(date -u +%Y-%m-%
 	sub(/^BenchmarkMultiPairMessageRate\//, "", name)
 	mbwRows[m++] = sprintf("    {\"placement\": \"%s\", \"benchmark\": \"mbw_mr\", \"size\": 8, \"ns_per_op\": %s, \"msg_rate_per_sec\": %s}",
 		name, $3, $5)
+	next
+}
+/^BenchmarkServeLoad/ {
+	# "BenchmarkServeLoad-4  200  18222350 ns/op  0.87 hit_ratio  124.0 p99_us  7315 qps"
+	# (custom metrics are emitted unit-sorted; scan by unit, not position)
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") srv_ns = $i
+		if ($(i+1) == "qps") srv_qps = $i
+		if ($(i+1) == "p99_us") srv_p99 = $i
+		if ($(i+1) == "hit_ratio") srv_hit = $i
+	}
 	next
 }
 /^Benchmark/ {
@@ -103,6 +122,8 @@ END {
 		printf "  \"schedfold_speedup_huge_world\": %.2f,\n", ns["EngineHugeWorldNoSchedFold/16384"] / ns["EngineHugeWorld/16384"]
 	if (base_ns != "" && ("EngineHugeWorld/4096" in ns))
 		printf "  \"fault_path_overhead\": %.3f,\n", ns["EngineHugeWorld/4096"] / base_ns
+	if (srv_ns != "")
+		printf "  \"serve_load\": {\"ns_per_op\": %s, \"qps\": %s, \"p99_us\": %s, \"cache_hit_ratio\": %s},\n", srv_ns, srv_qps, srv_p99, srv_hit
 	if (m > 0) {
 		printf "  \"multi_pair_message_rate\": [\n"
 		for (i = 0; i < m; i++)

@@ -57,6 +57,7 @@ func main() {
 		faults    = flag.String("faults", "", "deterministic fault plan, e.g. \"kill:rank=3,after=2:allreduce; noise:sigma=5us; jitter:link=0.1; seed:42\"")
 		par       = flag.Int("parallel", 0, "worker count for the -algorithm all sweep (0 = serial)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); expiry reports \"# FAILED: timeout\" instead of running on")
+		tableFile = flag.String("tuning-table", "", "apply a generated tuning table (see ombtune) as the per-placement default selection policy")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON")
 		plot      = flag.Bool("plot", false, "render the series as an ASCII chart")
 		list      = flag.Bool("list", false, "list available benchmarks")
@@ -71,6 +72,16 @@ func main() {
 	if *list {
 		fmt.Print(core.DescribeBenchmarks())
 		return
+	}
+
+	if *tableFile != "" {
+		data, err := os.ReadFile(*tableFile)
+		check(err)
+		table, err := mpi.ParseTuningTable(data)
+		if err != nil {
+			check(fmt.Errorf("-tuning-table %s: %w", *tableFile, err))
+		}
+		core.SetDefaultTuningTable(table)
 	}
 
 	b, err := core.ParseBenchmark(*bench)

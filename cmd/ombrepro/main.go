@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/mpi"
 	"repro/internal/stats"
 )
 
@@ -39,9 +40,22 @@ func main() {
 		schedfold = flag.Bool("schedfold", true, "let the event engine compile and replay collective schedules per equivalence class (false keeps the schedule-level gather; reported numbers are identical either way)")
 		faults    = flag.String("faults", "", "deterministic fault plan applied to every run, e.g. \"noise:sigma=2us; jitter:link=0.1; seed:7\"")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget per benchmark run (0 = none); expiry reports a structured timeout failure instead of running on")
+		tableFile = flag.String("tuning-table", "", "apply a generated tuning table (see ombtune) as the per-placement default selection policy")
 	)
 	flag.Parse()
 	plotCharts = *plot
+
+	if *tableFile != "" {
+		data, err := os.ReadFile(*tableFile)
+		if err != nil {
+			fatal(err)
+		}
+		table, err := mpi.ParseTuningTable(data)
+		if err != nil {
+			fatal(fmt.Errorf("-tuning-table %s: %w", *tableFile, err))
+		}
+		core.SetDefaultTuningTable(table)
+	}
 
 	if *algo != "" {
 		forced, err := core.ParseAlgorithmList(*algo)

@@ -179,11 +179,17 @@ func BruckSchedule(rank, size int) []BruckStep {
 	return steps
 }
 
-// PairwisePeer returns the peer of rank in round k (1 <= k < size) of the
-// pairwise alltoall exchange. For even communicator sizes this is the
-// XOR-based perfectly balanced schedule; for odd sizes the shifted schedule.
+// PairwisePeer returns the peer of rank in round k of the pairwise
+// alltoall exchange. For power-of-two communicator sizes this is the
+// XOR-based perfectly balanced schedule (rounds 1 <= k < size, no idle
+// ranks). Every other size uses the shifted-sum schedule (k - rank) mod
+// size over rounds 0 <= k < size: a self-inverse pairing for any size, in
+// which each rank sits out exactly the round k = 2*rank mod size and
+// meets every other rank exactly once. XOR must not be used merely for
+// even sizes: it is only closed over the group when size is a power of
+// two (224 ranks, round 95: rank 157 would address 250).
 func PairwisePeer(rank, size, k int) int {
-	if size%2 == 0 {
+	if IsPof2(size) {
 		return rank ^ k
 	}
 	return (k - rank + size) % size

@@ -270,3 +270,44 @@ func TestRingNeighbors(t *testing.T) {
 		t.Errorf("RingNeighbors(4,5) = (%d,%d), want (0,3)", s, r)
 	}
 }
+
+// TestPairwisePeerIsValidPairing checks, for power-of-two, odd, and — the
+// regression case — even non-power-of-two sizes, that every round's
+// pairing is a self-inverse permutation inside the group and that across
+// a full schedule every rank meets every other rank exactly once.
+func TestPairwisePeerIsValidPairing(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16, 3, 5, 7, 9, 6, 10, 12, 24, 224} {
+		start, rounds := 1, p-1
+		if !IsPof2(p) {
+			start, rounds = 0, p
+		}
+		met := make([]map[int]bool, p)
+		for r := range met {
+			met[r] = map[int]bool{}
+		}
+		for i := 0; i < rounds; i++ {
+			k := start + i
+			for r := 0; r < p; r++ {
+				peer := PairwisePeer(r, p, k)
+				if peer < 0 || peer >= p {
+					t.Fatalf("p=%d k=%d: rank %d pairs outside the group (%d)", p, k, r, peer)
+				}
+				if back := PairwisePeer(peer, p, k); back != r {
+					t.Fatalf("p=%d k=%d: pairing not self-inverse (%d -> %d -> %d)", p, k, r, peer, back)
+				}
+				if peer == r {
+					continue // the idle round of the shifted-sum schedule
+				}
+				if met[r][peer] {
+					t.Fatalf("p=%d: rank %d meets %d twice", p, r, peer)
+				}
+				met[r][peer] = true
+			}
+		}
+		for r := 0; r < p; r++ {
+			if len(met[r]) != p-1 {
+				t.Errorf("p=%d: rank %d met %d peers, want %d", p, r, len(met[r]), p-1)
+			}
+		}
+	}
+}

@@ -214,6 +214,18 @@ var defaultAlgorithms map[string]string
 // It is meant to be called once at CLI startup, before any Run.
 func SetDefaultAlgorithms(m map[string]string) { defaultAlgorithms = m }
 
+// defaultTuningTable is the process-wide placement-indexed tuning table
+// (the artifact ombtune generates); the CLIs' -tuning-table flag sets it.
+var defaultTuningTable *mpi.TuningTable
+
+// SetDefaultTuningTable installs a generated tuning table as the weakest
+// process-wide default: a run whose placement matches an entry takes the
+// entry's thresholds (unless Options.Tuning overrides any knob) and its
+// forced algorithms (unless Options.Algorithms or SetDefaultAlgorithms
+// supplies a map). It is meant to be called once at CLI startup, before
+// any Run. Pass nil to clear.
+func SetDefaultTuningTable(t *mpi.TuningTable) { defaultTuningTable = t }
+
 // ParseAlgorithmList parses a comma-separated list of collective=algorithm
 // pairs ("allgather=ring,allreduce=rd") into an Options.Algorithms map,
 // validating both halves against the runtime registry.
@@ -319,6 +331,20 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Algorithms == nil {
 		o.Algorithms = defaultAlgorithms
+	}
+	// The tuning table is the weakest default: explicit Options fields and
+	// the -algorithm process default both beat a matching table entry.
+	if pol, ok := defaultTuningTable.Lookup(o.Ranks, o.PPN); ok {
+		if o.Tuning == (mpi.Tuning{}) {
+			o.Tuning = pol.Tuning
+		}
+		if o.Algorithms == nil && len(pol.Forced) > 0 {
+			forced := make(map[string]string, len(pol.Forced))
+			for coll, name := range pol.Forced {
+				forced[string(coll)] = name
+			}
+			o.Algorithms = forced
+		}
 	}
 	if o.Faults == "" {
 		o.Faults = defaultFaults

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// TestDefaultTuningTable pins the apply-a-generated-table option: a run
+// whose placement matches a table entry behaves exactly as if the entry's
+// thresholds and forced algorithms had been passed explicitly, explicit
+// options still win, and unlisted placements keep the shipped defaults.
+func TestDefaultTuningTable(t *testing.T) {
+	table := &mpi.TuningTable{
+		Entries: []mpi.TuningTableEntry{{
+			Ranks: 4, PPN: 1,
+			Policy: mpi.Policy{
+				Tuning: mpi.Tuning{AllreduceRabenseifnerMin: -1},
+				Forced: map[mpi.Collective]string{mpi.CollAllgather: "ring"},
+			},
+		}},
+	}
+	SetDefaultTuningTable(table)
+	defer SetDefaultTuningTable(nil)
+
+	base := Options{
+		Benchmark: "allreduce", Ranks: 4, TimingOnly: true,
+		Iters: 3, Warmup: 1, Sizes: []int{1024, 262144},
+	}
+
+	tabled, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := base
+	explicit.Tuning = mpi.Tuning{AllreduceRabenseifnerMin: -1}
+	// The forced allgather entry is irrelevant to an allreduce run but the
+	// table still installs it; mirror it so the comparison is exact.
+	explicit.Algorithms = map[string]string{"allgather": "ring"}
+	want, err := Run(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tabled.Series.Rows, want.Series.Rows) {
+		t.Errorf("tabled run differs from explicit options:\n%v\n%v",
+			tabled.Series.Rows, want.Series.Rows)
+	}
+
+	// A negative Min threshold switches every size to Rabenseifner, so the
+	// small-size row demonstrably changes when the table applies.
+	SetDefaultTuningTable(nil)
+	shipped, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped.Series.Rows[0].AvgUs == tabled.Series.Rows[0].AvgUs {
+		t.Error("table entry had no effect on the matching placement")
+	}
+	SetDefaultTuningTable(table)
+
+	// An unlisted placement keeps the shipped defaults.
+	other := base
+	other.Ranks = 8
+	fromTable, err := Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetDefaultTuningTable(nil)
+	fromDefaults, err := Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromTable.Series.Rows, fromDefaults.Series.Rows) {
+		t.Error("table leaked into an unlisted placement")
+	}
+	SetDefaultTuningTable(table)
+
+	// Explicit options beat the table.
+	override := base
+	override.Tuning = mpi.Tuning{AllreduceRabenseifnerMin: 1024}
+	got, err := Run(override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetDefaultTuningTable(nil)
+	wantOverride, err := Run(override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Series.Rows, wantOverride.Series.Rows) {
+		t.Error("explicit Tuning should beat the table entry")
+	}
+}
+
+// TestTuningTableCacheKey pins that a table entry shifts CacheKey exactly
+// like the equivalent explicit options — the content address covers the
+// effective configuration, however it was assembled.
+func TestTuningTableCacheKey(t *testing.T) {
+	base := Options{Benchmark: "allreduce", Ranks: 4, TimingOnly: true, Sizes: []int{1024}}
+	plain := base.CacheKey()
+
+	table := &mpi.TuningTable{Entries: []mpi.TuningTableEntry{{
+		Ranks: 4, PPN: 1,
+		Policy: mpi.Policy{Tuning: mpi.Tuning{AllreduceRabenseifnerMin: -1}},
+	}}}
+	SetDefaultTuningTable(table)
+	defer SetDefaultTuningTable(nil)
+	tabled := base.CacheKey()
+	if tabled == plain {
+		t.Error("table entry should change the cache key")
+	}
+
+	SetDefaultTuningTable(nil)
+	explicit := base
+	explicit.Tuning = mpi.Tuning{AllreduceRabenseifnerMin: -1}
+	if explicit.CacheKey() != tabled {
+		t.Error("table entry and explicit tuning should share a cache key")
+	}
+}

@@ -15,7 +15,7 @@ func TestRegistryCoversEveryFigureAndTable(t *testing.T) {
 		"fig31", "fig32", "fig33", "fig34",
 		"algo_bcast", "algo_allreduce", "algo_allgather", "algo_alltoall",
 		"algo_reduce_scatter", "algo_overlap", "algo_crossover_scan",
-		"algo_noise",
+		"algo_noise", "algo_autotune",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

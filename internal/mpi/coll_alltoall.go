@@ -94,10 +94,11 @@ func (c *Comm) alltoallStart(sbuf []byte, n int, rbuf []byte) (*collSched, error
 func buildAlltoallPairwise(c *Comm, call collCall, s *collSched) error {
 	sbuf, rbuf, n := call.sbuf, call.rbuf, call.n
 	p := len(c.group)
-	// Even p: XOR schedule, rounds 1..p-1. Odd p: shifted schedule needs
-	// rounds 0..p-1 (each rank self-pairs, i.e. idles, in exactly one).
+	// Power-of-two p: XOR schedule, rounds 1..p-1, nobody idles. Any other
+	// p: shifted-sum schedule over rounds 0..p-1, in which each rank
+	// self-pairs (idles) in exactly one round.
 	start, rounds := 1, p-1
-	if p%2 != 0 {
+	if !collective.IsPof2(p) {
 		start, rounds = 0, p
 	}
 	for i := 0; i < rounds; i++ {

@@ -115,6 +115,7 @@ func NewServer(cfg Config) *Service {
 	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
 }
 
@@ -335,6 +336,16 @@ func (s *Service) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz is GET /healthz: liveness plus the service counters.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// handleStats is GET /stats: the service counters alone. The payload is
+// the /healthz Stats struct, but the route exists as a stable monitoring
+// contract: liveness probes may grow or change semantics, while /stats
+// stays a plain counter dump — the numbers the auto-tuner's provenance
+// report cites for real evaluator cache behavior (hit/miss/coalesced,
+// cache size, shed count).
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 

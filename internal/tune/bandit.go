@@ -1,0 +1,78 @@
+package tune
+
+import "math"
+
+// contextBandit is a UCB1 multi-armed bandit over the operators
+// applicable in one (placement, collective) context. The ALNS reward
+// tiers (new best > improving > merely accepted > rejected) feed the
+// empirical means; the exploration bonus keeps rarely-tried operators
+// alive. Everything here is exact integer/float arithmetic on a fixed
+// pull history, so operator choice is a pure function of the trajectory
+// so far — no randomness, no time.
+type contextBandit struct {
+	// arms[i] tracks the operator at opIndex[i].
+	opIndex []int
+	pulls   []int
+	reward  []float64
+	// accepted / improved are provenance counters, not inputs to UCB.
+	accepted []int
+	improved []int
+	total    int
+}
+
+// ucbC weights the exploration bonus; sqrt(1/2) is the classic choice.
+const ucbC = 0.7071067811865476
+
+func newContextBandit(ops []int) *contextBandit {
+	n := len(ops)
+	return &contextBandit{
+		opIndex:  append([]int(nil), ops...),
+		pulls:    make([]int, n),
+		reward:   make([]float64, n),
+		accepted: make([]int, n),
+		improved: make([]int, n),
+	}
+}
+
+// pick returns the arm to pull: each untried arm once, in index order,
+// then the highest upper confidence bound (ties to the lowest index).
+func (b *contextBandit) pick() int {
+	for i, p := range b.pulls {
+		if p == 0 {
+			return i
+		}
+	}
+	best, bestScore := 0, math.Inf(-1)
+	logTotal := math.Log(float64(b.total))
+	for i := range b.pulls {
+		mean := b.reward[i] / float64(b.pulls[i])
+		score := mean + ucbC*math.Sqrt(logTotal/float64(b.pulls[i]))
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// update records one pull's reward.
+func (b *contextBandit) update(arm int, reward float64, accepted, improved bool) {
+	b.pulls[arm]++
+	b.total++
+	b.reward[arm] += reward
+	if accepted {
+		b.accepted[arm]++
+	}
+	if improved {
+		b.improved[arm]++
+	}
+}
+
+// The ALNS reward tiers (Ropke & Pisinger shape): a move that sets a new
+// context best, one that improves on the current solution, one accepted
+// only by annealing, and a rejected or inapplicable one.
+const (
+	rewardBest     = 1.0
+	rewardImprove  = 0.6
+	rewardAccepted = 0.25
+	rewardRejected = 0.0
+)

@@ -1,0 +1,46 @@
+package tune
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// BenchmarkAutotuneSearch runs a complete small search per iteration and
+// reports the tuner's operational metrics alongside ns/op: probe
+// evaluations per second (the number ombserve must sustain per tuner
+// client), the in-process cache-hit ratio, and the objective trajectory
+// endpoints (initial = shipped defaults, best = after the search). The
+// autotune_search row in the bench JSON is parsed from this output.
+func BenchmarkAutotuneSearch(b *testing.B) {
+	cfg := Config{
+		Seed:        1,
+		Iterations:  64,
+		Placements:  []Placement{{Ranks: 16, PPN: 1}},
+		Collectives: []mpi.Collective{mpi.CollBcast, mpi.CollAllreduce, mpi.CollAlltoall},
+		Sizes:       []int{1024, 4096, 16384, 65536},
+		ProbeIters:  3,
+		ProbeWarmup: 1,
+		Workers:     4,
+	}
+	b.ReportAllocs()
+	var evals int
+	var prov *Provenance
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += res.Provenance.Evaluations
+		prov = res.Provenance
+	}
+	b.StopTimer()
+	if len(prov.Trajectory) == 0 {
+		b.Fatal("no trajectory recorded")
+	}
+	b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
+	b.ReportMetric(prov.CacheHitRatio, "hit_ratio")
+	b.ReportMetric(prov.Trajectory[0].BestTotalUs, "init_obj_us")
+	b.ReportMetric(prov.Trajectory[len(prov.Trajectory)-1].BestTotalUs, "best_obj_us")
+}

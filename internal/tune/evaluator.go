@@ -1,0 +1,146 @@
+package tune
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// Evaluator answers objective probes. The simulator's determinism is the
+// load-bearing property: a probe's result is a pure function of its
+// canonicalized options, so both backends may answer from a
+// content-addressed cache and the search cannot tell the difference — the
+// same seed walks the same trajectory whether probes are computed fresh,
+// from the in-process memo, or by an ombserve instance shared with other
+// tuners.
+type Evaluator interface {
+	// Evaluate runs one probe and reports whether the answer came from a
+	// cache (the in-process memo, or the service's result cache /
+	// coalesced in-flight computation).
+	Evaluate(ctx context.Context, opts core.Options) (EvalResult, error)
+}
+
+// Cell is one (message size, modeled latency) point of a probe.
+type Cell struct {
+	Size  int     `json:"size"`
+	AvgUs float64 `json:"avg_us"`
+}
+
+// EvalResult is one probe's answer.
+type EvalResult struct {
+	Cells  []Cell
+	Cached bool
+}
+
+// objective collapses a probe to the scalar the annealer compares: total
+// modeled latency across the size axis.
+func objective(cells []Cell) float64 {
+	var sum float64
+	for _, c := range cells {
+		sum += c.AvgUs
+	}
+	return sum
+}
+
+// evalBatch evaluates independent probes on a bounded worker pool and
+// collects results (and the eval/hit counters) in index order, so the
+// outcome is identical at any worker count. Probes in one batch always
+// have distinct content addresses (the callers guarantee it), so
+// concurrent evaluation cannot race a memoizing backend into a different
+// hit sequence than serial evaluation.
+func (s *search) evalBatch(ctx context.Context, probes []core.Options) ([]EvalResult, error) {
+	results := make([]EvalResult, len(probes))
+	errs := make([]error, len(probes))
+	sem := make(chan struct{}, s.cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range probes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = s.eval.Evaluate(ctx, probes[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("probe %d (%s %dx%d): %w",
+				i, probes[i].Benchmark, probes[i].Ranks, probes[i].PPN, err)
+		}
+	}
+	for _, r := range results {
+		s.evals++
+		if r.Cached {
+			s.hits++
+		}
+	}
+	return results, nil
+}
+
+// CoreEvaluator runs probes in process on the event engine, memoizing by
+// content address with the same key the tuning service uses.
+type CoreEvaluator struct {
+	mu   sync.Mutex
+	memo map[string][]Cell
+}
+
+// NewCoreEvaluator returns an in-process evaluator with an empty memo.
+func NewCoreEvaluator() *CoreEvaluator {
+	return &CoreEvaluator{memo: make(map[string][]Cell)}
+}
+
+// Evaluate implements Evaluator.
+func (e *CoreEvaluator) Evaluate(ctx context.Context, opts core.Options) (EvalResult, error) {
+	key := opts.CacheKey()
+	e.mu.Lock()
+	cells, ok := e.memo[key]
+	e.mu.Unlock()
+	if ok {
+		return EvalResult{Cells: cells, Cached: true}, nil
+	}
+	rep, err := core.RunContext(ctx, opts)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	if rep.Failure != nil {
+		return EvalResult{}, fmt.Errorf("tune: probe failed (%s): %s", rep.Failure.Code, rep.Failure.Message)
+	}
+	cells = make([]Cell, len(rep.Series.Rows))
+	for i, row := range rep.Series.Rows {
+		cells[i] = Cell{Size: row.Size, AvgUs: row.AvgUs}
+	}
+	e.mu.Lock()
+	e.memo[key] = cells
+	e.mu.Unlock()
+	return EvalResult{Cells: cells}, nil
+}
+
+// ServeEvaluator answers probes over HTTP through a tuning service, so
+// repeated configurations hit ombserve's content-addressed cache (and
+// concurrent identical probes coalesce). It keeps no local memo on
+// purpose: every probe exercises the service, which is both the point
+// (shared cache across tuner processes) and what lets the provenance
+// report cite real service cache behavior.
+type ServeEvaluator struct {
+	Client *serve.Client
+}
+
+// Evaluate implements Evaluator.
+func (e *ServeEvaluator) Evaluate(ctx context.Context, opts core.Options) (EvalResult, error) {
+	rep, status, err := e.Client.Sweep(ctx, opts)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	if rep.Failure != nil {
+		return EvalResult{}, fmt.Errorf("tune: probe failed (%s): %s", rep.Failure.Code, rep.Failure.Message)
+	}
+	cells := make([]Cell, len(rep.Rows))
+	for i, row := range rep.Rows {
+		cells[i] = Cell{Size: row.Size, AvgUs: row.AvgUs}
+	}
+	return EvalResult{Cells: cells, Cached: status.Cached()}, nil
+}

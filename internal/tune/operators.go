@@ -1,0 +1,164 @@
+package tune
+
+// The ALNS move set: destroy/repair operators over genes. Each operator
+// is a small, cheap mutation; the contextual bandit (bandit.go) learns
+// which ones pay off in which (placement, collective) context. apply
+// returns ok=false when the move cannot act (threshold already at its
+// clamp, nothing to clear, no sibling to reseed from) — the search counts
+// that as a rejected pull so the bandit learns to stop picking it.
+
+type operator struct {
+	name  string
+	apply func(r *rng, s *search, ci int, g gene) (gene, bool)
+	// wants reports whether the operator can ever act in a context; used
+	// to build per-context arm lists.
+	wants func(s *search, ci int) bool
+}
+
+// operators is the global move set; per-context arm lists index into it.
+var operators = []operator{
+	{
+		// octave_up doubles one threshold: the bounded algorithm of that
+		// knob stays preferred one octave further.
+		name:  "octave_up",
+		wants: hasKnobs,
+		apply: func(r *rng, s *search, ci int, g gene) (gene, bool) {
+			c := s.contexts[ci]
+			ki := r.intn(len(c.knobs))
+			v := g.thresholds[ki] * 2
+			if v > c.knobs[ki].max || g.thresholds[ki] < 0 {
+				return g, false
+			}
+			g.thresholds[ki] = v
+			return g, true
+		},
+	},
+	{
+		// octave_down halves one threshold.
+		name:  "octave_down",
+		wants: hasKnobs,
+		apply: func(r *rng, s *search, ci int, g gene) (gene, bool) {
+			c := s.contexts[ci]
+			ki := r.intn(len(c.knobs))
+			v := g.thresholds[ki] / 2
+			if v < c.knobs[ki].min || g.thresholds[ki] < 0 {
+				return g, false
+			}
+			g.thresholds[ki] = v
+			return g, true
+		},
+	},
+	{
+		// jolt is the large-neighborhood destroy: shift one threshold two
+		// to four octaves in a random direction, clamped to the lattice.
+		name:  "jolt",
+		wants: hasKnobs,
+		apply: func(r *rng, s *search, ci int, g gene) (gene, bool) {
+			c := s.contexts[ci]
+			ki := r.intn(len(c.knobs))
+			shift := 2 + r.intn(3)
+			up := r.float() < 0.5
+			if g.thresholds[ki] < 0 {
+				return g, false
+			}
+			v := g.thresholds[ki]
+			for i := 0; i < shift; i++ {
+				if up {
+					v *= 2
+				} else {
+					v /= 2
+				}
+			}
+			k := c.knobs[ki]
+			if v > k.max {
+				v = k.max
+			}
+			if v < k.min {
+				v = k.min
+			}
+			if v == g.thresholds[ki] {
+				return g, false
+			}
+			g.thresholds[ki] = v
+			return g, true
+		},
+	},
+	{
+		// force_swap pins a different feasible algorithm, bypassing the
+		// thresholds entirely in this context.
+		name:  "force_swap",
+		wants: func(s *search, ci int) bool { return len(s.contexts[ci].algos) > 1 },
+		apply: func(r *rng, s *search, ci int, g gene) (gene, bool) {
+			c := s.contexts[ci]
+			pick := c.algos[r.intn(len(c.algos))]
+			if pick == g.forced {
+				return g, false
+			}
+			g.forced = pick
+			return g, true
+		},
+	},
+	{
+		// force_clear repairs back to threshold-driven selection.
+		name:  "force_clear",
+		wants: func(s *search, ci int) bool { return len(s.contexts[ci].algos) > 1 },
+		apply: func(r *rng, s *search, ci int, g gene) (gene, bool) {
+			if g.forced == "" {
+				return g, false
+			}
+			g.forced = ""
+			return g, true
+		},
+	},
+	{
+		// reseed_neighbor copies the current gene of the same collective at
+		// another placement — crossover between placements, on the theory
+		// that good thresholds transfer. A forced algorithm infeasible at
+		// this communicator size is dropped in the copy.
+		name:  "reseed_neighbor",
+		wants: func(s *search, ci int) bool { return len(s.siblings(ci)) > 0 },
+		apply: func(r *rng, s *search, ci int, g gene) (gene, bool) {
+			sibs := s.siblings(ci)
+			src := sibs[r.intn(len(sibs))]
+			seed := s.cur[src].clone()
+			if seed.forced != "" && !s.contexts[ci].feasible(seed.forced) {
+				seed.forced = ""
+			}
+			return seed, true
+		},
+	},
+	{
+		// reset_default repairs to the shipped policy — the restart move
+		// when a context has wandered somewhere unprofitable.
+		name:  "reset_default",
+		wants: func(s *search, ci int) bool { return true },
+		apply: func(r *rng, s *search, ci int, g gene) (gene, bool) {
+			return s.contexts[ci].defaultGene(), true
+		},
+	},
+}
+
+func hasKnobs(s *search, ci int) bool { return len(s.contexts[ci].knobs) > 0 }
+
+// feasible reports whether name is feasible at this context's
+// communicator size.
+func (c *searchContext) feasible(name string) bool {
+	for _, a := range c.algos {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// siblings returns the context indices sharing ci's collective at other
+// placements, in context order.
+func (s *search) siblings(ci int) []int {
+	var out []int
+	for j, c := range s.contexts {
+		if j != ci && c.coll == s.contexts[ci].coll {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package tune
+
+// The provenance report is the "why" next to the table's "what": per cell
+// the winning algorithm and its modeled latency against the shipped
+// default, per context the operator/bandit statistics, and for the search
+// as a whole the evaluation count, cache-hit ratio and best-objective
+// trajectory. Everything in it is backend-independent — two runs with the
+// same seed and budget produce byte-identical provenance whether probes
+// were answered in process or by an ombserve instance (pinned by
+// TestSearchHTTPMatchesInProcess).
+
+// Provenance is the report emitted next to a generated table.
+type Provenance struct {
+	Seed           uint64  `json:"seed"`
+	Iterations     int     `json:"iterations"`
+	Evaluations    int     `json:"evaluations"`
+	CacheHits      int     `json:"cache_hits"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	DefaultTotalUs float64 `json:"default_total_us"`
+	TunedTotalUs   float64 `json:"tuned_total_us"`
+	ImprovementPct float64 `json:"improvement_pct"`
+	// Trajectory tracks the summed best objective: one point per
+	// improvement, endpoints first and last.
+	Trajectory []TrajPoint     `json:"trajectory"`
+	Contexts   []ContextReport `json:"contexts"`
+}
+
+// TrajPoint is one best-objective improvement event.
+type TrajPoint struct {
+	Iteration   int     `json:"iteration"`
+	BestTotalUs float64 `json:"best_total_us"`
+}
+
+// ContextReport is the per-(placement, collective) slice of the search.
+type ContextReport struct {
+	Placement  string `json:"placement"`
+	Collective string `json:"collective"`
+	// Source names where the shipped cell came from: "search" (the best
+	// gene survived the dominance guard), "search_unforced" (its forced
+	// override had to be dropped), or "default" (the search found nothing
+	// that beats the shipped policy on every cell).
+	Source         string           `json:"source"`
+	DefaultUs      float64          `json:"default_us"`
+	TunedUs        float64          `json:"tuned_us"`
+	ImprovementPct float64          `json:"improvement_pct"`
+	Thresholds     map[string]int   `json:"thresholds,omitempty"`
+	Forced         string           `json:"forced,omitempty"`
+	Cells          []CellReport     `json:"cells"`
+	Operators      []OperatorReport `json:"operators,omitempty"`
+}
+
+// CellReport compares one (size) cell of the tuned policy against the
+// shipped default.
+type CellReport struct {
+	Size             int     `json:"size"`
+	DefaultAlgorithm string  `json:"default_algorithm"`
+	TunedAlgorithm   string  `json:"tuned_algorithm"`
+	DefaultUs        float64 `json:"default_us"`
+	TunedUs          float64 `json:"tuned_us"`
+}
+
+// OperatorReport is one bandit arm's history in a context.
+type OperatorReport struct {
+	Name       string  `json:"name"`
+	Pulls      int     `json:"pulls"`
+	MeanReward float64 `json:"mean_reward"`
+	Accepted   int     `json:"accepted"`
+	Improved   int     `json:"improved"`
+}

@@ -1,0 +1,37 @@
+package tune
+
+import "repro/internal/faults"
+
+// rng is the search's only randomness source: a sequential stream over
+// the counter-based PRNG from internal/faults (SplitMix64 finalizer,
+// pure function of (seed, stream, counter)). No math/rand, no global
+// state: a seed fixes the entire search trajectory bit for bit, which is
+// what makes "same seed -> byte-identical table" a testable contract.
+type rng struct {
+	seed    uint64
+	stream  uint64
+	counter uint64
+}
+
+// tuneStream namespaces the tuner's draws away from the fault layer's
+// per-rank streams (which use small rank numbers).
+const tuneStream = 0x74756e65 // "tune"
+
+func newRNG(seed uint64) *rng {
+	return &rng{seed: seed, stream: tuneStream}
+}
+
+// float returns the next draw in [0, 1).
+func (r *rng) float() float64 {
+	v := faults.Uniform(r.seed, r.stream, r.counter)
+	r.counter++
+	return v
+}
+
+// intn returns the next draw in [0, n); n must be positive.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("tune: intn needs a positive bound")
+	}
+	return int(r.float() * float64(n))
+}

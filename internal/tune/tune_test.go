@@ -1,0 +1,240 @@
+package tune
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/serve"
+)
+
+// testConfig is a small but real search: two placements, two collectives
+// with different knob shapes, a few dozen iterations.
+func testConfig(seed uint64) Config {
+	return Config{
+		Seed:        seed,
+		Iterations:  48,
+		Placements:  []Placement{{Ranks: 4, PPN: 1}, {Ranks: 8, PPN: 2}},
+		Collectives: []mpi.Collective{mpi.CollAllreduce, mpi.CollAlltoall},
+		Sizes:       []int{1024, 4096, 16384, 65536},
+		ProbeIters:  3,
+		ProbeWarmup: 1,
+	}
+}
+
+// render returns the byte-exact artifacts of one run.
+func render(t *testing.T, res *Result) (string, string) {
+	t.Helper()
+	table, err := res.TableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := res.ProvenanceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(table), string(prov)
+}
+
+// TestSearchDeterministicSameSeed pins the headline contract: same seed,
+// same budget -> byte-identical table and provenance.
+func TestSearchDeterministicSameSeed(t *testing.T) {
+	ctx := context.Background()
+	a, err := Run(ctx, testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ctx, testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aTab, aProv := render(t, a)
+	bTab, bProv := render(t, b)
+	if aTab != bTab {
+		t.Errorf("same seed produced different tables:\n%s\n---\n%s", aTab, bTab)
+	}
+	if aProv != bProv {
+		t.Errorf("same seed produced different provenance:\n%s\n---\n%s", aProv, bProv)
+	}
+	if a.Provenance.Evaluations == 0 {
+		t.Error("search made no evaluations")
+	}
+	if a.Provenance.CacheHits == 0 {
+		t.Error("a 48-iteration search should revisit at least one configuration (finalize re-probes the best)")
+	}
+}
+
+// TestSearchParallelMatchesSerial pins byte-identity across the -parallel
+// evaluation knob.
+func TestSearchParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	serialCfg := testConfig(11)
+	serialCfg.Workers = 1
+	parallelCfg := testConfig(11)
+	parallelCfg.Workers = 4
+
+	serial, err := Run(ctx, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(ctx, parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTab, sProv := render(t, serial)
+	pTab, pProv := render(t, parallel)
+	if sTab != pTab {
+		t.Error("parallel evaluation changed the table")
+	}
+	if sProv != pProv {
+		t.Error("parallel evaluation changed the provenance")
+	}
+}
+
+// TestSearchHTTPMatchesInProcess pins byte-identity across evaluator
+// backends, and that the search demonstrably hits the service's cache.
+func TestSearchHTTPMatchesInProcess(t *testing.T) {
+	ctx := context.Background()
+	local, err := Run(ctx, testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := serve.NewServer(serve.Config{Workers: 4})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	cfg := testConfig(3)
+	cfg.Workers = 2
+	cfg.Evaluator = &ServeEvaluator{Client: &serve.Client{BaseURL: srv.URL}}
+	remote, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lTab, lProv := render(t, local)
+	rTab, rProv := render(t, remote)
+	if lTab != rTab {
+		t.Errorf("HTTP backend changed the table:\n%s\n---\n%s", lTab, rTab)
+	}
+	if lProv != rProv {
+		t.Errorf("HTTP backend changed the provenance:\n%s\n---\n%s", lProv, rProv)
+	}
+
+	st := svc.Snapshot()
+	if st.CacheHits == 0 {
+		t.Errorf("search through ombserve recorded no cache hits: %+v", st)
+	}
+	if remote.Provenance.CacheHits == 0 || remote.Provenance.CacheHitRatio <= 0 {
+		t.Errorf("provenance cites no cache behavior: %+v", remote.Provenance)
+	}
+}
+
+// TestGeneratedTableNeverWorse pins the dominance guard: every shipped
+// cell is at least as fast as the shipped default.
+func TestGeneratedTableNeverWorse(t *testing.T) {
+	res, err := Run(context.Background(), testConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range res.Provenance.Contexts {
+		for _, cell := range cr.Cells {
+			if cell.TunedUs > cell.DefaultUs {
+				t.Errorf("%s/%s size %d: tuned %.3fus > default %.3fus (source %s)",
+					cr.Placement, cr.Collective, cell.Size, cell.TunedUs, cell.DefaultUs, cr.Source)
+			}
+		}
+		if cr.TunedUs > cr.DefaultUs {
+			t.Errorf("%s/%s: tuned objective %.3f > default %.3f",
+				cr.Placement, cr.Collective, cr.TunedUs, cr.DefaultUs)
+		}
+	}
+}
+
+// TestGeneratedTableRoundTripsThroughJSON: the emitted artifact parses
+// back into a table whose policies select identically — the "ship it"
+// contract end to end.
+func TestGeneratedTableRoundTrips(t *testing.T) {
+	res, err := Run(context.Background(), testConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.TableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := mpi.ParseTuningTable(data)
+	if err != nil {
+		t.Fatalf("emitted table does not parse: %v\n%s", err, data)
+	}
+	if len(parsed.Entries) != 2 {
+		t.Fatalf("expected 2 placements, got %d", len(parsed.Entries))
+	}
+	for _, e := range parsed.Entries {
+		if _, ok := parsed.Lookup(e.Ranks, e.PPN); !ok {
+			t.Errorf("lookup misses its own entry %dx%d", e.Ranks, e.PPN)
+		}
+	}
+}
+
+func TestParsePlacements(t *testing.T) {
+	got, err := ParsePlacements("16x1, 224x56")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != (Placement{16, 1}) || got[1] != (Placement{224, 56}) {
+		t.Errorf("ParsePlacements = %v", got)
+	}
+	for _, bad := range []string{"", "16", "0x1", "16x0", "axb"} {
+		if _, err := ParsePlacements(bad); err == nil {
+			t.Errorf("ParsePlacements(%q) should fail", bad)
+		}
+	}
+}
+
+// TestProbeIsolation pins the cache-friendliness invariant: a context's
+// probe carries only its own collective's policy fields, so a mutation in
+// one collective never changes another's probe keys.
+func TestProbeIsolation(t *testing.T) {
+	cfg := testConfig(1).withDefaults()
+	contexts, err := buildContexts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range contexts {
+		g := c.defaultGene()
+		opts := c.probeOptions(cfg, g)
+		tun := opts.Tuning
+		switch c.coll {
+		case mpi.CollAllreduce:
+			if tun.AllreduceRabenseifnerMin == 0 || tun.AlltoallBruckMaxBlock != 0 ||
+				tun.BcastScatterRingMin != 0 || tun.AllgatherRDMaxTotal != 0 {
+				t.Errorf("allreduce probe leaks foreign knobs: %+v", tun)
+			}
+		case mpi.CollAlltoall:
+			if tun.AlltoallBruckMaxBlock == 0 || tun.AllreduceRabenseifnerMin != 0 {
+				t.Errorf("alltoall probe leaks foreign knobs: %+v", tun)
+			}
+		}
+		if opts.Algorithms != nil {
+			t.Errorf("unforced probe should not set Algorithms: %+v", opts.Algorithms)
+		}
+	}
+}
+
+// TestBanditPrefersRewardingArm sanity-checks UCB: with one arm always
+// rewarded and one never, pulls concentrate on the former.
+func TestBanditPrefersRewardingArm(t *testing.T) {
+	b := newContextBandit([]int{0, 1})
+	for i := 0; i < 100; i++ {
+		arm := b.pick()
+		if arm == 0 {
+			b.update(arm, 1.0, true, false)
+		} else {
+			b.update(arm, 0.0, false, false)
+		}
+	}
+	if b.pulls[0] <= b.pulls[1] {
+		t.Errorf("bandit did not favor the rewarding arm: pulls %v", b.pulls)
+	}
+}

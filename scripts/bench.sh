@@ -39,6 +39,11 @@
 # cache, singleflight, admission control — and the JSON carries its
 # sustained qps, p99 latency and cache-hit ratio.
 #
+# The autotune_search row (PR 10) runs a complete small ALNS search per
+# iteration (BenchmarkAutotuneSearch) and carries the tuner's probe
+# evaluations/sec, in-process cache-hit ratio, and objective trajectory
+# endpoints (init_obj_us = shipped defaults, best_obj_us = after search).
+#
 # The schedule-folding family (PR 8) extends the huge-world sweep to
 # 262144 ranks and adds 4096/16384-rank rows with class-level schedule
 # folding disabled (the per-schedule gather fallback); the JSON carries
@@ -76,8 +81,10 @@ mbw=$(go test . -run '^$' -bench 'BenchmarkMultiPairMessageRate' \
 	-benchtime="$large_time" -count=1)
 srv=$(go test ./internal/serve -run '^$' -bench 'BenchmarkServeLoad' \
 	-benchtime="$large_time" -count=1)
+tn=$(go test ./internal/tune -run '^$' -bench 'BenchmarkAutotuneSearch' \
+	-benchtime="$large_time" -count=1)
 
-printf '%s\n%s\n%s\n%s\n' "$micro" "$large" "$mbw" "$srv" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v base_ns="$base_ns" '
+printf '%s\n%s\n%s\n%s\n%s\n' "$micro" "$large" "$mbw" "$srv" "$tn" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v base_ns="$base_ns" '
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -98,6 +105,17 @@ printf '%s\n%s\n%s\n%s\n' "$micro" "$large" "$mbw" "$srv" | awk -v date="$(date 
 		if ($(i+1) == "qps") srv_qps = $i
 		if ($(i+1) == "p99_us") srv_p99 = $i
 		if ($(i+1) == "hit_ratio") srv_hit = $i
+	}
+	next
+}
+/^BenchmarkAutotuneSearch/ {
+	# "BenchmarkAutotuneSearch-4  2  18708013 ns/op  269.3 best_obj_us  3368 evals/s ..."
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") tn_ns = $i
+		if ($(i+1) == "evals/s") tn_eps = $i
+		if ($(i+1) == "hit_ratio") tn_hit = $i
+		if ($(i+1) == "init_obj_us") tn_init = $i
+		if ($(i+1) == "best_obj_us") tn_best = $i
 	}
 	next
 }
@@ -124,6 +142,8 @@ END {
 		printf "  \"fault_path_overhead\": %.3f,\n", ns["EngineHugeWorld/4096"] / base_ns
 	if (srv_ns != "")
 		printf "  \"serve_load\": {\"ns_per_op\": %s, \"qps\": %s, \"p99_us\": %s, \"cache_hit_ratio\": %s},\n", srv_ns, srv_qps, srv_p99, srv_hit
+	if (tn_ns != "")
+		printf "  \"autotune_search\": {\"ns_per_op\": %s, \"evals_per_sec\": %s, \"cache_hit_ratio\": %s, \"init_obj_us\": %s, \"best_obj_us\": %s},\n", tn_ns, tn_eps, tn_hit, tn_init, tn_best
 	if (m > 0) {
 		printf "  \"multi_pair_message_rate\": [\n"
 		for (i = 0; i < m; i++)
